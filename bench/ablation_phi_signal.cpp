@@ -1,0 +1,51 @@
+// Ablation — the phi signal behind the load model L_i = |R_i| * phi_si:
+// the paper's literal "queue length", a decayed incoming-rate counter,
+// or the hybrid of both (this repo's default).
+//
+// Usage: ablation_phi_signal [scale=1.0]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "support/harness.hpp"
+#include "support/workloads.hpp"
+
+namespace fastjoin::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Config cli = Config::from_args(argc, argv);
+  const double scale = cli_scale(cli);
+  PaperDefaults defaults;
+
+  banner("Ablation",
+         "phi signal for the load model (queue vs rate vs hybrid)");
+
+  Table t({"phi signal", "throughput", "latency(ms)", "mean LI",
+           "migrations"});
+  const struct {
+    const char* name;
+    PhiSignal phi;
+  } signals[] = {
+      {"hybrid (default)", PhiSignal::kHybrid},
+      {"queue only (paper literal)", PhiSignal::kQueueOnly},
+      {"rate only", PhiSignal::kRateOnly},
+  };
+  for (const auto& sig : signals) {
+    const auto rep = run_didi(
+        SystemKind::kFastJoin, defaults, defaults.dataset_gb, scale, 1,
+        [&](EngineConfig& cfg) { cfg.phi_signal = sig.phi; });
+    t.add_row({std::string(sig.name), rep.mean_throughput,
+               rep.mean_latency_ms, rep.mean_li,
+               static_cast<std::int64_t>(rep.migrations)});
+  }
+  t.print(std::cout);
+  std::cout << "(queue-only reads zero off saturation, so its LI floors "
+               "and its migrations become erratic; the hybrid keeps the "
+               "signal meaningful in both regimes)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastjoin::bench
+
+int main(int argc, char** argv) { return fastjoin::bench::run(argc, argv); }

@@ -1,0 +1,70 @@
+// Figures 3 & 4 — overall comparison on the ride-hailing workload:
+// real-time throughput (Fig. 3) and processing latency (Fig. 4) of
+// FastJoin vs BiStream-ContRand vs BiStream.
+// Defaults: 48 instances, Theta = 2.2, 30 GB (paper Section VI-B).
+//
+// Usage: fig03_04_overall [scale=1.0] [instances=48] [theta=2.2] [gb=30]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "support/harness.hpp"
+#include "support/workloads.hpp"
+
+namespace fastjoin::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Config cli = Config::from_args(argc, argv);
+  const double scale = cli_scale(cli);
+  PaperDefaults defaults;
+  defaults.instances =
+      static_cast<std::uint32_t>(cli.get_int("instances", 48));
+  defaults.theta = cli.get_double("theta", 2.2);
+  defaults.dataset_gb = cli.get_double("gb", 30.0);
+
+  banner("Figures 3 & 4",
+         "real-time throughput and latency: FastJoin vs "
+         "BiStream-ContRand vs BiStream (DiDi workload)");
+
+  const std::vector<SystemKind> systems{SystemKind::kFastJoin,
+                                        SystemKind::kBiStreamContRand,
+                                        SystemKind::kBiStream};
+  std::vector<std::string> names;
+  std::vector<RunReport> reports;
+  for (auto sys : systems) {
+    names.emplace_back(system_name(sys));
+    reports.push_back(
+        run_didi(sys, defaults, defaults.dataset_gb, scale));
+  }
+
+  std::vector<TimeSeries> tput, lat;
+  for (const auto& r : reports) {
+    tput.push_back(r.throughput_ts);
+    lat.push_back(r.latency_ts);
+  }
+  print_series("Fig 3: throughput over time (results/s)", names, tput, 0,
+               kNanosPerSec, reports[0].feed_end);
+  print_series("Fig 4: mean latency over time (ms)", names, lat, 0,
+               kNanosPerSec, reports[0].feed_end);
+  print_summary(names, reports);
+
+  const auto& fj = reports[0];
+  const auto& cr = reports[1];
+  const auto& bs = reports[2];
+  std::cout << "\nFastJoin vs BiStream-ContRand: throughput "
+            << improvement_pct(fj.mean_throughput, cr.mean_throughput)
+            << "% (paper: +16%), latency "
+            << improvement_pct(fj.mean_latency_ms, cr.mean_latency_ms)
+            << "% (paper: -15.3%)\n";
+  std::cout << "FastJoin vs BiStream:          throughput "
+            << improvement_pct(fj.mean_throughput, bs.mean_throughput)
+            << "% (paper: +31.7%), latency "
+            << improvement_pct(fj.mean_latency_ms, bs.mean_latency_ms)
+            << "% (paper: -17.5%)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastjoin::bench
+
+int main(int argc, char** argv) { return fastjoin::bench::run(argc, argv); }

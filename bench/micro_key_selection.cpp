@@ -1,0 +1,70 @@
+// Microbenchmarks (google-benchmark) — key-selection algorithms.
+// Complexity claims of Section IV-A: GreedyFit O(K log K), SAFit fixed
+// iteration budget, DP knapsack O(K * resolution).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/greedy_fit.hpp"
+#include "core/optimal_fit.hpp"
+#include "core/sa_fit.hpp"
+
+namespace fastjoin {
+namespace {
+
+KeySelectionInput make_input(std::size_t keys, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  KeySelectionInput in;
+  std::uint64_t ssum = 0, qsum = 0;
+  in.keys.reserve(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    KeyLoad k{static_cast<KeyId>(i), 1 + rng.next_below(1000),
+              rng.next_below(500)};
+    ssum += k.stored;
+    qsum += k.queued;
+    in.keys.push_back(k);
+  }
+  in.src = {ssum, qsum};
+  in.dst = {ssum / 25, qsum / 25};
+  return in;
+}
+
+void BM_GreedyFit(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_fit(in));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyFit)->Range(64, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_SAFit(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)), 2);
+  SAFitParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa_fit(in, params));
+  }
+}
+BENCHMARK(BM_SAFit)->Range(64, 1 << 14);
+
+void BM_OptimalDp(benchmark::State& state) {
+  const auto in = make_input(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_fit_dp(in, 2000));
+  }
+}
+BENCHMARK(BM_OptimalDp)->Range(64, 1 << 12);
+
+void BM_MigrationBenefit(benchmark::State& state) {
+  const InstanceLoad src{100'000, 50'000};
+  const InstanceLoad dst{10'000, 5'000};
+  const KeyLoad k{42, 1'000, 300};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(migration_benefit(src, dst, k));
+  }
+}
+BENCHMARK(BM_MigrationBenefit);
+
+}  // namespace
+}  // namespace fastjoin
+
+BENCHMARK_MAIN();

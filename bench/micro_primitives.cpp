@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) — data-path primitives: hashing,
+// zipf sampling, store insert/probe, and the discrete-event core.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "datagen/zipf.hpp"
+#include "engine/join_store.hpp"
+#include "simnet/simulator.hpp"
+
+namespace fastjoin {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_Murmur3(benchmark::State& state) {
+  std::vector<char> buf(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(murmur3_64(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Murmur3)->Range(8, 4096);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution z(static_cast<std::uint64_t>(state.range(0)), 1.1);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Range(1 << 10, 1 << 24);
+
+void BM_StoreInsert(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  JoinStore store;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    StoredTuple st;
+    st.seq = seq++;
+    store.insert(rng.next_below(100'000), st);
+  }
+}
+BENCHMARK(BM_StoreInsert);
+
+void BM_StoreProbe(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  JoinStore store;
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    StoredTuple st;
+    st.seq = i;
+    store.insert(rng.next_below(10'000), st);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.find(rng.next_below(10'000)));
+  }
+}
+BENCHMARK(BM_StoreProbe);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 10'000) sim.schedule_after(10, chain);
+    };
+    sim.schedule_at(0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+}  // namespace
+}  // namespace fastjoin
+
+BENCHMARK_MAIN();

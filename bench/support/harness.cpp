@@ -1,0 +1,59 @@
+#include "support/harness.hpp"
+
+#include <iostream>
+
+namespace fastjoin::bench {
+
+void banner(const std::string& figure, const std::string& description) {
+  std::cout << "\n=== " << figure << " — " << description << " ===\n";
+}
+
+void print_series(const std::string& title,
+                  const std::vector<std::string>& names,
+                  const std::vector<TimeSeries>& series, SimTime start,
+                  SimTime step, SimTime end) {
+  std::cout << "\n-- " << title << " --\n";
+  std::vector<std::string> headers{"t(s)"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  Table table(headers);
+
+  std::vector<std::vector<TimePoint>> resampled;
+  std::size_t rows = 0;
+  for (const auto& s : series) {
+    resampled.push_back(s.resample(start, step));
+    rows = std::max(rows, resampled.back().size());
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const SimTime t = start + static_cast<SimTime>(i) * step;
+    if (end > 0 && t > end) break;
+    std::vector<Cell> row;
+    row.emplace_back(to_seconds(t));
+    for (const auto& r : resampled) {
+      row.emplace_back(i < r.size() ? r[i].v
+                                    : (r.empty() ? 0.0 : r.back().v));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void print_summary(const std::vector<std::string>& names,
+                   const std::vector<RunReport>& reports) {
+  Table table({"system", "throughput(res/s)", "latency(ms)", "p99(ms)",
+               "mean LI", "migrations", "tuples moved", "results"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    table.add_row({names[i], r.mean_throughput, r.mean_latency_ms,
+                   r.p99_latency_ms, r.mean_li,
+                   static_cast<std::int64_t>(r.migrations),
+                   static_cast<std::int64_t>(r.tuples_migrated),
+                   static_cast<std::int64_t>(r.results)});
+  }
+  table.print(std::cout);
+}
+
+double improvement_pct(double a, double b) {
+  return b != 0.0 ? (a - b) / b * 100.0 : 0.0;
+}
+
+}  // namespace fastjoin::bench

@@ -1,0 +1,32 @@
+// Output helpers for the figure benches: consistent headers, the
+// paper-vs-measured framing, and time-series rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timeseries.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin::bench {
+
+/// Print the standard bench banner (figure id + description + knobs).
+void banner(const std::string& figure, const std::string& description);
+
+/// Render several time series side by side, resampled on a common grid:
+/// one row per time step, one column per series. Rows after `end` are
+/// dropped (0 = keep everything) — used to cut the post-feed drain tail.
+void print_series(const std::string& title,
+                  const std::vector<std::string>& names,
+                  const std::vector<TimeSeries>& series, SimTime start,
+                  SimTime step, SimTime end = 0);
+
+/// One summary row per system: throughput / latency / LI / migrations.
+void print_summary(const std::vector<std::string>& names,
+                   const std::vector<RunReport>& reports);
+
+/// Relative improvement in percent: (a - b) / b * 100.
+double improvement_pct(double a, double b);
+
+}  // namespace fastjoin::bench

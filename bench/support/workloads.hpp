@@ -1,0 +1,69 @@
+// Shared workload definitions for the paper-figure benches.
+//
+// All experiment-scale constants live here so the whole bench suite can
+// be re-calibrated in one place. The simulation represents the paper's
+// 30-node / 30 GB testbed at laptop scale: nominal "GB" figures map to
+// tuple counts through DatasetScale, stream rates are scaled so one run
+// spans tens of virtual seconds, and the cost model is tuned so hot
+// instances saturate while the cluster average stays moderate — the
+// regime in which the paper's experiments operate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "datagen/ride_hailing.hpp"
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin::bench {
+
+/// Paper defaults (Section VI-A): 48 join instances, Theta = 2.2,
+/// 30 GB dataset.
+struct PaperDefaults {
+  std::uint32_t instances = 48;
+  double theta = 2.2;
+  double dataset_gb = 30.0;
+};
+
+/// One nominal-GB -> simulated-tuples mapping shared by every bench.
+DatasetScale dataset_scale();
+
+/// The DiDi-calibrated ride-hailing workload for a nominal dataset size.
+/// `scale` multiplies the record count (CLI knob for quick/thorough runs).
+RideHailingConfig didi_workload(double gb, double scale = 1.0);
+
+/// Engine configuration tuned for the bench cost model. Applies the
+/// paper defaults and then the system preset.
+EngineConfig bench_engine_config(SystemKind system,
+                                 const PaperDefaults& defaults,
+                                 std::uint64_t seed = 1);
+
+/// Duration of the simulated measurement for a given workload.
+SimTime bench_duration(const RideHailingConfig& wl);
+
+/// Build a synthetic Gxy workload (paper Fig. 12/13): zipf exponents
+/// zr, zs in {0, 1, 2}; shared key universe.
+struct SyntheticWorkload {
+  KeyStreamSpec r;
+  KeyStreamSpec s;
+  TraceConfig trace;
+};
+SyntheticWorkload synthetic_workload(double zr, double zs, double scale);
+
+/// Run one system over a fresh ride-hailing workload.
+RunReport run_didi(SystemKind system, const PaperDefaults& defaults,
+                   double gb, double scale, std::uint64_t seed = 1,
+                   std::function<void(EngineConfig&)> tweak = {});
+
+/// Run one system over a synthetic Gxy workload.
+RunReport run_synthetic(SystemKind system, double zr, double zs,
+                        double scale, const PaperDefaults& defaults);
+
+/// Standard CLI handling: `scale=<f>` shrinks/grows every bench.
+double cli_scale(const Config& cfg);
+
+}  // namespace fastjoin::bench

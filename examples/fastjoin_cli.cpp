@@ -1,0 +1,148 @@
+// fastjoin_cli — config-driven experiment runner.
+//
+// Runs any workload x system combination from the command line and
+// prints a run report; optionally saves/loads traces so an experiment
+// can be replayed bit-for-bit.
+//
+//   fastjoin_cli workload=didi system=fastjoin instances=48 theta=2.2
+//   fastjoin_cli workload=synthetic zr=1.0 zs=2.0 system=bistream
+//   fastjoin_cli workload=stock records=500000 save=run.fjt
+//   fastjoin_cli replay=run.fjt system=contrand
+//
+// Keys: workload=didi|synthetic|stock|adclick  system=fastjoin|
+// fastjoin-sa|bistream|contrand  instances  theta  records  seed
+// zr zs (synthetic zipf)  window (sub-windows)  save=<path>
+// replay=<path>  duration (seconds)
+#include <iostream>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "datagen/adclick.hpp"
+#include "datagen/ride_hailing.hpp"
+#include "datagen/stock.hpp"
+#include "datagen/trace_io.hpp"
+#include "engine/engine.hpp"
+
+using namespace fastjoin;
+
+namespace {
+
+std::unique_ptr<RecordSource> make_source(const Config& cfg) {
+  if (cfg.has("replay")) {
+    return std::make_unique<TraceFileSource>(cfg.get_str("replay", ""));
+  }
+  const std::string workload = cfg.get_str("workload", "didi");
+  const auto records =
+      static_cast<std::uint64_t>(cfg.get_int("records", 400'000));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+  if (workload == "didi") {
+    RideHailingConfig wl;
+    wl.num_locations =
+        static_cast<std::uint64_t>(cfg.get_int("keys", 20'000));
+    wl.total_records = records;
+    wl.seed = seed;
+    return std::make_unique<RideHailingGenerator>(wl);
+  }
+  if (workload == "synthetic") {
+    KeyStreamSpec r;
+    r.num_keys = static_cast<std::uint64_t>(cfg.get_int("keys", 100'000));
+    r.zipf_s = cfg.get_double("zr", 1.0);
+    r.seed = seed;
+    KeyStreamSpec s = r;
+    s.zipf_s = cfg.get_double("zs", 1.0);
+    s.seed = seed + 1000;
+    TraceConfig tc;
+    tc.total_records = records;
+    tc.r_rate = cfg.get_double("r_rate", 25'000);
+    tc.s_rate = cfg.get_double("s_rate", 25'000);
+    return std::make_unique<TraceGenerator>(r, s, tc);
+  }
+  if (workload == "stock") {
+    StockConfig wl;
+    wl.total_records = records;
+    wl.seed = seed;
+    return std::make_unique<StockGenerator>(wl);
+  }
+  if (workload == "adclick") {
+    AdClickConfig wl;
+    wl.total_records = records;
+    wl.seed = seed;
+    return std::make_unique<AdClickGenerator>(wl);
+  }
+  throw std::runtime_error("unknown workload: " + workload);
+}
+
+SystemKind parse_system(const std::string& name) {
+  if (name == "fastjoin") return SystemKind::kFastJoin;
+  if (name == "fastjoin-sa") return SystemKind::kFastJoinSA;
+  if (name == "bistream") return SystemKind::kBiStream;
+  if (name == "contrand") return SystemKind::kBiStreamContRand;
+  throw std::runtime_error("unknown system: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Config cfg = Config::from_args(argc, argv);
+  if (cfg.has("help") || argc == 1) {
+    std::cout
+        << "usage: fastjoin_cli workload=didi|synthetic|stock|adclick "
+           "system=fastjoin|fastjoin-sa|bistream|contrand\n"
+           "  [instances=16] [theta=2.2] [records=400000] [seed=1]\n"
+           "  [keys=N] [zr=] [zs=] [window=subwindows]\n"
+           "  [save=trace.fjt] [replay=trace.fjt] [duration=secs]\n";
+    return 0;
+  }
+
+  auto source = make_source(cfg);
+
+  if (cfg.has("save")) {
+    const auto n = write_trace_binary(cfg.get_str("save", ""), *source);
+    std::cout << "wrote " << n << " records to "
+              << cfg.get_str("save", "") << "\n";
+    return 0;
+  }
+
+  EngineConfig ecfg;
+  ecfg.instances =
+      static_cast<std::uint32_t>(cfg.get_int("instances", 16));
+  ecfg.balancer.planner.theta = cfg.get_double("theta", 2.2);
+  ecfg.balancer.monitor_period = kNanosPerSec / 4;
+  ecfg.metrics.warmup = from_seconds(cfg.get_double("warmup", 1.0));
+  ecfg.cost.store_cost = 100 * kNanosPerMicro;
+  ecfg.cost.probe_base = 100 * kNanosPerMicro;
+  ecfg.cost.probe_per_match = 150.0 * kNanosPerMicro;
+  ecfg.cost.probe_match_cap = 1024;
+  ecfg.window_subwindows =
+      static_cast<std::uint32_t>(cfg.get_int("window", 0));
+  ecfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  apply_system(ecfg, parse_system(cfg.get_str("system", "fastjoin")));
+
+  SimJoinEngine engine(ecfg);
+  const auto rep =
+      engine.run(*source, from_seconds(cfg.get_double("duration", 60)));
+
+  Table t({"metric", "value"});
+  t.add_row({std::string("records in"),
+             static_cast<std::int64_t>(rep.records_in)});
+  t.add_row({std::string("join results"),
+             static_cast<std::int64_t>(rep.results)});
+  t.add_row({std::string("throughput (results/s)"), rep.mean_throughput});
+  t.add_row({std::string("mean latency (ms)"), rep.mean_latency_ms});
+  t.add_row({std::string("p99 latency (ms)"), rep.p99_latency_ms});
+  t.add_row({std::string("mean LI"), rep.mean_li});
+  t.add_row({std::string("migrations"),
+             static_cast<std::int64_t>(rep.migrations)});
+  t.add_row({std::string("tuples migrated"),
+             static_cast<std::int64_t>(rep.tuples_migrated)});
+  t.add_row({std::string("evicted (window)"),
+             static_cast<std::int64_t>(rep.evicted)});
+  t.add_row({std::string("virtual time (s)"), to_seconds(rep.sim_end)});
+  t.print(std::cout);
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,62 @@
+// Quickstart — the minimal FastJoin program.
+//
+// Builds a skewed two-stream workload, runs the simulated cluster twice
+// (BiStream's plain hash partitioning vs FastJoin's skew-aware dynamic
+// balancing) and prints the comparison. ~40 lines of API surface:
+//   KeyStreamSpec / TraceGenerator  — workload
+//   EngineConfig  + apply_system()  — pick the system under test
+//   SimJoinEngine::run()            — execute, get a RunReport
+#include <iostream>
+
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+using namespace fastjoin;
+
+int main() {
+  // Two streams over a shared key universe; both heavily skewed, with
+  // rotated popularity so the hottest keys of R and S differ.
+  KeyStreamSpec r_keys;
+  r_keys.num_keys = 20'000;
+  r_keys.zipf_s = 1.0;
+  r_keys.seed = 1;
+  KeyStreamSpec s_keys = r_keys;
+  s_keys.seed = 2;
+  s_keys.rank_offset = r_keys.num_keys / 3;
+
+  TraceConfig trace;
+  trace.r_rate = 20'000;      // tuples/sec, stream R
+  trace.s_rate = 60'000;      // tuples/sec, stream S
+  trace.total_records = 400'000;
+
+  for (auto system : {SystemKind::kBiStream, SystemKind::kFastJoin}) {
+    EngineConfig cfg;
+    cfg.instances = 16;                       // join instances per side
+    cfg.balancer.planner.theta = 2.2;         // LI threshold (paper)
+    cfg.balancer.monitor_period = kNanosPerSec / 4;
+    cfg.metrics.warmup = from_seconds(1.0);
+    // Service-time model: flat per-op overheads plus a per-match term
+    // (see CostModel); tuned so hot instances saturate while the
+    // cluster average stays moderate.
+    cfg.cost.store_cost = 100 * kNanosPerMicro;
+    cfg.cost.probe_base = 100 * kNanosPerMicro;
+    cfg.cost.probe_per_match = 150.0 * kNanosPerMicro;
+    cfg.cost.probe_match_cap = 1024;
+    apply_system(cfg, system);                // BiStream or FastJoin
+
+    TraceGenerator source(r_keys, s_keys, trace);
+    SimJoinEngine engine(cfg);
+    const RunReport rep = engine.run(source, from_seconds(20));
+
+    std::cout << system_name(system) << ":\n"
+              << "  results      " << rep.results << "\n"
+              << "  throughput   " << rep.mean_throughput << " results/s\n"
+              << "  latency      " << rep.mean_latency_ms << " ms (p99 "
+              << rep.p99_latency_ms << " ms)\n"
+              << "  mean LI      " << rep.mean_li << "\n"
+              << "  migrations   " << rep.migrations << "\n";
+  }
+  std::cout << "\nFastJoin should show lower LI and latency and higher "
+               "throughput than BiStream on this skewed workload.\n";
+  return 0;
+}

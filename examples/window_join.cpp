@@ -1,0 +1,62 @@
+// Window-based stream join (paper Section III-E) on the stock workload:
+// match buy and sell orders per symbol, but only against orders from
+// the last W seconds — the windowed semantics real trading systems use.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "datagen/stock.hpp"
+#include "engine/engine.hpp"
+
+using namespace fastjoin;
+
+int main() {
+  StockConfig wl;
+  wl.num_symbols = 5'000;
+  wl.volume_zipf = 1.2;
+  wl.buy_rate = 30'000;
+  wl.sell_rate = 30'000;
+  wl.total_records = 400'000;
+
+  std::cout << "Stock workload: " << wl.total_records << " orders over "
+            << wl.num_symbols << " symbols\n\n";
+
+  Table table({"window", "matches", "evicted", "peak store", "latency(ms)",
+               "migrations"});
+  // Sweep the window: sub-window 0.5 s, ring sizes 2..16 sub-windows,
+  // plus full history for contrast.
+  for (std::uint32_t subwindows : {2u, 4u, 8u, 16u, 0u}) {
+    EngineConfig cfg;
+    cfg.instances = 12;
+    cfg.window_subwindows = subwindows;
+    cfg.subwindow_len = kNanosPerSec / 2;
+    cfg.balancer.monitor_period = kNanosPerSec / 4;
+    cfg.metrics.warmup = from_seconds(1.0);
+    cfg.cost.store_cost = 100 * kNanosPerMicro;
+    cfg.cost.probe_base = 100 * kNanosPerMicro;
+    cfg.cost.probe_per_match = 150.0 * kNanosPerMicro;
+    cfg.cost.probe_match_cap = 1024;
+    apply_system(cfg, SystemKind::kFastJoin);
+
+    StockGenerator source(wl);
+    SimJoinEngine engine(cfg);
+    const RunReport rep = engine.run(source, from_seconds(30));
+
+    std::uint64_t stored = 0;
+    for (InstanceId i = 0; i < cfg.instances; ++i) {
+      stored += engine.instance(Side::kR, i).store().size();
+      stored += engine.instance(Side::kS, i).store().size();
+    }
+    const std::string label =
+        subwindows == 0
+            ? "full history"
+            : std::to_string(subwindows * 0.5).substr(0, 4) + " s";
+    table.add_row({label, static_cast<std::int64_t>(rep.results),
+                   static_cast<std::int64_t>(rep.evicted),
+                   static_cast<std::int64_t>(stored), rep.mean_latency_ms,
+                   static_cast<std::int64_t>(rep.migrations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nWider windows keep more state and emit more matches; "
+               "full history never evicts.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fastjoin {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    cfg.parse_line(argv[i]);
+  }
+  return cfg;
+}
+
+bool Config::parse_line(std::string_view line) {
+  const auto eq = line.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  std::string key(line.substr(0, eq));
+  std::string value(line.substr(eq + 1));
+  set(std::move(key), std::move(value));
+  return true;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_str(const std::string& key,
+                            const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+}  // namespace fastjoin

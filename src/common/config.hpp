@@ -1,0 +1,45 @@
+// Minimal configuration store: "key=value" pairs from argv or strings,
+// with typed getters. Benches use this so every experiment parameter can
+// be overridden from the command line, e.g. `fig05 instances=64 theta=1.8`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fastjoin {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv entries of the form key=value; non-matching entries are
+  /// ignored (so flags for other tools pass through harmlessly).
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse a single "key=value" line; returns false if malformed.
+  bool parse_line(std::string_view line);
+
+  void set(std::string key, std::string value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_str(const std::string& key,
+                      const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,51 @@
+// Hash functions used for stream partitioning and key scrambling.
+//
+// The dispatcher maps a tuple's KeyId to a join instance with
+// `instance_of(hash(key), n)`.  A high-quality finalizer matters: a weak
+// hash would itself introduce artificial imbalance that is
+// indistinguishable from data skew, polluting every experiment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fastjoin {
+
+/// SplitMix64 finalizer (Stafford variant 13). Bijective on u64; the
+/// default scrambler for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over raw bytes. Slow but dependency-free; used for strings.
+std::uint64_t fnv1a(std::string_view bytes);
+
+/// MurmurHash3 x64 128-bit, truncated to 64 bits. Reference-quality
+/// byte-stream hash for payload checksums and string keys.
+std::uint64_t murmur3_64(const void* data, std::size_t len,
+                         std::uint64_t seed = 0);
+
+inline std::uint64_t murmur3_64(std::string_view s, std::uint64_t seed = 0) {
+  return murmur3_64(s.data(), s.size(), seed);
+}
+
+/// Map an already-mixed hash onto [0, n) without modulo bias
+/// (Lemire's multiply-shift reduction).
+constexpr std::uint32_t reduce_range(std::uint64_t h, std::uint32_t n) {
+  return static_cast<std::uint32_t>(
+      (static_cast<unsigned __int128>(h) * n) >> 64);
+}
+
+/// The canonical key -> instance mapping used by hash partitioning.
+constexpr std::uint32_t instance_of(std::uint64_t key, std::uint32_t n,
+                                    std::uint64_t seed = 0) {
+  return reduce_range(mix64(key ^ seed), n);
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,92 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastjoin {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           int sub_buckets)
+    : min_value_(min_value),
+      max_value_(max_value),
+      sub_buckets_(sub_buckets),
+      log2_min_(std::log2(min_value)) {
+  assert(min_value > 0 && max_value > min_value && sub_buckets >= 1);
+  const double octaves = std::log2(max_value / min_value);
+  const auto n =
+      static_cast<std::size_t>(std::ceil(octaves)) * sub_buckets_ + 1;
+  buckets_.assign(n + 1, 0);
+}
+
+std::size_t LogHistogram::bucket_index(double value) const {
+  const double v = std::clamp(value, min_value_, max_value_);
+  const double pos = (std::log2(v) - log2_min_) * sub_buckets_;
+  const auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+double LogHistogram::bucket_midpoint(std::size_t idx) const {
+  const double lo =
+      std::exp2(log2_min_ + static_cast<double>(idx) / sub_buckets_);
+  const double hi =
+      std::exp2(log2_min_ + static_cast<double>(idx + 1) / sub_buckets_);
+  return (lo + hi) / 2.0;
+}
+
+void LogHistogram::add(double value, std::uint64_t count) {
+  if (count == 0) return;
+  if (total_ == 0) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  buckets_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+double LogHistogram::value_at_percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      // Clamp to the actually-observed range for tighter tails.
+      return std::clamp(bucket_midpoint(i), min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+void LogHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  min_seen_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.total_) {
+    if (total_ == 0) {
+      min_seen_ = other.min_seen_;
+      max_seen_ = other.max_seen_;
+    } else {
+      min_seen_ = std::min(min_seen_, other.min_seen_);
+      max_seen_ = std::max(max_seen_, other.max_seen_);
+    }
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,55 @@
+// Log-bucketed histogram for latency distributions.
+//
+// HdrHistogram-style: buckets grow geometrically so that any recorded
+// value is off by at most `precision` relative error, while memory stays
+// a few KB regardless of sample count.  Used by the metrics pipeline to
+// report latency percentiles for Figs. 4, 6, 8, 10, 13, 14.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastjoin {
+
+class LogHistogram {
+ public:
+  /// `min_value`..`max_value` is the trackable range (values are clamped);
+  /// `sub_buckets` linear sub-buckets per power of two control precision.
+  explicit LogHistogram(double min_value = 1.0, double max_value = 1e12,
+                        int sub_buckets = 32);
+
+  void add(double value, std::uint64_t count = 1);
+
+  std::uint64_t count() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  double min() const { return total_ ? min_seen_ : 0.0; }
+  double max() const { return total_ ? max_seen_ : 0.0; }
+
+  /// Value at percentile p (0..100), estimated as the representative
+  /// midpoint of the containing bucket.
+  double value_at_percentile(double p) const;
+
+  void reset();
+
+  /// Merge a histogram built with identical parameters.
+  void merge(const LogHistogram& other);
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_midpoint(std::size_t idx) const;
+
+  double min_value_;
+  double max_value_;
+  int sub_buckets_;
+  double log2_min_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace fastjoin

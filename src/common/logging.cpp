@@ -1,0 +1,35 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fastjoin::logging {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* name_of(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(LogLevel lvl, const char* subsystem, const std::string& msg) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %-10s %s\n", name_of(lvl), subsystem,
+               msg.c_str());
+}
+
+}  // namespace fastjoin::logging

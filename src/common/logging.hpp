@@ -1,0 +1,49 @@
+// Leveled logging. Thread-safe sink; cheap when the level is filtered.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fastjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log configuration.
+namespace logging {
+void set_level(LogLevel level);
+LogLevel level();
+/// Emit a line (locked) to stderr with level and subsystem tags.
+void write(LogLevel level, const char* subsystem, const std::string& msg);
+}  // namespace logging
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* subsystem)
+      : level_(level), subsystem_(subsystem) {}
+  ~LogLine() { logging::write(level_, subsystem_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* subsystem_;
+  std::ostringstream stream_;
+};
+
+#define FJ_LOG(lvl, subsystem)                                  \
+  if (::fastjoin::logging::level() <= ::fastjoin::LogLevel::lvl) \
+  ::fastjoin::LogLine(::fastjoin::LogLevel::lvl, subsystem)
+
+#define FJ_DEBUG(subsystem) FJ_LOG(kDebug, subsystem)
+#define FJ_INFO(subsystem) FJ_LOG(kInfo, subsystem)
+#define FJ_WARN(subsystem) FJ_LOG(kWarn, subsystem)
+#define FJ_ERROR(subsystem) FJ_LOG(kError, subsystem)
+
+}  // namespace fastjoin

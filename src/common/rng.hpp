@@ -1,0 +1,90 @@
+// Seedable, fast pseudo-random generators.
+//
+// Everything stochastic in FastJoin (key generators, SAFit's annealing,
+// simulated service-time jitter) draws from these so that a single seed
+// reproduces an entire experiment bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fastjoin {
+
+/// SplitMix64: tiny state, passes BigCrush; used to seed Xoshiro and for
+/// cheap one-off streams.  Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  constexpr result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). The workhorse generator.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 1) { reseed(seed); }
+
+  /// Derive the 256-bit state from a 64-bit seed via SplitMix64, per the
+  /// authors' recommendation.
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (n > 0).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Jump ahead 2^128 steps: gives 2^128 non-overlapping subsequences,
+  /// used to hand independent streams to parallel workers.
+  void jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace fastjoin

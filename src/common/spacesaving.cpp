@@ -1,0 +1,99 @@
+#include "common/spacesaving.hpp"
+
+#include <cassert>
+
+namespace fastjoin {
+
+SpaceSaving::SpaceSaving(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void SpaceSaving::add(KeyId key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    Slot& slot = it->second;
+    by_count_.erase(slot.order_it);
+    slot.entry.count += weight;
+    slot.order_it = by_count_.emplace(slot.entry.count, key);
+    return;
+  }
+
+  if (by_key_.size() < capacity_) {
+    Slot slot;
+    slot.entry = {key, weight, 0};
+    slot.order_it = by_count_.emplace(weight, key);
+    by_key_.emplace(key, slot);
+    return;
+  }
+
+  // Evict the minimum-count entry; the newcomer inherits its count as
+  // the classic SpaceSaving overestimation.
+  const auto victim_it = by_count_.begin();
+  const std::uint64_t floor = victim_it->first;
+  by_key_.erase(victim_it->second);
+  by_count_.erase(victim_it);
+
+  Slot slot;
+  slot.entry = {key, floor + weight, floor};
+  slot.order_it = by_count_.emplace(slot.entry.count, key);
+  by_key_.emplace(key, slot);
+}
+
+std::uint64_t SpaceSaving::estimate(KeyId key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? 0 : it->second.entry.count;
+}
+
+bool SpaceSaving::is_exact(KeyId key) const {
+  const auto it = by_key_.find(key);
+  return it != by_key_.end() && it->second.entry.error == 0;
+}
+
+std::uint64_t SpaceSaving::min_count() const {
+  if (by_key_.size() < capacity_ || by_count_.empty()) return 0;
+  return by_count_.begin()->first;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top() const {
+  std::vector<Entry> out;
+  out.reserve(by_key_.size());
+  for (auto it = by_count_.rbegin(); it != by_count_.rend(); ++it) {
+    out.push_back(by_key_.at(it->second).entry);
+  }
+  return out;
+}
+
+void SpaceSaving::decay() {
+  std::multimap<std::uint64_t, KeyId> rebuilt;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    Slot& slot = it->second;
+    slot.entry.count /= 2;
+    slot.entry.error /= 2;
+    if (slot.entry.count == 0) {
+      it = by_key_.erase(it);
+      continue;
+    }
+    slot.order_it = rebuilt.emplace(slot.entry.count, it->first);
+    ++it;
+  }
+  by_count_.swap(rebuilt);
+  total_ /= 2;
+}
+
+void SpaceSaving::erase(KeyId key) {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return;
+  total_ -= std::min(total_, it->second.entry.count);
+  by_count_.erase(it->second.order_it);
+  by_key_.erase(it);
+}
+
+void SpaceSaving::clear() {
+  by_key_.clear();
+  by_count_.clear();
+  total_ = 0;
+}
+
+}  // namespace fastjoin

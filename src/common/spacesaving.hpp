@@ -1,0 +1,78 @@
+// SpaceSaving heavy-hitter sketch (Metwally, Agrawal, El Abbadi).
+//
+// FastJoin's per-key statistics cost chi_k bytes per key (paper Eq. 12);
+// with very large key universes the monitor-side tables are the
+// dominant overhead the SGR analysis worries about. SpaceSaving tracks
+// the (approximate) top-m keys in O(m) memory with the classic
+// guarantees: every key with true count > N/m is tracked, and each
+// reported count overestimates the truth by at most the minimum tracked
+// count. Since GreedyFit only ever wants the hottest keys, a capacity of
+// a few thousand suffices regardless of universe size.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastjoin {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    KeyId key = 0;
+    std::uint64_t count = 0;  ///< estimate (upper bound on the truth)
+    std::uint64_t error = 0;  ///< max overestimation of `count`
+  };
+
+  /// Track at most `capacity` keys (capacity >= 1).
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Observe `weight` occurrences of `key`.
+  void add(KeyId key, std::uint64_t weight = 1);
+
+  /// Estimated count for `key` (0 if untracked; any untracked key's
+  /// true count is <= min_count()).
+  std::uint64_t estimate(KeyId key) const;
+
+  /// Whether `key` is guaranteed-tracked-exactly (error == 0).
+  bool is_exact(KeyId key) const;
+
+  /// Smallest tracked count — the global overestimation bound.
+  std::uint64_t min_count() const;
+
+  /// The tracked entries, heaviest first.
+  std::vector<Entry> top() const;
+
+  /// Halve every count (error too): turns the sketch into a decayed
+  /// rate tracker, mirroring JoinInstance's probe-window EWMA.
+  void decay();
+
+  /// Drop a key entirely (e.g. after its tuples migrated away).
+  void erase(KeyId key);
+
+  std::size_t size() const { return by_key_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_weight() const { return total_; }
+
+  void clear();
+
+ private:
+  // Entries indexed two ways: by key for lookup, and by count (ordered
+  // multimap) for O(log m) eviction of the minimum. With m in the
+  // thousands this is plenty fast for per-tuple updates.
+  struct Slot {
+    Entry entry;
+    std::multimap<std::uint64_t, KeyId>::iterator order_it;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<KeyId, Slot> by_key_;
+  std::multimap<std::uint64_t, KeyId> by_count_;  ///< ascending
+};
+
+}  // namespace fastjoin

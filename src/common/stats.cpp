@@ -1,0 +1,151 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace fastjoin {
+
+void StreamingStats::merge(const StreamingStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(o.n_);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q;
+  desired_[2] = 1 + 4 * q;
+  desired_[3] = 3 + 2 * q;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q / 2;
+  increments_[2] = q;
+  increments_[3] = (1 + q) / 2;
+  increments_[4] = 1;
+  for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  ++n_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      double h = parabolic(i, sign);
+      if (heights_[i - 1] < h && h < heights_[i + 1]) {
+        heights_[i] = h;
+      } else {
+        heights_[i] = linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact quantile on the few samples seen so far.
+    std::vector<double> v(heights_, heights_ + n_);
+    std::sort(v.begin(), v.end());
+    const double idx = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+  }
+  return heights_[2];
+}
+
+ImbalanceMetrics compute_imbalance(std::span<const double> loads,
+                                   double floor_eps) {
+  ImbalanceMetrics m;
+  if (loads.empty()) return m;
+  StreamingStats s;
+  for (double l : loads) s.add(l);
+  m.max_load = s.max();
+  m.min_load = s.min();
+  m.mean_load = s.mean();
+  m.cv = s.cv();
+  const double denom = std::max(s.min(), floor_eps);
+  m.li = std::max(1.0, s.max() / denom);
+  m.peak = s.mean() > 0 ? std::max(1.0, s.max() / s.mean()) : 1.0;
+  return m;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double idx = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double gini(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * v[i];
+  }
+  const auto n = static_cast<double>(v.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,102 @@
+// Streaming statistics and load-imbalance metrics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace fastjoin {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Coefficient of variation; 0 when the mean is 0.
+  double cv() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+  void reset() { *this = StreamingStats{}; }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const StreamingStats& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// P² (Jain & Chlamtac) single-quantile estimator: O(1) space streaming
+/// percentile, used for latency p50/p99 without storing samples.
+class P2Quantile {
+ public:
+  /// q in (0,1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact until five samples have arrived.
+  double value() const;
+  std::uint64_t count() const { return n_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Load-imbalance metrics over a snapshot of per-instance loads.
+/// The paper's LI (Eq. 2) is max/min; we also expose max/mean ("peak
+/// factor") and the coefficient of variation for richer reporting.
+struct ImbalanceMetrics {
+  double li = 1.0;        ///< max / min (paper Eq. 2), clamped at >= 1
+  double peak = 1.0;      ///< max / mean
+  double cv = 0.0;        ///< stddev / mean
+  double max_load = 0.0;
+  double min_load = 0.0;
+  double mean_load = 0.0;
+};
+
+/// Compute imbalance metrics; loads of zero are floored at `floor_eps`
+/// for the LI denominator so an idle instance yields a large-but-finite
+/// ratio instead of dividing by zero.
+ImbalanceMetrics compute_imbalance(std::span<const double> loads,
+                                   double floor_eps = 1.0);
+
+/// Exact percentile of a sample vector (sorts a copy). p in [0,100].
+double percentile(std::vector<double> samples, double p);
+
+/// Gini coefficient of a non-negative load vector, in [0,1).
+/// 0 = perfectly balanced. Used in skew characterization (Fig. 1).
+double gini(std::span<const double> values);
+
+}  // namespace fastjoin

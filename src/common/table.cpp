@@ -1,0 +1,94 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fastjoin {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) {
+    return std::to_string(*i);
+  }
+  const double v = std::get<double>(c);
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "") << cells[c]
+         << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << format_cell(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+std::string human_count(double v) {
+  char buf[64];
+  const double a = std::fabs(v);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,42 @@
+// Console table / CSV emitters used by the benchmark harness to print
+// the rows and series the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fastjoin {
+
+/// A cell is a string, an integer, or a double (formatted compactly).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Builds an aligned fixed-width text table and/or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  static std::string format_cell(const Cell& c);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format a double with engineering-style compactness (e.g. "1.23M").
+std::string human_count(double v);
+
+}  // namespace fastjoin

@@ -1,0 +1,80 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+
+namespace fastjoin {
+
+double TimeSeries::mean_between(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= from && p.t <= to) {
+      sum += p.v;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::mean_after(SimTime from) const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= from) {
+      sum += p.v;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<TimePoint> TimeSeries::resample(SimTime start,
+                                            SimTime step) const {
+  std::vector<TimePoint> out;
+  if (points_.empty() || step <= 0) return out;
+  const SimTime end = points_.back().t;
+  std::size_t i = 0;
+  double carry = 0.0;
+  for (SimTime t = start; t <= end; t += step) {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    while (i < points_.size() && points_[i].t < t + step) {
+      if (points_[i].t >= t) {
+        sum += points_[i].v;
+        ++n;
+      }
+      ++i;
+    }
+    const double v = n ? sum / static_cast<double>(n) : carry;
+    carry = v;
+    out.push_back({t, v});
+  }
+  return out;
+}
+
+void RateTracker::add(SimTime t, std::uint64_t n) {
+  if (!started_) {
+    window_start_ = t - t % window_;
+    started_ = true;
+  }
+  while (t >= window_start_ + window_) {
+    series_.record(window_start_ + window_,
+                   static_cast<double>(in_window_) /
+                       (static_cast<double>(window_) / 1e9));
+    in_window_ = 0;
+    window_start_ += window_;
+  }
+  in_window_ += n;
+  total_ += n;
+}
+
+void RateTracker::finish() {
+  if (started_ && in_window_ > 0) {
+    series_.record(window_start_ + window_,
+                   static_cast<double>(in_window_) /
+                       (static_cast<double>(window_) / 1e9));
+    in_window_ = 0;
+  }
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,76 @@
+// Time-series recording for the "real-time" figures (Figs. 1c, 1d, 3, 4, 11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastjoin {
+
+/// A (time, value) sample.
+struct TimePoint {
+  SimTime t;
+  double v;
+};
+
+/// Append-only series of timestamped samples with resampling helpers.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime t, double v) { points_.push_back({t, v}); }
+
+  const std::string& name() const { return name_; }
+  std::span<const TimePoint> points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of all values recorded at or after `from`.
+  double mean_after(SimTime from) const;
+
+  /// Mean of all values recorded in [from, to].
+  double mean_between(SimTime from, SimTime to) const;
+
+  /// Downsample into fixed-width buckets of `step`, averaging values in
+  /// each bucket; empty buckets carry the previous value forward.
+  /// Returns one point per bucket from `start` to the last sample.
+  std::vector<TimePoint> resample(SimTime start, SimTime step) const;
+
+  /// Last recorded value (0 if empty).
+  double last() const { return points_.empty() ? 0.0 : points_.back().v; }
+
+ private:
+  std::string name_;
+  std::vector<TimePoint> points_;
+};
+
+/// Rate counter: turn cumulative event counts into an events/sec series,
+/// emitting one sample per `window` (the paper reports per-second
+/// throughput from a counter bolt).
+class RateTracker {
+ public:
+  explicit RateTracker(SimTime window = kNanosPerSec) : window_(window) {}
+
+  /// Record `n` events at time `t`. Times must be non-decreasing.
+  void add(SimTime t, std::uint64_t n = 1);
+
+  /// Flush the current partial window (call once, at end of run).
+  void finish();
+
+  const TimeSeries& series() const { return series_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  SimTime window_;
+  SimTime window_start_ = 0;
+  std::uint64_t in_window_ = 0;
+  std::uint64_t total_ = 0;
+  bool started_ = false;
+  TimeSeries series_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,40 @@
+// Fundamental scalar types shared across the FastJoin codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace fastjoin {
+
+/// Join key. Real deployments hash arbitrary attributes down to 64 bits;
+/// all generators and engines in this repo speak KeyId directly.
+using KeyId = std::uint64_t;
+
+/// Simulated time in nanoseconds. Signed so durations subtract safely.
+using SimTime = std::int64_t;
+
+/// Identifier of a join instance (worker) within one side of the biclique.
+using InstanceId = std::uint32_t;
+
+inline constexpr SimTime kNanosPerMicro = 1'000;
+inline constexpr SimTime kNanosPerMilli = 1'000'000;
+inline constexpr SimTime kNanosPerSec = 1'000'000'000;
+
+/// Convert seconds (double) to SimTime nanoseconds.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+/// Convert SimTime nanoseconds to seconds (double).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e9;
+}
+
+constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace fastjoin

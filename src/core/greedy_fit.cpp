@@ -1,0 +1,59 @@
+#include "core/greedy_fit.hpp"
+
+#include <algorithm>
+
+namespace fastjoin {
+
+void finalize_result(const KeySelectionInput& in, KeySelectionResult& out) {
+  out.total_benefit = 0.0;
+  out.tuples_moved = 0;
+  for (const auto& k : out.selection) {
+    out.total_benefit += migration_benefit(in.src, in.dst, k);
+    out.tuples_moved += k.stored;
+  }
+  out.predicted_src_load = 0.0;
+  out.predicted_dst_load = 0.0;
+  InstanceLoad src = in.src;
+  InstanceLoad dst = in.dst;
+  apply_migration(src, dst, out.selection);
+  out.predicted_src_load = src.load();
+  out.predicted_dst_load = dst.load();
+}
+
+KeySelectionResult greedy_fit(const KeySelectionInput& in) {
+  struct Entry {
+    double benefit;
+    double factor;
+    const KeyLoad* key;
+  };
+
+  std::vector<Entry> farray;
+  farray.reserve(in.keys.size());
+  for (const auto& k : in.keys) {
+    const double f = migration_benefit(in.src, in.dst, k);
+    farray.push_back({f, migration_key_factor(in.src, in.dst, k), &k});
+  }
+
+  // Sort by migration key factor, descending (Alg. 1 line 10). Ties are
+  // broken by key id so the selection is deterministic.
+  std::sort(farray.begin(), farray.end(), [](const Entry& a, const Entry& b) {
+    if (a.factor != b.factor) return a.factor > b.factor;
+    return a.key->key < b.key->key;
+  });
+
+  KeySelectionResult out;
+  double gap = in.src.load() - in.dst.load();  // Alg. 1 line 5
+  for (const auto& e : farray) {
+    // Alg. 1 line 12: admit while the gap still exceeds the benefit
+    // (keeps Delta L > 0, Eq. 9) and the benefit is worth the disruption.
+    if (gap > e.benefit && e.benefit >= in.theta_gap) {
+      gap -= e.benefit;
+      out.selection.push_back(*e.key);
+    }
+  }
+
+  finalize_result(in, out);
+  return out;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,20 @@
+// GreedyFit (paper Algorithm 1): the O(K log K) key-selection algorithm.
+//
+// Keys are ranked by migration key factor F_k / |R_ik| (benefit per tuple
+// moved) and admitted while the remaining gap L_i - L_j still exceeds the
+// key's benefit and the benefit clears theta_gap.
+//
+// Correctness note: F_k is computed once from the *initial* aggregates
+// and never refreshed as keys are admitted. This is exact, not an
+// approximation — expanding Eq. 9 shows the cross terms cancel, so
+// Delta L = (L_i - L_j) - sum F_k holds for any selection with the
+// initial-aggregate F_k values.
+#pragma once
+
+#include "core/key_selection.hpp"
+
+namespace fastjoin {
+
+KeySelectionResult greedy_fit(const KeySelectionInput& in);
+
+}  // namespace fastjoin

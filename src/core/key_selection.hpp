@@ -1,0 +1,33 @@
+// Shared types for the key-selection algorithms (GreedyFit, SAFit, and
+// the optimal reference solvers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/load_model.hpp"
+
+namespace fastjoin {
+
+/// Input to a key-selection run: the aggregates of the heaviest (source)
+/// and lightest (target) instances, and the source's per-key statistics.
+struct KeySelectionInput {
+  InstanceLoad src;            ///< heaviest instance (I_{R-i})
+  InstanceLoad dst;            ///< lightest instance (I_{R-j})
+  std::vector<KeyLoad> keys;   ///< per-key stats on the source
+  double theta_gap = 0.0;      ///< Alg. 1's theta_gap: min useful benefit
+};
+
+/// Result of a key-selection run.
+struct KeySelectionResult {
+  std::vector<KeyLoad> selection;  ///< keys to migrate, with their stats
+  double total_benefit = 0.0;      ///< sum of F_k over the selection
+  std::uint64_t tuples_moved = 0;  ///< sum of |R_ik| (transfer cost)
+  double predicted_src_load = 0.0; ///< L'_i (Eq. 5 applied to the set)
+  double predicted_dst_load = 0.0; ///< L'_j (Eq. 6 applied to the set)
+};
+
+/// Fill in the derived fields of a result from its selection.
+void finalize_result(const KeySelectionInput& in, KeySelectionResult& out);
+
+}  // namespace fastjoin

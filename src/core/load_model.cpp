@@ -1,0 +1,77 @@
+#include "core/load_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace fastjoin {
+
+double load_imbalance(std::span<const InstanceLoad> loads,
+                      double floor_eps) {
+  if (loads.empty()) return 1.0;
+  double heaviest = 0.0;
+  double lightest = std::numeric_limits<double>::infinity();
+  for (const auto& l : loads) {
+    heaviest = std::max(heaviest, l.load());
+    lightest = std::min(lightest, l.load());
+  }
+  lightest = std::max(lightest, floor_eps);
+  return std::max(1.0, heaviest / lightest);
+}
+
+double load_after_removal(const InstanceLoad& src, const KeyLoad& k) {
+  assert(k.stored <= src.stored && k.queued <= src.queued);
+  return static_cast<double>(src.stored - k.stored) *
+         static_cast<double>(src.queued - k.queued);
+}
+
+double load_after_insertion(const InstanceLoad& dst, const KeyLoad& k) {
+  return static_cast<double>(dst.stored + k.stored) *
+         static_cast<double>(dst.queued + k.queued);
+}
+
+double migration_benefit(const InstanceLoad& src, const InstanceLoad& dst,
+                         const KeyLoad& k) {
+  return static_cast<double>(src.stored + dst.stored) *
+             static_cast<double>(k.queued) +
+         static_cast<double>(src.queued + dst.queued) *
+             static_cast<double>(k.stored);
+}
+
+double migration_key_factor(const InstanceLoad& src, const InstanceLoad& dst,
+                            const KeyLoad& k) {
+  const double f = migration_benefit(src, dst, k);
+  if (k.stored == 0) {
+    return f > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return f / static_cast<double>(k.stored);
+}
+
+double delta_after_migration(const InstanceLoad& src,
+                             const InstanceLoad& dst,
+                             std::span<const KeyLoad> selection) {
+  std::uint64_t moved_stored = 0;
+  std::uint64_t moved_queued = 0;
+  for (const auto& k : selection) {
+    moved_stored += k.stored;
+    moved_queued += k.queued;
+  }
+  const double li = static_cast<double>(src.stored - moved_stored) *
+                    static_cast<double>(src.queued - moved_queued);
+  const double lj = static_cast<double>(dst.stored + moved_stored) *
+                    static_cast<double>(dst.queued + moved_queued);
+  return li - lj;
+}
+
+void apply_migration(InstanceLoad& src, InstanceLoad& dst,
+                     std::span<const KeyLoad> selection) {
+  for (const auto& k : selection) {
+    assert(k.stored <= src.stored && k.queued <= src.queued);
+    src.stored -= k.stored;
+    src.queued -= k.queued;
+    dst.stored += k.stored;
+    dst.queued += k.queued;
+  }
+}
+
+}  // namespace fastjoin

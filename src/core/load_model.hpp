@@ -1,0 +1,77 @@
+// The paper's load-quantification model (Section III-B).
+//
+// For a join instance I_{R-i} storing tuples of stream R and probing with
+// tuples of stream S:
+//   Eq. 1:  L_i  = |R_i| * phi_si
+//   Eq. 2:  LI   = L_heaviest / L_lightest
+//   Eq. 5/6: post-migration loads when all tuples of one key move i -> j
+//   Eq. 8:  migration benefit F_k
+//   Eq. 9:  Delta L after migrating a key set (telescopes exactly because
+//           F_k is linear in the aggregates — see note on greedy_fit()).
+//
+// The model is symmetric in R and S, so one set of types serves both
+// sides of the join biclique.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastjoin {
+
+/// Per-key statistics on one instance: |R_ik| stored tuples of the
+/// storing stream and phi_sik pending/incoming tuples of the probing
+/// stream for key k.
+struct KeyLoad {
+  KeyId key = 0;
+  std::uint64_t stored = 0;  ///< |R_ik|
+  std::uint64_t queued = 0;  ///< phi_sik
+};
+
+/// Aggregate statistics of one instance: |R_i| and phi_si.
+struct InstanceLoad {
+  std::uint64_t stored = 0;  ///< |R_i| = sum_k |R_ik|   (Eq. 3)
+  std::uint64_t queued = 0;  ///< phi_si = sum_k phi_sik (Eq. 4)
+
+  /// Eq. 1. Double-valued: products overflow u64 at realistic scales.
+  double load() const {
+    return static_cast<double>(stored) * static_cast<double>(queued);
+  }
+};
+
+/// Eq. 2 over a cluster snapshot. Zero loads are floored at `floor_eps`
+/// so an idle instance gives a large-but-finite ratio. Returns 1 for
+/// empty input.
+double load_imbalance(std::span<const InstanceLoad> loads,
+                      double floor_eps = 1.0);
+
+/// Eq. 5: load of the source instance after migrating key k away.
+double load_after_removal(const InstanceLoad& src, const KeyLoad& k);
+
+/// Eq. 6: load of the target instance after receiving key k.
+double load_after_insertion(const InstanceLoad& dst, const KeyLoad& k);
+
+/// Eq. 8: F_k = (|R_i|+|R_j|) * phi_sik + (phi_si+phi_sj) * |R_ik|.
+/// The reduction in (L_i - L_j) achieved by moving key k from i to j.
+double migration_benefit(const InstanceLoad& src, const InstanceLoad& dst,
+                         const KeyLoad& k);
+
+/// Definition 2: migration key factor F_k / |R_ik|, the benefit per tuple
+/// moved. Keys with zero stored tuples get +inf (free wins: they cost no
+/// transfer but reduce future probe load).
+double migration_key_factor(const InstanceLoad& src, const InstanceLoad& dst,
+                            const KeyLoad& k);
+
+/// Eq. 9 evaluated directly: Delta L = L'_i - L'_j after migrating every
+/// key in `selection` from src to dst.
+double delta_after_migration(const InstanceLoad& src,
+                             const InstanceLoad& dst,
+                             std::span<const KeyLoad> selection);
+
+/// Apply a migration to the aggregate pair (src loses, dst gains).
+void apply_migration(InstanceLoad& src, InstanceLoad& dst,
+                     std::span<const KeyLoad> selection);
+
+}  // namespace fastjoin

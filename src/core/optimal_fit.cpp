@@ -1,0 +1,139 @@
+#include "core/optimal_fit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fastjoin {
+
+namespace {
+
+struct Item {
+  double benefit;
+  std::uint64_t stored;
+  std::size_t index;
+};
+
+std::vector<Item> usable_items(const KeySelectionInput& in, double gap) {
+  std::vector<Item> items;
+  items.reserve(in.keys.size());
+  for (std::size_t i = 0; i < in.keys.size(); ++i) {
+    const double f = migration_benefit(in.src, in.dst, in.keys[i]);
+    if (f > 0.0 && f < gap && f >= in.theta_gap) {
+      items.push_back({f, in.keys[i].stored, i});
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+KeySelectionResult optimal_fit_bruteforce(const KeySelectionInput& in) {
+  if (in.keys.size() > 24) {
+    throw std::invalid_argument(
+        "optimal_fit_bruteforce: too many keys (max 24)");
+  }
+  KeySelectionResult out;
+  const double gap = in.src.load() - in.dst.load();
+  if (gap <= 0.0) {
+    finalize_result(in, out);
+    return out;
+  }
+  const auto items = usable_items(in, gap);
+  const std::size_t n = items.size();
+
+  double best_benefit = 0.0;
+  std::uint64_t best_stored = 0;
+  std::uint64_t best_mask = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double f = 0.0;
+    std::uint64_t stored = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::uint64_t{1} << i)) {
+        f += items[i].benefit;
+        stored += items[i].stored;
+      }
+    }
+    if (f >= gap) continue;  // strict: keep Delta L > 0
+    if (f > best_benefit ||
+        (f == best_benefit && stored < best_stored)) {
+      best_benefit = f;
+      best_stored = stored;
+      best_mask = mask;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (std::uint64_t{1} << i)) {
+      out.selection.push_back(in.keys[items[i].index]);
+    }
+  }
+  finalize_result(in, out);
+  return out;
+}
+
+KeySelectionResult optimal_fit_dp(const KeySelectionInput& in,
+                                  std::size_t resolution) {
+  KeySelectionResult out;
+  const double gap = in.src.load() - in.dst.load();
+  if (gap <= 0.0 || resolution == 0) {
+    finalize_result(in, out);
+    return out;
+  }
+  const auto items = usable_items(in, gap);
+  const std::size_t n = items.size();
+  if (n == 0) {
+    finalize_result(in, out);
+    return out;
+  }
+
+  // Quantize benefits with ceiling so that a scaled-feasible subset is
+  // always truly feasible (sum w <= resolution  =>  sum F <= gap).
+  std::vector<std::size_t> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = static_cast<std::size_t>(
+        std::ceil(items[i].benefit / gap * static_cast<double>(resolution)));
+    weight[i] = std::max<std::size_t>(weight[i], 1);
+  }
+
+  struct CellValue {
+    double benefit = 0.0;
+    std::uint64_t stored = 0;
+  };
+  // dp[c]: best (max benefit, min stored) using capacity exactly <= c.
+  std::vector<CellValue> dp(resolution + 1);
+  // take[i][c] marks whether item i is taken in the optimum for cap c.
+  std::vector<std::vector<char>> take(n,
+                                      std::vector<char>(resolution + 1, 0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = resolution; c >= weight[i]; --c) {
+      const CellValue& without = dp[c];
+      const CellValue& base = dp[c - weight[i]];
+      const double cand_benefit = base.benefit + items[i].benefit;
+      const std::uint64_t cand_stored = base.stored + items[i].stored;
+      if (cand_benefit > without.benefit ||
+          (cand_benefit == without.benefit &&
+           cand_stored < without.stored)) {
+        dp[c] = {cand_benefit, cand_stored};
+        take[i][c] = 1;
+      }
+      if (c == weight[i]) break;  // unsigned loop guard
+    }
+  }
+
+  // Reconstruct.
+  std::size_t c = resolution;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      out.selection.push_back(in.keys[items[i].index]);
+      c -= weight[i];
+    }
+  }
+  std::reverse(out.selection.begin(), out.selection.end());
+  finalize_result(in, out);
+  return out;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,28 @@
+// Reference (optimal) key-selection solvers.
+//
+// The paper argues (Section IV-A) that the key-selection problem is a
+// 0-1 knapsack and that exact methods (DP, branch-and-bound) are too
+// slow for the data path. We implement them anyway, as *test oracles*:
+// they quantify GreedyFit's approximation gap, which the paper only
+// discusses qualitatively.
+//
+// Objective (matching GreedyFit's): maximize sum of F_k subject to the
+// feasibility bound sum F_k <= L_i - L_j (keep Delta L >= 0, Eq. 9);
+// among maximum-benefit solutions prefer fewer migrated tuples.
+#pragma once
+
+#include "core/key_selection.hpp"
+
+namespace fastjoin {
+
+/// Exhaustive 2^K search. Only valid for small inputs (K <= 24).
+KeySelectionResult optimal_fit_bruteforce(const KeySelectionInput& in);
+
+/// Dynamic-programming knapsack with benefit scaling: benefits are
+/// quantized into `resolution` buckets of the gap, giving a
+/// (1 - K/resolution)-approximation in O(K * resolution) time/space.
+/// With resolution >> K this is near-exact and still fast.
+KeySelectionResult optimal_fit_dp(const KeySelectionInput& in,
+                                  std::size_t resolution = 10'000);
+
+}  // namespace fastjoin

@@ -1,0 +1,70 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+namespace fastjoin {
+
+std::optional<MigrationPair> pick_migration_pair(
+    std::span<const InstanceLoad> loads, const PlannerConfig& cfg) {
+  if (loads.size() < 2) return std::nullopt;
+
+  std::size_t heaviest = 0;
+  std::size_t lightest = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i].load() > loads[heaviest].load()) heaviest = i;
+    if (loads[i].load() < loads[lightest].load()) lightest = i;
+  }
+  const double denom =
+      std::max(loads[lightest].load(), cfg.floor_eps);
+  const double li = std::max(1.0, loads[heaviest].load() / denom);
+  if (li <= cfg.theta || heaviest == lightest) return std::nullopt;
+
+  MigrationPair pair;
+  pair.src = static_cast<InstanceId>(heaviest);
+  pair.dst = static_cast<InstanceId>(lightest);
+  pair.li = li;
+  return pair;
+}
+
+std::vector<MigrationPair> pick_migration_pairs(
+    std::span<const InstanceLoad> loads, const PlannerConfig& cfg,
+    std::size_t max_pairs) {
+  std::vector<MigrationPair> out;
+  if (loads.size() < 2 || max_pairs == 0) return out;
+
+  std::vector<std::size_t> order(loads.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return loads[a].load() > loads[b].load();
+  });
+
+  const std::size_t limit = std::min(max_pairs, loads.size() / 2);
+  for (std::size_t p = 0; p < limit; ++p) {
+    const std::size_t heavy = order[p];
+    const std::size_t light = order[order.size() - 1 - p];
+    const double denom = std::max(loads[light].load(), cfg.floor_eps);
+    const double li = std::max(1.0, loads[heavy].load() / denom);
+    if (li <= cfg.theta) break;  // sorted: later pairs are milder
+    MigrationPair pair;
+    pair.src = static_cast<InstanceId>(heavy);
+    pair.dst = static_cast<InstanceId>(light);
+    pair.li = li;
+    out.push_back(pair);
+  }
+  return out;
+}
+
+KeySelectionResult select_keys(const KeySelectionInput& in,
+                               const PlannerConfig& cfg) {
+  switch (cfg.selector) {
+    case KeySelectorKind::kSAFit:
+      return sa_fit(in, cfg.sa);
+    case KeySelectorKind::kRandomFit:
+      return random_fit(in, cfg.random);
+    case KeySelectorKind::kGreedyFit:
+    default:
+      return greedy_fit(in);
+  }
+}
+
+}  // namespace fastjoin

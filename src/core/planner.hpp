@@ -1,0 +1,59 @@
+// Migration planning: the monitor-side decision logic.
+//
+// The monitor keeps only aggregate loads (the load information table);
+// when LI exceeds theta it pairs the heaviest instance with the lightest
+// (paper Section III-A/B) and asks the source to run key selection over
+// its local per-key statistics. This module captures both halves as pure
+// functions so the simulator, the live runtime and the tests share them.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/greedy_fit.hpp"
+#include "core/random_fit.hpp"
+#include "core/sa_fit.hpp"
+
+namespace fastjoin {
+
+/// Which key-selection algorithm the planner runs.
+enum class KeySelectorKind : std::uint8_t { kGreedyFit, kSAFit, kRandomFit };
+
+struct PlannerConfig {
+  double theta = 2.2;        ///< LI threshold Theta (paper default)
+  double theta_gap = 0.0;    ///< GreedyFit's minimum-useful-benefit
+  double floor_eps = 1.0;    ///< zero-load floor for the LI denominator
+  KeySelectorKind selector = KeySelectorKind::kGreedyFit;
+  SAFitParams sa;            ///< used when selector == kSAFit
+  RandomFitParams random;    ///< used when selector == kRandomFit
+};
+
+/// The (source, target) pair the monitor chose, with the LI that
+/// triggered it.
+struct MigrationPair {
+  InstanceId src = 0;  ///< heaviest instance
+  InstanceId dst = 0;  ///< lightest instance
+  double li = 1.0;
+};
+
+/// Monitor half: inspect aggregate loads; if LI > theta return the
+/// heaviest/lightest pair. Index into `loads` is the instance id.
+/// Returns nullopt when balanced (LI <= theta) or fewer than 2 instances.
+std::optional<MigrationPair> pick_migration_pair(
+    std::span<const InstanceLoad> loads, const PlannerConfig& cfg);
+
+/// Multi-pair extension: up to `max_pairs` disjoint (source, target)
+/// pairs — heaviest with lightest, second heaviest with second
+/// lightest, ... — keeping only pairs whose own ratio still exceeds
+/// theta. The paper's monitor "determines which join instances should
+/// offload/upload tuples to/from which join instances" (plural); with
+/// max_pairs = 1 this degenerates to pick_migration_pair.
+std::vector<MigrationPair> pick_migration_pairs(
+    std::span<const InstanceLoad> loads, const PlannerConfig& cfg,
+    std::size_t max_pairs);
+
+/// Instance half: run the configured key-selection algorithm.
+KeySelectionResult select_keys(const KeySelectionInput& in,
+                               const PlannerConfig& cfg);
+
+}  // namespace fastjoin

@@ -1,0 +1,49 @@
+#include "core/random_fit.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+
+KeySelectionResult random_fit(const KeySelectionInput& in,
+                              const RandomFitParams& params) {
+  KeySelectionResult out;
+  const double gap = in.src.load() - in.dst.load();
+  if (gap <= 0.0 || in.keys.empty()) {
+    finalize_result(in, out);
+    return out;
+  }
+
+  // Shuffle key indices, then admit in that arbitrary order while the
+  // selection stays feasible (Delta L > 0, Eq. 9).
+  std::vector<std::size_t> order(in.keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256 rng(params.seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  const auto budget = static_cast<std::size_t>(
+      params.max_fraction * static_cast<double>(in.keys.size()));
+  double remaining = gap;
+  for (std::size_t idx : order) {
+    if (out.selection.size() >= budget) break;
+    const KeyLoad& k = in.keys[idx];
+    if (params.naive) {
+      out.selection.push_back(k);
+      continue;
+    }
+    const double f = migration_benefit(in.src, in.dst, k);
+    if (f > 0.0 && f < remaining && f >= in.theta_gap) {
+      remaining -= f;
+      out.selection.push_back(k);
+    }
+  }
+  finalize_result(in, out);
+  return out;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,30 @@
+// RandomFit: the strawman key selector the paper argues against.
+//
+// Section III-B observes that migrating randomly chosen keys can add
+// more load to the target than it removes from the source (the
+// asymmetry of Eqs. 5/6). RandomFit picks keys uniformly at random
+// while the feasibility bound (Eq. 9) still holds; it exists as an
+// ablation baseline to quantify how much GreedyFit's ordering matters.
+#pragma once
+
+#include <cstdint>
+
+#include "core/key_selection.hpp"
+
+namespace fastjoin {
+
+struct RandomFitParams {
+  std::uint64_t seed = 17;
+  /// Stop after admitting this fraction of keys (caps migration size).
+  double max_fraction = 0.5;
+  /// true = the paper's actual strawman: admit sampled keys without
+  /// consulting the benefit model at all, so the selection can make the
+  /// target heavier than the source (violating Eq. 9). false = random
+  /// order but each admission still respects the feasibility bound.
+  bool naive = false;
+};
+
+KeySelectionResult random_fit(const KeySelectionInput& in,
+                              const RandomFitParams& params = {});
+
+}  // namespace fastjoin

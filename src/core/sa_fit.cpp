@@ -1,0 +1,101 @@
+#include "core/sa_fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+
+namespace {
+
+double value_of(double sum_benefit, std::uint64_t sum_stored) {
+  // Eq. 10. The empty set (and all-broadcast-key sets with zero stored
+  // tuples) is treated as value 0 / +inf respectively; selections of
+  // only zero-stored keys are free wins so rank them highest.
+  if (sum_benefit <= 0.0) return 0.0;
+  if (sum_stored == 0) return std::numeric_limits<double>::infinity();
+  return sum_benefit / static_cast<double>(sum_stored);
+}
+
+}  // namespace
+
+KeySelectionResult sa_fit(const KeySelectionInput& in,
+                          const SAFitParams& params) {
+  const std::size_t n = in.keys.size();
+  KeySelectionResult out;
+  if (n == 0) {
+    finalize_result(in, out);
+    return out;
+  }
+
+  const double gap = in.src.load() - in.dst.load();
+  Xoshiro256 rng(params.seed);
+
+  // Precompute each key's benefit; exact for any subset (see greedy_fit
+  // header note on the telescoping of Eq. 9).
+  std::vector<double> benefit(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    benefit[i] = migration_benefit(in.src, in.dst, in.keys[i]);
+  }
+
+  // --- Initial solution: random flags, rolled back to feasibility
+  //     (Alg. 3 lines 3-14).
+  std::vector<char> flags(n, 0);
+  double cur_benefit = 0.0;
+  std::uint64_t cur_stored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_below(2) == 1) {
+      if (cur_benefit + benefit[i] > gap) break;  // would be infeasible
+      flags[i] = 1;
+      cur_benefit += benefit[i];
+      cur_stored += in.keys[i].stored;
+    }
+  }
+
+  std::vector<char> best_flags = flags;
+  double best_value = value_of(cur_benefit, cur_stored);
+
+  // --- Annealing loop (Alg. 3 lines 17-40).
+  double temp = params.initial_temp;
+  while (temp > params.min_temp) {
+    for (int it = 0; it < params.iters_per_temp; ++it) {
+      const std::size_t i = rng.next_below(n);
+      const double sign = flags[i] ? -1.0 : 1.0;
+      const double new_benefit = cur_benefit + sign * benefit[i];
+      const std::uint64_t new_stored =
+          flags[i] ? cur_stored - in.keys[i].stored
+                   : cur_stored + in.keys[i].stored;
+
+      if (new_benefit > gap) continue;  // infeasible: revert (no-op)
+
+      const double v_old = value_of(cur_benefit, cur_stored);
+      const double v_new = value_of(new_benefit, new_stored);
+
+      bool accept = v_new > v_old;
+      if (!accept) {
+        // Metropolis acceptance (Eq. 11); guard the exp underflow.
+        const double p = std::exp((v_new - v_old) / temp);
+        accept = rng.next_double() < p;
+      }
+      if (!accept) continue;
+
+      flags[i] ^= 1;
+      cur_benefit = new_benefit;
+      cur_stored = new_stored;
+      if (v_new > best_value) {
+        best_value = v_new;
+        best_flags = flags;
+      }
+    }
+    temp *= params.cooling;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_flags[i]) out.selection.push_back(in.keys[i]);
+  }
+  finalize_result(in, out);
+  return out;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,29 @@
+// SAFit (paper Algorithm 3): simulated-annealing key selection.
+//
+// Explores subsets by flipping one key's membership per step, accepting
+// improvements in Value(SK) = sum F_k / sum |R_ik| (Eq. 10) always and
+// regressions with Metropolis probability exp((V_new - V_old)/T)
+// (Eq. 11). Only subsets satisfying Benefit(SK) <= L_i - L_j (Eq. 9's
+// feasibility bound) are considered. The paper's Fig. 14 shows SAFit and
+// GreedyFit end up nearly equivalent; this implementation exists to
+// reproduce that comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "core/key_selection.hpp"
+
+namespace fastjoin {
+
+struct SAFitParams {
+  double initial_temp = 1.0;    ///< T
+  double min_temp = 1e-3;       ///< T_min
+  double cooling = 0.9;         ///< attenuation coefficient a
+  int iters_per_temp = 50;      ///< L
+  std::uint64_t seed = 7;       ///< annealing RNG seed
+};
+
+KeySelectionResult sa_fit(const KeySelectionInput& in,
+                          const SAFitParams& params = {});
+
+}  // namespace fastjoin

@@ -1,0 +1,18 @@
+#include "core/sgr.hpp"
+
+namespace fastjoin {
+
+double scaling_gain_ratio(std::uint64_t tuples, std::uint64_t keys,
+                          const SgrParams& p) {
+  const double num = p.tuple_bytes * static_cast<double>(tuples);
+  const double den = num + p.stat_bytes * static_cast<double>(keys);
+  return den > 0.0 ? num / den : 1.0;
+}
+
+double scaling_gain_ratio_c(double c, const SgrParams& p) {
+  const double num = p.tuple_bytes * c;
+  const double den = num + p.stat_bytes;
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,23 @@
+// Scaling Gain Ratio analysis (paper Section IV-C, Eqs. 12-13).
+//
+// SGR measures what fraction of newly added memory is available for
+// storing tuples once FastJoin's per-key statistics are accounted for.
+#pragma once
+
+#include <cstdint>
+
+namespace fastjoin {
+
+struct SgrParams {
+  double tuple_bytes = 48.0;  ///< chi_t: size of one stored tuple
+  double stat_bytes = 24.0;   ///< chi_k: size of one key-statistics item
+};
+
+/// Eq. 12: SGR = chi_t*|R| / (chi_t*|R| + chi_k*K).
+double scaling_gain_ratio(std::uint64_t tuples, std::uint64_t keys,
+                          const SgrParams& p = {});
+
+/// Eq. 13: the same expressed through c = |R| / K, the mean tuples/key.
+double scaling_gain_ratio_c(double c, const SgrParams& p = {});
+
+}  // namespace fastjoin

@@ -1,0 +1,63 @@
+#include "datagen/adclick.hpp"
+
+#include <cmath>
+
+namespace fastjoin {
+
+namespace {
+KeyStreamSpec campaign_spec(const AdClickConfig& cfg) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kZipf;
+  spec.num_keys = cfg.num_campaigns;
+  spec.zipf_s = cfg.campaign_zipf;
+  spec.seed = cfg.seed;
+  spec.scramble = cfg.seed ^ 0xad5ee12fULL;
+  return spec;
+}
+}  // namespace
+
+AdClickGenerator::AdClickGenerator(const AdClickConfig& cfg)
+    : cfg_(cfg), keys_(campaign_spec(cfg)), rng_(cfg.seed ^ 0xc11cc5ULL) {}
+
+std::optional<Record> AdClickGenerator::next() {
+  if (emitted_ >= cfg_.total_records) return std::nullopt;
+  ++emitted_;
+
+  // Emit whichever is earlier: the next query, or the next due click.
+  if (!pending_.empty() && pending_.front().ts <= query_next_) {
+    const PendingClick c = pending_.front();
+    pending_.pop_front();
+    Record rec;
+    rec.side = Side::kS;
+    rec.key = c.key;
+    rec.seq = c_seq_++;
+    rec.payload = c.query_seq;
+    rec.ts = c.ts;
+    return rec;
+  }
+
+  Record rec;
+  rec.side = Side::kR;
+  rec.key = keys_();
+  rec.seq = q_seq_++;
+  rec.payload = rec.seq;
+  rec.ts = query_next_;
+
+  // Maybe schedule the click echo for this query.
+  if (rng_.next_double() < cfg_.click_through) {
+    const double u = rng_.next_double();
+    const auto delay = static_cast<SimTime>(
+        -static_cast<double>(cfg_.click_delay) * std::log(1.0 - u));
+    PendingClick c{rec.key, rec.seq, rec.ts + delay + 1};
+    // Insert keeping the deque time-ordered; delays are exponential so
+    // most insertions are near the back.
+    auto it = pending_.end();
+    while (it != pending_.begin() && (it - 1)->ts > c.ts) --it;
+    pending_.insert(it, c);
+  }
+
+  query_next_ += static_cast<SimTime>(1e9 / cfg_.query_rate);
+  return rec;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,54 @@
+// Photon-style advertisement analytics workload: join a search-query
+// stream with an ad-click stream on the advertisement (campaign) id.
+//
+// Campaign popularity is heavy-tailed — a few large advertisers dominate
+// impressions — which is exactly the skew FastJoin targets. Clicks are a
+// thinned, delayed echo of queries (click-through), so stream S lags R.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "datagen/trace.hpp"
+
+namespace fastjoin {
+
+struct AdClickConfig {
+  std::uint64_t num_campaigns = 100'000;  ///< ad-id key universe
+  double campaign_zipf = 1.1;             ///< impression skew
+  double query_rate = 150'000.0;          ///< queries/sec (stream R)
+  double click_through = 0.2;             ///< P(click | query)
+  SimTime click_delay = 500 * kNanosPerMilli;  ///< mean query->click lag
+  std::uint64_t total_records = 2'000'000;
+  std::uint64_t seed = 99;
+};
+
+/// Stream R = queries (ad impressions), stream S = clicks. A click
+/// record carries the seq of the query that caused it in its payload.
+class AdClickGenerator final : public RecordSource {
+ public:
+  explicit AdClickGenerator(const AdClickConfig& cfg);
+
+  std::optional<Record> next() override;
+
+  const AdClickConfig& config() const { return cfg_; }
+
+ private:
+  struct PendingClick {
+    KeyId key;
+    std::uint64_t query_seq;
+    SimTime ts;
+  };
+
+  AdClickConfig cfg_;
+  KeyGenerator keys_;
+  Xoshiro256 rng_;
+  std::deque<PendingClick> pending_;  // time-ordered future clicks
+  SimTime query_next_ = 0;
+  std::uint64_t q_seq_ = 0;
+  std::uint64_t c_seq_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace fastjoin

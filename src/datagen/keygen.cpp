@@ -1,0 +1,32 @@
+#include "datagen/keygen.hpp"
+
+namespace fastjoin {
+
+KeyGenerator::KeyGenerator(const KeyStreamSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  if (spec_.dist == KeyDist::kZipf && spec_.zipf_s > 0.0) {
+    zipf_ = std::make_unique<ZipfDistribution>(spec_.num_keys, spec_.zipf_s);
+  }
+}
+
+KeyId KeyGenerator::key_for_rank(std::uint64_t rank) const {
+  // Optional popularity rotation within the shared universe.
+  rank = (rank - 1 + spec_.rank_offset) % spec_.num_keys + 1;
+  // Bijective scramble of the rank within the 64-bit space; the key
+  // universe is the image of {1..num_keys}. mix64 is invertible so
+  // distinct ranks always map to distinct keys. The salt is mixed first
+  // so that nearby salts produce (practically) disjoint universes.
+  return mix64(rank ^ mix64(spec_.scramble));
+}
+
+KeyId KeyGenerator::operator()() {
+  std::uint64_t rank;
+  if (zipf_) {
+    rank = (*zipf_)(rng_);
+  } else {
+    rank = 1 + rng_.next_below(spec_.num_keys);
+  }
+  return key_for_rank(rank);
+}
+
+}  // namespace fastjoin

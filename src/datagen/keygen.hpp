@@ -1,0 +1,59 @@
+// Key-stream generators: map a frequency distribution over ranks to a
+// stream of KeyIds.
+//
+// Ranks are scrambled through a bijective mixer so that the hottest keys
+// are not numerically adjacent — otherwise hash partitioning could get
+// accidentally lucky (or unlucky) in a way real attribute values never are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "datagen/zipf.hpp"
+
+namespace fastjoin {
+
+/// Distribution family for a key stream.
+enum class KeyDist : std::uint8_t { kUniform, kZipf };
+
+/// Declarative spec for one stream's key distribution.
+struct KeyStreamSpec {
+  KeyDist dist = KeyDist::kZipf;
+  std::uint64_t num_keys = 1'000'000;  ///< size of the key universe
+  double zipf_s = 1.0;                 ///< exponent (ignored for uniform)
+  std::uint64_t seed = 42;             ///< RNG seed for this stream
+  std::uint64_t scramble = 0x5bd1e995; ///< rank -> key scrambling salt
+  /// Rotates this stream's popularity ranking within the shared key
+  /// universe: rank r maps to the key of rank (r + offset) mod N. Two
+  /// streams with the same scramble but different offsets join on the
+  /// same keys while having (partially) different hot keys — e.g. the
+  /// hottest pickup locations are not the busiest through-traffic cells.
+  std::uint64_t rank_offset = 0;
+};
+
+/// Draws KeyIds according to a KeyStreamSpec.  Two generators built from
+/// specs with equal (num_keys, scramble) produce the *same* key universe,
+/// so R and S streams join on common keys even with different skews —
+/// exactly how the paper's Gxy synthetic groups are constructed.
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(const KeyStreamSpec& spec);
+
+  /// Next key id.
+  KeyId operator()();
+
+  /// The key id corresponding to popularity rank r (1 = hottest).
+  KeyId key_for_rank(std::uint64_t rank) const;
+
+  const KeyStreamSpec& spec() const { return spec_; }
+
+ private:
+  KeyStreamSpec spec_;
+  Xoshiro256 rng_;
+  std::unique_ptr<ZipfDistribution> zipf_;  // null for uniform
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,31 @@
+// The wire-level record exchanged between generators, spouts and the
+// join engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fastjoin {
+
+/// Which of the two joining streams a record belongs to (paper: R and S).
+enum class Side : std::uint8_t { kR = 0, kS = 1 };
+
+constexpr Side other_side(Side s) {
+  return s == Side::kR ? Side::kS : Side::kR;
+}
+
+constexpr const char* side_name(Side s) { return s == Side::kR ? "R" : "S"; }
+
+/// One stream tuple. `seq` is a stream-unique sequence number (used by
+/// the completeness tests to identify join pairs); `payload` carries
+/// application data (order id, taxi id, price, ...).
+struct Record {
+  KeyId key = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload = 0;
+  SimTime ts = 0;
+  Side side = Side::kR;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,62 @@
+#include "datagen/ride_hailing.hpp"
+
+namespace fastjoin {
+
+namespace {
+
+KeyStreamSpec order_spec(const RideHailingConfig& cfg, double s) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kZipf;
+  spec.num_keys = cfg.num_locations;
+  spec.zipf_s = s;
+  spec.seed = cfg.seed * 2 + 1;
+  // Same scramble for both streams => same location-key universe.
+  spec.scramble = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+  return spec;
+}
+
+KeyStreamSpec track_spec(const RideHailingConfig& cfg, double s) {
+  KeyStreamSpec spec = order_spec(cfg, s);
+  spec.zipf_s = s;
+  spec.seed = cfg.seed * 2 + 2;
+  spec.rank_offset = static_cast<std::uint64_t>(
+      cfg.popularity_rotation * static_cast<double>(cfg.num_locations));
+  return spec;
+}
+
+TraceConfig trace_config(const RideHailingConfig& cfg) {
+  TraceConfig tc;
+  tc.r_rate = cfg.order_rate;
+  tc.s_rate = cfg.track_rate;
+  tc.total_records = cfg.total_records;
+  tc.arrivals = cfg.arrivals;
+  tc.seed = cfg.seed;
+  return tc;
+}
+
+}  // namespace
+
+RideHailingGenerator::RideHailingGenerator(const RideHailingConfig& cfg)
+    : cfg_(cfg),
+      order_s_(ZipfDistribution::fit_exponent(
+          cfg.num_locations, cfg.order_top_frac, cfg.top_mass)),
+      track_s_(ZipfDistribution::fit_exponent(
+          cfg.num_locations, cfg.track_top_frac, cfg.top_mass)),
+      trace_(order_spec(cfg, order_s_), track_spec(cfg, track_s_),
+             trace_config(cfg)),
+      payload_rng_(cfg.seed ^ 0xabcdefULL) {}
+
+std::optional<Record> RideHailingGenerator::next() {
+  auto rec = trace_.next();
+  if (!rec) return std::nullopt;
+  if (rec->side == Side::kR) {
+    // Passenger order: payload = order id (the sequence number works).
+    rec->payload = rec->seq;
+  } else {
+    // Taxi track point: payload = taxi id.
+    rec->payload = payload_rng_.next_below(cfg_.num_taxis);
+  }
+  return rec;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,42 @@
+#include "datagen/stock.hpp"
+
+namespace fastjoin {
+
+namespace {
+KeyStreamSpec symbol_spec(const StockConfig& cfg, bool sell) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kZipf;
+  spec.num_keys = cfg.num_symbols;
+  spec.zipf_s = cfg.volume_zipf;
+  spec.seed = cfg.seed * 2 + (sell ? 1 : 0);
+  spec.scramble = cfg.seed ^ 0x570c4eefULL;
+  return spec;
+}
+
+TraceConfig trace_config(const StockConfig& cfg) {
+  TraceConfig tc;
+  tc.r_rate = cfg.buy_rate;
+  tc.s_rate = cfg.sell_rate;
+  tc.total_records = cfg.total_records;
+  tc.arrivals = cfg.arrivals;
+  tc.seed = cfg.seed;
+  return tc;
+}
+}  // namespace
+
+StockGenerator::StockGenerator(const StockConfig& cfg)
+    : cfg_(cfg),
+      trace_(symbol_spec(cfg, false), symbol_spec(cfg, true),
+             trace_config(cfg)),
+      rng_(cfg.seed ^ 0xfeedULL) {}
+
+std::optional<Record> StockGenerator::next() {
+  auto rec = trace_.next();
+  if (!rec) return std::nullopt;
+  const std::uint64_t price = 100 + rng_.next_below(99'900);  // cents
+  const std::uint64_t qty = 1 + rng_.next_below(1'000);
+  rec->payload = (price << 16) | qty;
+  return rec;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,48 @@
+// High-frequency-trading workload: join a buy-order stream with a
+// sell-order stream on the stock symbol. Trading volume per symbol is
+// strongly heavy-tailed (a handful of tickers dominate), giving another
+// realistic skewed-key scenario from the paper's introduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "datagen/trace.hpp"
+
+namespace fastjoin {
+
+struct StockConfig {
+  std::uint64_t num_symbols = 8'000;  ///< listed tickers
+  double volume_zipf = 1.3;           ///< per-symbol volume skew
+  double buy_rate = 120'000.0;        ///< buy orders/sec (stream R)
+  double sell_rate = 120'000.0;       ///< sell orders/sec (stream S)
+  std::uint64_t total_records = 2'000'000;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  std::uint64_t seed = 1987;
+};
+
+/// Stream R = buy orders, stream S = sell orders; key = symbol id;
+/// payload packs (price_cents << 16 | quantity).
+class StockGenerator final : public RecordSource {
+ public:
+  explicit StockGenerator(const StockConfig& cfg);
+
+  std::optional<Record> next() override;
+
+  const StockConfig& config() const { return cfg_; }
+
+  /// Decode helpers for the packed payload.
+  static std::uint32_t price_cents(std::uint64_t payload) {
+    return static_cast<std::uint32_t>(payload >> 16);
+  }
+  static std::uint16_t quantity(std::uint64_t payload) {
+    return static_cast<std::uint16_t>(payload & 0xffff);
+  }
+
+ private:
+  StockConfig cfg_;
+  TraceGenerator trace_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,50 @@
+#include "datagen/trace.hpp"
+
+#include <cmath>
+
+namespace fastjoin {
+
+TraceGenerator::TraceGenerator(const KeyStreamSpec& r_keys,
+                               const KeyStreamSpec& s_keys,
+                               const TraceConfig& cfg)
+    : cfg_(cfg),
+      r_gen_(r_keys),
+      s_gen_(s_keys),
+      arrival_rng_(cfg.seed),
+      r_next_(cfg.start),
+      s_next_(cfg.start) {}
+
+SimTime TraceGenerator::next_gap(double rate) {
+  if (rate <= 0.0) return kNanosPerSec;  // degenerate: 1 tuple/sec
+  const double mean_gap = 1e9 / rate;
+  if (cfg_.arrivals == ArrivalKind::kFixed) {
+    return static_cast<SimTime>(mean_gap);
+  }
+  // Exponential inter-arrival (Poisson process).
+  const double u = arrival_rng_.next_double();
+  return static_cast<SimTime>(-mean_gap * std::log(1.0 - u)) + 1;
+}
+
+std::optional<Record> TraceGenerator::next() {
+  if (emitted_ >= cfg_.total_records) return std::nullopt;
+  ++emitted_;
+
+  Record rec;
+  if (r_next_ <= s_next_) {
+    rec.side = Side::kR;
+    rec.key = r_gen_();
+    rec.seq = r_seq_++;
+    rec.ts = r_next_;
+    r_next_ += next_gap(cfg_.r_rate);
+  } else {
+    rec.side = Side::kS;
+    rec.key = s_gen_();
+    rec.seq = s_seq_++;
+    rec.ts = s_next_;
+    s_next_ += next_gap(cfg_.s_rate);
+  }
+  rec.payload = rec.seq;
+  return rec;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,157 @@
+#include <cstdio>
+#include "datagen/trace_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fastjoin {
+
+namespace {
+
+struct TraceHeader {
+  std::uint32_t magic = kTraceMagic;
+  std::uint32_t version = kTraceVersion;
+  std::uint64_t count = 0;
+};
+
+// On-disk record layout (packed manually to stay ABI-independent).
+struct WireRecord {
+  std::uint64_t key;
+  std::uint64_t seq;
+  std::uint64_t payload;
+  std::int64_t ts;
+  std::uint8_t side;
+  std::uint8_t pad[7];
+};
+static_assert(sizeof(WireRecord) == 40);
+
+WireRecord to_wire(const Record& r) {
+  WireRecord w{};
+  w.key = r.key;
+  w.seq = r.seq;
+  w.payload = r.payload;
+  w.ts = r.ts;
+  w.side = static_cast<std::uint8_t>(r.side);
+  return w;
+}
+
+Record from_wire(const WireRecord& w) {
+  Record r;
+  r.key = w.key;
+  r.seq = w.seq;
+  r.payload = w.payload;
+  r.ts = w.ts;
+  r.side = static_cast<Side>(w.side);
+  return r;
+}
+
+void write_all(std::ofstream& out, const void* data, std::size_t n,
+               const std::string& path) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+}  // namespace
+
+std::uint64_t write_trace_binary(const std::string& path,
+                                 RecordSource& source) {
+  std::vector<Record> records;
+  while (auto rec = source.next()) records.push_back(*rec);
+  return write_trace_binary(path, records);
+}
+
+std::uint64_t write_trace_binary(const std::string& path,
+                                 const std::vector<Record>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  TraceHeader hdr;
+  hdr.count = records.size();
+  write_all(out, &hdr, sizeof hdr, path);
+  for (const auto& rec : records) {
+    const WireRecord w = to_wire(rec);
+    write_all(out, &w, sizeof w, path);
+  }
+  return records.size();
+}
+
+std::uint64_t write_trace_csv(const std::string& path,
+                              const std::vector<Record>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "side,key,seq,payload,ts\n";
+  for (const auto& rec : records) {
+    out << side_name(rec.side) << ',' << rec.key << ',' << rec.seq << ','
+        << rec.payload << ',' << rec.ts << '\n';
+  }
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+  return records.size();
+}
+
+std::vector<Record> read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "side,key,seq,payload,ts") {
+    throw std::runtime_error("bad CSV trace header: " + path);
+  }
+  std::vector<Record> out;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Record rec;
+    char side_ch = 0;
+    unsigned long long key = 0, seq = 0, payload = 0;
+    long long ts = 0;
+    if (std::sscanf(line.c_str(), "%c,%llu,%llu,%llu,%lld", &side_ch,
+                    &key, &seq, &payload, &ts) != 5 ||
+        (side_ch != 'R' && side_ch != 'S')) {
+      throw std::runtime_error("malformed CSV trace row " +
+                               std::to_string(line_no) + " in " + path);
+    }
+    rec.side = side_ch == 'R' ? Side::kR : Side::kS;
+    rec.key = key;
+    rec.seq = seq;
+    rec.payload = payload;
+    rec.ts = ts;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<Record> read_trace_binary(const std::string& path) {
+  TraceFileSource src(path);
+  std::vector<Record> out;
+  out.reserve(src.total_records());
+  while (auto rec = src.next()) out.push_back(*rec);
+  if (out.size() != src.total_records()) {
+    throw std::runtime_error("truncated trace: " + path);
+  }
+  return out;
+}
+
+TraceFileSource::TraceFileSource(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("cannot open trace: " + path);
+  TraceHeader hdr;
+  in_.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (!in_ || hdr.magic != kTraceMagic) {
+    throw std::runtime_error("bad trace header: " + path);
+  }
+  if (hdr.version != kTraceVersion) {
+    throw std::runtime_error("unsupported trace version: " + path);
+  }
+  total_ = hdr.count;
+}
+
+std::optional<Record> TraceFileSource::next() {
+  if (read_ >= total_) return std::nullopt;
+  WireRecord w;
+  in_.read(reinterpret_cast<char*>(&w), sizeof w);
+  if (!in_) return std::nullopt;  // truncated; caller sees short count
+  ++read_;
+  return from_wire(w);
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,63 @@
+// Trace persistence: write generated traces to disk and replay them.
+//
+// Two formats:
+//  * binary (.fjt) — fixed-size little-endian records behind a small
+//    header with magic/version/count; fast, exact round trip.
+//  * CSV — "side,key,seq,payload,ts" with a header row; for inspection
+//    and interop with external tooling.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/trace.hpp"
+
+namespace fastjoin {
+
+/// Binary-format constants.
+inline constexpr std::uint32_t kTraceMagic = 0x464a5431;  // "FJT1"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write `source` (drained to its end) to a binary trace file.
+/// Returns the number of records written; throws std::runtime_error on
+/// I/O failure.
+std::uint64_t write_trace_binary(const std::string& path,
+                                 RecordSource& source);
+
+/// Write a vector of records to a binary trace file.
+std::uint64_t write_trace_binary(const std::string& path,
+                                 const std::vector<Record>& records);
+
+/// Write records as CSV.
+std::uint64_t write_trace_csv(const std::string& path,
+                              const std::vector<Record>& records);
+
+/// Read a CSV trace (as produced by write_trace_csv). Throws
+/// std::runtime_error on a missing file, bad header, or malformed row.
+std::vector<Record> read_trace_csv(const std::string& path);
+
+/// Read an entire binary trace into memory. Throws std::runtime_error
+/// on missing file, bad magic, or truncation.
+std::vector<Record> read_trace_binary(const std::string& path);
+
+/// Streaming reader over a binary trace file; a RecordSource, so it
+/// plugs straight into SimJoinEngine::run.
+class TraceFileSource final : public RecordSource {
+ public:
+  explicit TraceFileSource(const std::string& path);
+
+  std::optional<Record> next() override;
+
+  std::uint64_t total_records() const { return total_; }
+  std::uint64_t records_read() const { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace fastjoin

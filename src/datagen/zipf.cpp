@@ -1,0 +1,114 @@
+#include "datagen/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fastjoin {
+
+namespace {
+// exp(x)-1 and log(1+x) with good small-x behaviour.
+double expm1_safe(double x) { return std::expm1(x); }
+double log1p_safe(double x) { return std::log1p(x); }
+
+// Helper used by rejection-inversion: (exp(t*x)-1)/t, continuous at t=0.
+double helper1(double t, double x) {
+  return t == 0.0 ? x : expm1_safe(t * x) / t;
+}
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s)
+    : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  ss_ = 1.0 - s_;
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  // Quick-acceptance threshold from Hörmann & Derflinger: samples with
+  // k - x <= accept_s_ need no h-evaluation.
+  accept_s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// H(x) = integral of x^-s: ((x^(1-s)) - 1)/(1-s) for s != 1, ln(x) for s=1,
+// expressed via helper1 for continuity near s == 1.
+double ZipfDistribution::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper1(ss_, log_x);
+}
+
+double ZipfDistribution::h(double x) const {
+  return std::exp(-s_ * std::log(x));
+}
+
+double ZipfDistribution::h_integral_inverse(double x) const {
+  double t = x * ss_;
+  if (t < -1.0) t = -1.0;  // numeric guard
+  // exp((log1p(t)/t) * x); the ratio is 1 at t == 0, giving exp(x) —
+  // the s == 1 case where H(x) = ln x.
+  const double ratio = (t == 0.0) ? 1.0 : log1p_safe(t) / t;
+  return std::exp(ratio * x);
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256& rng) {
+  if (n_ == 1) return 1;
+  // Hörmann-Derflinger rejection-inversion.
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= accept_s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+void ZipfDistribution::ensure_norm() const {
+  if (norm_ready_) return;
+  double sum = 0.0;
+  for (std::uint64_t k = n_; k >= 1; --k) {  // small terms first
+    sum += std::pow(static_cast<double>(k), -s_);
+  }
+  norm_ = sum;
+  norm_ready_ = true;
+}
+
+double ZipfDistribution::pmf(std::uint64_t k) const {
+  assert(k >= 1 && k <= n_);
+  ensure_norm();
+  return std::pow(static_cast<double>(k), -s_) / norm_;
+}
+
+double ZipfDistribution::top_mass(double frac) const {
+  ensure_norm();
+  const auto top =
+      static_cast<std::uint64_t>(frac * static_cast<double>(n_));
+  double mass = 0.0;
+  for (std::uint64_t k = 1; k <= top; ++k) {
+    mass += std::pow(static_cast<double>(k), -s_);
+  }
+  return mass / norm_;
+}
+
+double ZipfDistribution::fit_exponent(std::uint64_t n, double top_frac,
+                                      double mass) {
+  double lo = 0.0;
+  double hi = 4.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    ZipfDistribution z(n, mid);
+    if (z.top_mass(top_frac) < mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace fastjoin

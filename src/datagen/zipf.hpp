@@ -1,0 +1,58 @@
+// Zipf(s, N) sampler over ranks {1..N}.
+//
+// Uses Hörmann & Derflinger rejection-inversion: O(1) amortized per
+// sample for any N, exact for all s >= 0 (s == 0 degenerates to the
+// uniform distribution). This is the generator behind the paper's
+// synthetic Gxy datasets (zipf coefficient x, y in {0, 1.0, 2.0}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+
+class ZipfDistribution {
+ public:
+  /// `n` ranks, exponent `s >= 0`.
+  ZipfDistribution(std::uint64_t n, double s);
+
+  /// Sample a rank in [1, n]; rank 1 is the most frequent.
+  std::uint64_t operator()(Xoshiro256& rng);
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Exact probability mass of rank k (computes the normalizer lazily,
+  /// O(n) once). Intended for tests and analytic calibration.
+  double pmf(std::uint64_t k) const;
+
+  /// Fraction of total mass held by the top `frac` of ranks
+  /// (e.g. top_mass(0.2) ~ 0.8 reproduces the 80/20 rule).
+  double top_mass(double frac) const;
+
+  /// Find the exponent s such that the top `top_frac` of `n` ranks hold
+  /// `mass` of the distribution (bisection). Used to calibrate the
+  /// ride-hailing generator to the paper's published skew statistics.
+  static double fit_exponent(std::uint64_t n, double top_frac, double mass);
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+  void ensure_norm() const;
+
+  std::uint64_t n_;
+  double s_;
+  // Rejection-inversion precomputed constants.
+  double h_integral_x1_;
+  double h_integral_n_;
+  double ss_;
+  double accept_s_;
+  // Lazy exact normalizer for pmf()/top_mass().
+  mutable double norm_ = 0.0;
+  mutable bool norm_ready_ = false;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,6 @@
+// cost_model is header-only logic; this TU anchors the library target.
+#include "engine/cost_model.hpp"
+
+namespace fastjoin {
+// Intentionally empty.
+}  // namespace fastjoin

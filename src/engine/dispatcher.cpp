@@ -1,0 +1,122 @@
+#include "engine/dispatcher.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fastjoin {
+
+const char* strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kHash: return "hash";
+    case PartitionStrategy::kContRand: return "contrand";
+    case PartitionStrategy::kRandomBroadcast: return "random-broadcast";
+    case PartitionStrategy::kPartialKey: return "partial-key";
+  }
+  return "?";
+}
+
+Dispatcher::Dispatcher(PartitionStrategy strategy, std::uint32_t group_size,
+                       std::uint32_t contrand_group, std::uint64_t seed)
+    : strategy_(strategy),
+      group_size_(group_size),
+      hash_modulus_(group_size),
+      contrand_group_(std::clamp<std::uint32_t>(contrand_group, 1,
+                                                std::max(1u, group_size))),
+      seed_(seed) {
+  assert(group_size >= 1);
+  if (strategy_ == PartitionStrategy::kPartialKey) {
+    pkg_counts_[0].assign(group_size_, 0);
+    pkg_counts_[1].assign(group_size_, 0);
+  }
+}
+
+std::pair<InstanceId, InstanceId> Dispatcher::pkg_candidates(
+    KeyId k) const {
+  return {instance_of(k, hash_modulus_, seed_),
+          instance_of(k, hash_modulus_, seed_ ^ 0x9e3779b97f4a7c15ULL)};
+}
+
+InstanceId Dispatcher::hash_route(Side group_side, KeyId k) const {
+  const auto& ov = overrides_[static_cast<int>(group_side)];
+  if (!ov.empty()) {
+    const auto it = ov.find(k);
+    if (it != ov.end()) return it->second;
+  }
+  return instance_of(k, hash_modulus_, seed_);
+}
+
+void Dispatcher::grow(std::uint32_t by) {
+  assert(strategy_ == PartitionStrategy::kHash &&
+         "elastic scale-out requires key-based routing");
+  group_size_ += by;
+}
+
+std::uint32_t Dispatcher::subgroup_base(KeyId k) const {
+  const std::uint32_t num_subgroups =
+      std::max(1u, group_size_ / contrand_group_);
+  return instance_of(k, num_subgroups, seed_ ^ 0xc0117a9dULL) *
+         contrand_group_;
+}
+
+InstanceId Dispatcher::route_store(const Record& rec) {
+  const int g = static_cast<int>(rec.side);
+  switch (strategy_) {
+    case PartitionStrategy::kHash:
+      return hash_route(rec.side, rec.key);
+    case PartitionStrategy::kContRand: {
+      const std::uint32_t base = subgroup_base(rec.key);
+      const std::uint32_t span =
+          std::min(contrand_group_, group_size_ - base);
+      return base + (round_robin_[g]++ % span);
+    }
+    case PartitionStrategy::kRandomBroadcast:
+      return round_robin_[g]++ % group_size_;
+    case PartitionStrategy::kPartialKey: {
+      const auto [a, b] = pkg_candidates(rec.key);
+      const InstanceId pick =
+          pkg_counts_[g][a] <= pkg_counts_[g][b] ? a : b;
+      ++pkg_counts_[g][pick];
+      return pick;
+    }
+  }
+  return 0;
+}
+
+void Dispatcher::route_probe(Side group_side, const Record& rec,
+                             std::vector<InstanceId>& out) const {
+  switch (strategy_) {
+    case PartitionStrategy::kHash:
+      out.push_back(hash_route(group_side, rec.key));
+      return;
+    case PartitionStrategy::kContRand: {
+      const std::uint32_t base = subgroup_base(rec.key);
+      const std::uint32_t span =
+          std::min(contrand_group_, group_size_ - base);
+      for (std::uint32_t i = 0; i < span; ++i) out.push_back(base + i);
+      return;
+    }
+    case PartitionStrategy::kRandomBroadcast:
+      for (std::uint32_t i = 0; i < group_size_; ++i) out.push_back(i);
+      return;
+    case PartitionStrategy::kPartialKey: {
+      const auto [a, b] = pkg_candidates(rec.key);
+      out.push_back(a);
+      if (b != a) out.push_back(b);
+      return;
+    }
+  }
+}
+
+void Dispatcher::apply_override(Side group_side, KeyId k, InstanceId dst) {
+  assert(strategy_ == PartitionStrategy::kHash &&
+         "routing overrides require key-based routing");
+  assert(dst < group_size_);
+  if (instance_of(k, hash_modulus_, seed_) == dst) {
+    // Migrating back home: drop the override instead of storing it.
+    overrides_[static_cast<int>(group_side)].erase(k);
+  } else {
+    overrides_[static_cast<int>(group_side)][k] = dst;
+  }
+}
+
+}  // namespace fastjoin

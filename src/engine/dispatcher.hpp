@@ -1,0 +1,97 @@
+// The dispatching component: partitions every incoming tuple to (a) one
+// storing instance in its own side's group and (b) one or more probing
+// destinations in the opposite group.
+//
+// Strategies:
+//  * kHash           — key-hash partitioning (BiStream's hash mode and
+//                      FastJoin's base routing). Supports per-key routing
+//                      overrides installed by migrations (the routing
+//                      table of paper Section III-A).
+//  * kContRand       — BiStream's hybrid ContRand routing: keys map to a
+//                      subgroup; stores round-robin inside the subgroup,
+//                      probes broadcast to the whole subgroup.
+//  * kRandomBroadcast— classic random partitioning: stores round-robin
+//                      over the whole group, probes broadcast everywhere.
+//  * kPartialKey     — partial key grouping (Nasir et al., the "power of
+//                      both choices" baseline from the paper's related
+//                      work): each key has two candidate instances;
+//                      stores go to the currently lighter one, probes
+//                      visit both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "datagen/record.hpp"
+
+namespace fastjoin {
+
+enum class PartitionStrategy : std::uint8_t {
+  kHash,
+  kContRand,
+  kRandomBroadcast,
+  kPartialKey,
+};
+
+const char* strategy_name(PartitionStrategy s);
+
+class Dispatcher {
+ public:
+  /// `group_size`: instances per side. `contrand_group`: subgroup size
+  /// for kContRand (clamped to [1, group_size]).
+  Dispatcher(PartitionStrategy strategy, std::uint32_t group_size,
+             std::uint32_t contrand_group = 4, std::uint64_t seed = 0);
+
+  /// The storing destination (within `rec.side`'s own group).
+  InstanceId route_store(const Record& rec);
+
+  /// The probing destinations within the group of `group_side`
+  /// (callers pass other_side(rec.side)). Appends to `out`.
+  void route_probe(Side group_side, const Record& rec,
+                   std::vector<InstanceId>& out) const;
+
+  /// Install a migration override: key `k`'s tuples (stores of
+  /// `group_side`'s stream and probes against it) now go to `dst`.
+  /// Only meaningful for kHash.
+  void apply_override(Side group_side, KeyId k, InstanceId dst);
+
+  /// Current routing of key `k` in `group_side`'s group under kHash.
+  InstanceId hash_route(Side group_side, KeyId k) const;
+
+  std::size_t overrides(Side group_side) const {
+    return overrides_[static_cast<int>(group_side)].size();
+  }
+
+  PartitionStrategy strategy() const { return strategy_; }
+
+  /// The two PKG candidate instances for key `k` (may coincide).
+  std::pair<InstanceId, InstanceId> pkg_candidates(KeyId k) const;
+
+  /// Elastic scale-out (kHash only): `by` new instances become valid
+  /// migration targets. The hash modulus is frozen at construction, so
+  /// existing keys keep their home instance; new instances receive keys
+  /// only through routing overrides installed by migrations — exactly
+  /// the paper's Section IV-C scaling story (new memory fills with
+  /// migrated tuples, no global rehash).
+  void grow(std::uint32_t by);
+
+  std::uint32_t group_size() const { return group_size_; }
+
+ private:
+  std::uint32_t subgroup_base(KeyId k) const;
+
+  PartitionStrategy strategy_;
+  std::uint32_t group_size_;
+  std::uint32_t hash_modulus_;  ///< frozen at construction (see grow())
+  std::uint32_t contrand_group_;
+  std::uint64_t seed_;
+  std::uint32_t round_robin_[2] = {0, 0};
+  std::unordered_map<KeyId, InstanceId> overrides_[2];
+  /// PKG's local view of per-instance store counts, per group.
+  std::vector<std::uint64_t> pkg_counts_[2];
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,180 @@
+// A simulated join instance: one worker of one side of the join biclique.
+//
+// An instance of the R-side group stores tuples of stream R and probes
+// them with tuples of stream S (and vice versa). It owns a FIFO input
+// queue and serves one tuple at a time with service times from the
+// CostModel — i.e. it is a single-server queueing station whose service
+// rate degrades as its stored state grows, which is precisely the
+// mechanism behind the paper's load-imbalance pathology.
+//
+// The instance also implements the worker-side half of the migration
+// protocol (paper Algorithm 2):
+//   source: pause() -> when_idle() -> extract() -> mark_forwarding()
+//           -> take_forward_buffer() -> resume()
+//   target: hold_keys() -> absorb_stored() -> release_held()
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/load_model.hpp"
+#include "engine/cost_model.hpp"
+#include "engine/join_store.hpp"
+#include "engine/tuple.hpp"
+#include "common/spacesaving.hpp"
+#include "simnet/simulator.hpp"
+
+namespace fastjoin {
+
+/// How an instance computes the paper's phi (pending-probe pressure).
+enum class PhiSignal : std::uint8_t {
+  kHybrid,     ///< backlog + decayed recent-probe count (default)
+  kQueueOnly,  ///< the paper's literal "queue length"
+  kRateOnly,   ///< only the decayed incoming-probe counter
+};
+
+class JoinInstance {
+ public:
+  /// Engine-provided callbacks.
+  struct Hooks {
+    /// A probe finished: `matches` result tuples were emitted and the
+    /// probe spent `latency` in this instance (queue + service).
+    std::function<void(SimTime now, std::uint64_t matches, SimTime latency)>
+        on_probe_done;
+    /// Optional: every matched pair (completeness checking; expensive).
+    std::function<void(const MatchPair&)> on_match;
+  };
+
+  /// `stats_capacity` > 0 bounds the per-key probe-rate statistics to
+  /// that many tracked keys via a SpaceSaving sketch (the Section IV-C
+  /// memory concern: chi_k * K); 0 keeps exact per-key counters.
+  JoinInstance(Simulator& sim, InstanceId id, Side store_side,
+               const CostModel& cost, std::uint32_t max_subwindows,
+               Hooks hooks, PhiSignal phi = PhiSignal::kHybrid,
+               std::size_t stats_capacity = 0);
+
+  JoinInstance(const JoinInstance&) = delete;
+  JoinInstance& operator=(const JoinInstance&) = delete;
+
+  /// Deliver a record. A record of the storing side is a store op; a
+  /// record of the other side is a probe. Records for keys currently
+  /// being migrated are diverted per the protocol state.
+  void enqueue(Record rec);
+
+  // --- Load-model accessors (paper Eqs. 1, 3, 4) -------------------
+  /// {|R_i|, phi_si}. phi blends the probe backlog (the paper's "queue
+  /// length") with an exponentially decayed count of recently served
+  /// probes (the paper's "incoming tuples" counter): backlog alone reads
+  /// zero on a keeping-up instance, which would make LI meaningless off
+  /// saturation and cause endless migration churn.
+  InstanceLoad aggregate_load() const;
+  /// Per-key {|R_ik|, phi_sik} over stored and pending keys.
+  std::vector<KeyLoad> key_loads() const;
+  /// Halve the decayed probe-rate window; the monitor calls this once
+  /// per period, making the window an EWMA of the per-key probe rate.
+  void decay_probe_window();
+
+  std::size_t queue_length() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  bool paused() const { return paused_; }
+
+  // --- Migration: source side --------------------------------------
+  void pause();
+  void resume();
+  /// Run `fn` as soon as the in-service tuple (if any) completes.
+  void when_idle(std::function<void()> fn);
+  /// Remove the selected keys' stored tuples and their queued records;
+  /// start diverting newly arriving records for them into the forward
+  /// buffer.
+  MigrationBatch extract(std::span<const KeyLoad> selection);
+  /// Records that arrived for migrating keys since extract(); clears
+  /// the buffer and stops diverting.
+  std::vector<Record> take_forward_buffer();
+
+  // --- Migration: target side --------------------------------------
+  /// Buffer (do not process) incoming records for these keys until
+  /// release_held().
+  void hold_keys(std::span<const KeyId> keys);
+  /// Merge migrated stored tuples, then enqueue the batch's pending
+  /// records (called when the bulk transfer is delivered).
+  void absorb_stored(const MigrationBatch& batch);
+  /// Enqueue the source's forwarded records, then the held ones, and
+  /// stop holding.
+  void release_held(std::span<const Record> forwarded);
+
+  // --- Window support (paper Section III-E) -------------------------
+  /// Returns the number of expired tuples evicted.
+  std::uint64_t advance_subwindow();
+
+  // --- Fault tolerance ----------------------------------------------
+  /// Snapshot of the stored state, ordered per key (checkpoint).
+  std::vector<std::pair<KeyId, StoredTuple>> checkpoint_store() const;
+  /// Crash: lose the store, the input queue and all counters. An
+  /// in-service job's completion event is invalidated (epoch guard).
+  void crash();
+  /// Reload a checkpoint into the (empty) store after a crash.
+  void restore(const std::vector<std::pair<KeyId, StoredTuple>>& snapshot);
+
+  // --- Introspection -------------------------------------------------
+  InstanceId id() const { return id_; }
+  Side store_side() const { return store_side_; }
+  const JoinStore& store() const { return store_; }
+  std::uint64_t probes_done() const { return probes_done_; }
+  std::uint64_t stores_done() const { return stores_done_; }
+  std::uint64_t results_emitted() const { return results_; }
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  struct Pending {
+    Record rec;
+    SimTime enqueued_at;
+  };
+
+  void enqueue_internal(Record rec);
+  void maybe_start();
+  void start_service(Pending item);
+  void finish_probe(const Pending& item, std::uint64_t matches);
+
+  Simulator& sim_;
+  InstanceId id_;
+  Side store_side_;
+  const CostModel& cost_;
+  Hooks hooks_;
+  PhiSignal phi_signal_;
+
+  JoinStore store_;
+  std::deque<Pending> queue_;
+  std::unordered_map<KeyId, std::uint64_t> pending_probe_;  ///< backlog
+  std::uint64_t pending_probe_total_ = 0;
+  std::unordered_map<KeyId, std::uint64_t> probe_window_;  ///< EWMA rate
+  std::unique_ptr<SpaceSaving> probe_sketch_;  ///< bounded alternative
+  std::uint64_t probe_window_total_ = 0;
+
+  bool busy_ = false;
+  bool paused_ = false;
+  std::vector<std::function<void()>> idle_callbacks_;
+
+  // Source-side migration state.
+  std::unordered_set<KeyId> forwarding_keys_;
+  std::vector<Record> forward_buffer_;
+
+  // Target-side migration state.
+  std::unordered_set<KeyId> held_keys_;
+  std::vector<Record> held_buffer_;
+
+  std::uint64_t probes_done_ = 0;
+  std::uint64_t stores_done_ = 0;
+  std::uint64_t results_ = 0;
+  SimTime busy_time_ = 0;
+  /// Incremented by crash(); completion events from a previous epoch
+  /// are ignored when they fire.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace fastjoin

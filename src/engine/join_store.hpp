@@ -1,0 +1,64 @@
+// Per-instance tuple storage with optional sliding-window eviction.
+//
+// Tuples are grouped by key; within a key they are kept in arrival
+// order, so window eviction can pop prefixes. The window is a ring of
+// sub-windows (paper Section III-E): advancing past `max_subwindows`
+// evicts the oldest sub-window in one sweep.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/tuple.hpp"
+
+namespace fastjoin {
+
+class JoinStore {
+ public:
+  /// `max_subwindows` = 0 keeps full history (no eviction).
+  explicit JoinStore(std::uint32_t max_subwindows = 0)
+      : max_subwindows_(max_subwindows) {}
+
+  /// Insert a tuple under `key`, tagged with the current sub-window.
+  void insert(KeyId key, StoredTuple tuple);
+
+  /// Stored tuples for `key`, oldest first; nullptr when absent.
+  const std::deque<StoredTuple>* find(KeyId key) const;
+
+  /// Total stored tuples: the paper's |R_i|.
+  std::uint64_t size() const { return size_; }
+
+  /// Stored tuples with key k: |R_ik|.
+  std::uint64_t count_for(KeyId key) const;
+
+  /// Number of distinct keys currently stored.
+  std::size_t num_keys() const { return by_key_.size(); }
+
+  /// Snapshot of all stored keys (for key-selection input assembly).
+  std::vector<KeyId> keys() const;
+
+  /// Remove and return all tuples of `key` (migration extraction).
+  std::vector<StoredTuple> extract_key(KeyId key);
+
+  /// Start a new sub-window; if the ring is full, evicts the oldest
+  /// sub-window first. Returns the number of tuples evicted.
+  std::uint64_t advance_subwindow();
+
+  std::uint32_t current_subwindow() const { return current_subwindow_; }
+  std::uint32_t max_subwindows() const { return max_subwindows_; }
+
+ private:
+  std::uint64_t evict_subwindow(std::uint32_t sw);
+
+  std::uint32_t max_subwindows_;
+  std::uint32_t current_subwindow_ = 0;
+  std::uint32_t oldest_subwindow_ = 0;
+  std::uint64_t size_ = 0;
+  std::unordered_map<KeyId, std::deque<StoredTuple>> by_key_;
+  /// Insertion log per live sub-window, for O(inserted) eviction.
+  std::unordered_map<std::uint32_t, std::vector<KeyId>> subwindow_log_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,79 @@
+#include "engine/metrics.hpp"
+
+namespace fastjoin {
+
+MetricsHub::MetricsHub(const MetricsConfig& cfg, std::uint32_t instances)
+    : cfg_(cfg),
+      results_rate_(cfg.rate_window),
+      latency_hist_(/*min=*/100.0, /*max=*/1e12),  // 100ns .. 1000s
+      latency_ts_("latency_ms") {
+  if (cfg_.record_instance_loads) {
+    for (int g = 0; g < 2; ++g) {
+      inst_load_ts_[g].resize(instances);
+    }
+  }
+}
+
+void MetricsHub::on_results(SimTime now, std::uint64_t n) {
+  if (n == 0) return;
+  results_rate_.add(now, n);
+}
+
+void MetricsHub::on_probe_latency(SimTime now, SimTime latency) {
+  latency_hist_.add(static_cast<double>(latency));
+  if (!lat_started_) {
+    lat_window_start_ = now - now % cfg_.rate_window;
+    lat_started_ = true;
+  }
+  while (now >= lat_window_start_ + cfg_.rate_window) {
+    if (lat_window_n_ > 0) {
+      latency_ts_.record(lat_window_start_ + cfg_.rate_window,
+                         lat_window_sum_ /
+                             static_cast<double>(lat_window_n_) / 1e6);
+    }
+    lat_window_sum_ = 0.0;
+    lat_window_n_ = 0;
+    lat_window_start_ += cfg_.rate_window;
+  }
+  lat_window_sum_ += static_cast<double>(latency);
+  ++lat_window_n_;
+}
+
+void MetricsHub::on_match_pair(const MatchPair& p) {
+  if (cfg_.record_pairs) pairs_.push_back(p);
+}
+
+void MetricsHub::record_li(SimTime now, Side group, double li) {
+  li_ts_[static_cast<int>(group)].record(now, li);
+}
+
+void MetricsHub::record_instance_load(SimTime now, Side group,
+                                      InstanceId id, double load) {
+  if (!cfg_.record_instance_loads) return;
+  auto& series = inst_load_ts_[static_cast<int>(group)];
+  if (id < series.size()) series[id].record(now, load);
+}
+
+void MetricsHub::log_migration(const MigrationEvent& ev) {
+  migrations_.push_back(ev);
+}
+
+void MetricsHub::finish() {
+  results_rate_.finish();
+  if (lat_started_ && lat_window_n_ > 0) {
+    latency_ts_.record(lat_window_start_ + cfg_.rate_window,
+                       lat_window_sum_ /
+                           static_cast<double>(lat_window_n_) / 1e6);
+    lat_window_n_ = 0;
+  }
+}
+
+double MetricsHub::mean_throughput() const {
+  return results_rate_.series().mean_after(cfg_.warmup);
+}
+
+double MetricsHub::mean_latency_ms() const {
+  return latency_ts_.mean_after(cfg_.warmup);
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,91 @@
+// Run-wide measurement: throughput, latency, imbalance and migration
+// logs — the "statistic bolt" + "counter bolt" of the paper's setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/timeseries.hpp"
+#include "common/types.hpp"
+#include "datagen/record.hpp"
+#include "engine/tuple.hpp"
+
+namespace fastjoin {
+
+struct MetricsConfig {
+  SimTime rate_window = kNanosPerSec;  ///< per-second reporting
+  SimTime warmup = 0;      ///< ignore samples before this time in averages
+  bool record_pairs = false;          ///< keep every MatchPair (tests)
+  bool record_instance_loads = false; ///< per-instance series (Fig. 1c)
+};
+
+/// One executed migration, for the migration log.
+struct MigrationEvent {
+  SimTime triggered_at = 0;
+  SimTime completed_at = 0;
+  Side group = Side::kR;
+  InstanceId src = 0;
+  InstanceId dst = 0;
+  double li_before = 1.0;
+  std::uint64_t keys_moved = 0;
+  std::uint64_t tuples_moved = 0;
+};
+
+class MetricsHub {
+ public:
+  explicit MetricsHub(const MetricsConfig& cfg, std::uint32_t instances);
+
+  // --- data-path events ---------------------------------------------
+  void on_results(SimTime now, std::uint64_t n);
+  void on_probe_latency(SimTime now, SimTime latency);
+  void on_match_pair(const MatchPair& p);
+
+  // --- monitor events -------------------------------------------------
+  void record_li(SimTime now, Side group, double li);
+  void record_instance_load(SimTime now, Side group, InstanceId id,
+                            double load);
+  void log_migration(const MigrationEvent& ev);
+
+  /// Close out rate windows; call once when the run ends.
+  void finish();
+
+  // --- accessors -------------------------------------------------------
+  const MetricsConfig& config() const { return cfg_; }
+  const RateTracker& throughput() const { return results_rate_; }
+  const TimeSeries& latency_series() const { return latency_ts_; }
+  const LogHistogram& latency_hist() const { return latency_hist_; }
+  const TimeSeries& li_series(Side group) const {
+    return li_ts_[static_cast<int>(group)];
+  }
+  const std::vector<TimeSeries>& instance_load_series(Side group) const {
+    return inst_load_ts_[static_cast<int>(group)];
+  }
+  const std::vector<MigrationEvent>& migrations() const {
+    return migrations_;
+  }
+  const std::vector<MatchPair>& pairs() const { return pairs_; }
+
+  /// Mean throughput (results/sec) over post-warmup windows.
+  double mean_throughput() const;
+  /// Mean probe latency (ms) over post-warmup windows.
+  double mean_latency_ms() const;
+
+ private:
+  MetricsConfig cfg_;
+  RateTracker results_rate_;
+  LogHistogram latency_hist_;
+  // Per-window latency aggregation -> per-second mean latency series.
+  TimeSeries latency_ts_;
+  SimTime lat_window_start_ = 0;
+  double lat_window_sum_ = 0.0;
+  std::uint64_t lat_window_n_ = 0;
+  bool lat_started_ = false;
+
+  TimeSeries li_ts_[2];
+  std::vector<TimeSeries> inst_load_ts_[2];
+  std::vector<MigrationEvent> migrations_;
+  std::vector<MatchPair> pairs_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,52 @@
+// Tuple-level types of the join engine and the exactly-once ordering rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "datagen/record.hpp"
+
+namespace fastjoin {
+
+/// A tuple as stored inside a join instance.
+struct StoredTuple {
+  std::uint64_t seq = 0;      ///< stream-unique sequence number
+  std::uint64_t payload = 0;
+  SimTime ts = 0;             ///< source timestamp
+  std::uint32_t subwindow = 0;  ///< which sub-window it belongs to
+};
+
+/// Total order over tuples of both streams: (ts, side, seq). The engine
+/// joins a probing tuple only with stored tuples that strictly precede
+/// it; together with per-key FIFO delivery this makes every matching
+/// (r, s) pair join on exactly one side of the biclique — the paper's
+/// "completeness" requirement.
+constexpr bool precedes(SimTime a_ts, Side a_side, std::uint64_t a_seq,
+                        SimTime b_ts, Side b_side, std::uint64_t b_seq) {
+  if (a_ts != b_ts) return a_ts < b_ts;
+  if (a_side != b_side) return a_side < b_side;
+  return a_seq < b_seq;
+}
+
+inline bool precedes(const Record& a, const Record& b) {
+  return precedes(a.ts, a.side, a.seq, b.ts, b.side, b.seq);
+}
+
+/// One matched (stored, probe) pair, reported to the completeness
+/// checker when pair recording is enabled.
+struct MatchPair {
+  KeyId key = 0;
+  std::uint64_t r_seq = 0;
+  std::uint64_t s_seq = 0;
+};
+
+/// Everything a migration ships from source to target for the selected
+/// keys: the stored tuples and the probe tuples that were still pending.
+struct MigrationBatch {
+  std::vector<KeyId> keys;
+  std::vector<std::pair<KeyId, StoredTuple>> stored;
+  std::vector<Record> pending;  ///< in arrival order
+};
+
+}  // namespace fastjoin

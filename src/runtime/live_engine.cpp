@@ -1,0 +1,408 @@
+#include "runtime/live_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace fastjoin {
+
+namespace {
+/// Busy-wait for `ns` nanoseconds (simulated per-match work).
+void spin_for(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+}  // namespace
+
+/// One join instance on its own thread.
+class LiveEngine::Worker {
+ public:
+  Worker(const LiveEngine& engine, InstanceId id, Side store_side,
+         std::size_t queue_capacity, std::uint32_t max_subwindows)
+      : engine_(engine),
+        id_(id),
+        store_side_(store_side),
+        queue_(queue_capacity),
+        store_(max_subwindows) {}
+
+  void start() {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void stop_and_join() {
+    queue_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool send(Msg msg) { return queue_.push(std::move(msg)); }
+
+  // --- monitor-visible statistics (atomics) -------------------------
+  std::uint64_t stored_count() const {
+    return stored_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t probes_done() const {
+    return probes_done_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stores_done() const {
+    return stores_done_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t results() const {
+    return results_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Only valid after stop_and_join().
+  const LogHistogram& latency_hist() const { return latency_; }
+
+  InstanceId id() const { return id_; }
+
+ private:
+  void loop() {
+    for (;;) {
+      auto msg = queue_.pop();
+      if (!msg) return;  // closed and drained
+      std::visit([this](auto&& m) { handle(std::move(m)); },
+                 std::move(*msg));
+    }
+  }
+
+  void handle(DataMsg msg) {
+    const Record& rec = msg.rec;
+    if (!forwarding_keys_.empty() && forwarding_keys_.count(rec.key)) {
+      forward_buffer_.push_back(rec);
+      return;
+    }
+    if (!held_keys_.empty() && held_keys_.count(rec.key)) {
+      held_buffer_.push_back(rec);
+      return;
+    }
+    process(rec, msg.pushed_at);
+  }
+
+  void process(const Record& rec,
+               std::chrono::steady_clock::time_point pushed_at =
+                   std::chrono::steady_clock::now()) {
+    const auto t0 = pushed_at;
+    if (rec.side == store_side_) {
+      StoredTuple st;
+      st.seq = rec.seq;
+      st.payload = rec.payload;
+      st.ts = rec.ts;
+      store_.insert(rec.key, st);
+      stored_count_.store(store_.size(), std::memory_order_relaxed);
+      stores_done_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Probe.
+    std::uint64_t matches = 0;
+    if (const auto* bucket = store_.find(rec.key)) {
+      if (engine_.on_match_) {
+        for (const auto& st : *bucket) {
+          if (precedes(st.ts, store_side_, st.seq, rec.ts, rec.side,
+                       rec.seq)) {
+            ++matches;
+            MatchPair p;
+            p.key = rec.key;
+            p.r_seq = store_side_ == Side::kR ? st.seq : rec.seq;
+            p.s_seq = store_side_ == Side::kR ? rec.seq : st.seq;
+            engine_.on_match_(p);
+          }
+        }
+      } else {
+        // Buckets are timestamp ordered, so non-preceding tuples form a
+        // suffix: exact count in O(1 + suffix length).
+        matches = bucket->size();
+        for (auto it = bucket->rbegin(); it != bucket->rend(); ++it) {
+          if (precedes(it->ts, store_side_, it->seq, rec.ts, rec.side,
+                       rec.seq)) {
+            break;
+          }
+          --matches;
+        }
+      }
+    }
+    spin_for(engine_.cfg_.work_per_match_ns * matches);
+    ++probe_window_[rec.key];
+    results_.fetch_add(matches, std::memory_order_relaxed);
+    probes_done_.fetch_add(1, std::memory_order_relaxed);
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    latency_.add(static_cast<double>(std::max<std::int64_t>(dt, 1)));
+  }
+
+  void handle(SelectExtractReq req) {
+    KeySelectionInput in;
+    in.src.stored = store_.size();
+    in.dst = req.dst_load;
+    in.theta_gap = engine_.cfg_.planner.theta_gap;
+
+    std::unordered_map<KeyId, KeyLoad> by_key;
+    for (KeyId k : store_.keys()) {
+      KeyLoad& kl = by_key[k];
+      kl.key = k;
+      kl.stored = store_.count_for(k);
+    }
+    std::uint64_t probe_total = 0;
+    for (const auto& [k, n] : probe_window_) {
+      KeyLoad& kl = by_key[k];
+      kl.key = k;
+      kl.queued = n;
+      probe_total += n;
+    }
+    in.src.queued = probe_total;
+    in.keys.reserve(by_key.size());
+    for (auto& [_, kl] : by_key) in.keys.push_back(kl);
+    std::sort(in.keys.begin(), in.keys.end(),
+              [](const KeyLoad& a, const KeyLoad& b) {
+                return a.key < b.key;
+              });
+
+    const KeySelectionResult sel = select_keys(in, engine_.cfg_.planner);
+
+    auto batch = std::make_shared<MigrationBatch>();
+    for (const auto& kl : sel.selection) {
+      batch->keys.push_back(kl.key);
+      for (auto& st : store_.extract_key(kl.key)) {
+        batch->stored.emplace_back(kl.key, st);
+      }
+      forwarding_keys_.insert(kl.key);
+      probe_window_.erase(kl.key);
+    }
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+    req.reply.set_value(std::move(batch));
+  }
+
+  void handle(TakeForwardReq req) {
+    forwarding_keys_.clear();
+    auto out = std::make_shared<std::vector<Record>>();
+    out->swap(forward_buffer_);
+    req.reply.set_value(std::move(out));
+  }
+
+  void handle(HoldReq req) {
+    held_keys_.insert(req.keys.begin(), req.keys.end());
+  }
+
+  void handle(AbsorbReq req) {
+    for (const auto& [key, st] : req.batch->stored) {
+      store_.insert(key, st);
+    }
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+    for (const auto& rec : req.batch->pending) process(rec);
+  }
+
+  void handle(AdvanceWindowReq) {
+    evicted_.fetch_add(store_.advance_subwindow(),
+                       std::memory_order_relaxed);
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+  }
+
+  void handle(ReleaseReq req) {
+    held_keys_.clear();
+    for (const auto& rec : *req.forwarded) process(rec);
+    std::vector<Record> held;
+    held.swap(held_buffer_);
+    for (const auto& rec : held) process(rec);
+  }
+
+  const LiveEngine& engine_;
+  InstanceId id_;
+  Side store_side_;
+  BoundedQueue<Msg> queue_;
+  std::thread thread_;
+
+  JoinStore store_;
+  std::unordered_map<KeyId, std::uint64_t> probe_window_;
+  std::unordered_set<KeyId> forwarding_keys_;
+  std::vector<Record> forward_buffer_;
+  std::unordered_set<KeyId> held_keys_;
+  std::vector<Record> held_buffer_;
+  LogHistogram latency_{1.0, 1e12, 16};
+
+  std::atomic<std::uint64_t> stored_count_{0};
+  std::atomic<std::uint64_t> probes_done_{0};
+  std::atomic<std::uint64_t> stores_done_{0};
+  std::atomic<std::uint64_t> results_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
+  for (int g = 0; g < 2; ++g) {
+    workers_[g].reserve(cfg_.instances);
+    for (InstanceId i = 0; i < cfg_.instances; ++i) {
+      workers_[g].push_back(std::make_unique<Worker>(
+          *this, i, static_cast<Side>(g), cfg_.queue_capacity,
+          cfg_.window_subwindows));
+    }
+  }
+}
+
+LiveEngine::~LiveEngine() {
+  if (started_ && !finished_) finish();
+}
+
+LiveEngine::Worker& LiveEngine::worker(Side group, InstanceId id) {
+  return *workers_[static_cast<int>(group)][id];
+}
+
+void LiveEngine::start() {
+  assert(!started_);
+  started_ = true;
+  for (int g = 0; g < 2; ++g) {
+    for (auto& w : workers_[g]) w->start();
+  }
+  if (cfg_.balancer) {
+    monitor_thread_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+InstanceId LiveEngine::route(Side group, KeyId key) const {
+  const auto& ov = overrides_[static_cast<int>(group)];
+  const auto it = ov.find(key);
+  if (it != ov.end()) return it->second;
+  return instance_of(key, cfg_.instances);
+}
+
+void LiveEngine::push(const Record& rec) {
+  records_in_.fetch_add(1, std::memory_order_relaxed);
+  // The enqueue must happen under the same lock as the route lookup:
+  // otherwise a record routed before a migration's routing-table update
+  // could be enqueued at the source after its TakeForward drained the
+  // forward buffer, stranding the record at the wrong instance.
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const InstanceId store_dst = route(rec.side, rec.key);
+  const InstanceId probe_dst = route(other_side(rec.side), rec.key);
+  const auto now = std::chrono::steady_clock::now();
+  worker(rec.side, store_dst).send(DataMsg{rec, now});
+  worker(other_side(rec.side), probe_dst).send(DataMsg{rec, now});
+}
+
+bool LiveEngine::try_migrate(Side group) {
+  const int g = static_cast<int>(group);
+  std::vector<InstanceLoad> loads;
+  loads.reserve(cfg_.instances);
+  double heaviest = 0.0;
+  for (auto& w : workers_[g]) {
+    InstanceLoad l;
+    l.stored = w->stored_count();
+    l.queued = w->queue_length();
+    // The "incoming rate" half of the paper's phi: probes processed
+    // since the previous monitor tick.
+    const std::uint64_t done = w->probes_done();
+    const std::uint64_t prev = probe_marks_[g].size() > w->id()
+                                   ? probe_marks_[g][w->id()]
+                                   : 0;
+    l.queued += done - prev;
+    loads.push_back(l);
+    heaviest = std::max(heaviest, l.load());
+  }
+  for (std::size_t i = 0; i < workers_[g].size(); ++i) {
+    probe_marks_[g].resize(workers_[g].size(), 0);
+    probe_marks_[g][i] = workers_[g][i]->probes_done();
+  }
+
+  last_li_ = load_imbalance(loads, cfg_.planner.floor_eps);
+  const auto pair = pick_migration_pair(loads, cfg_.planner);
+  if (!pair || heaviest < cfg_.min_heaviest_load) return false;
+
+  Worker& src = worker(group, pair->src);
+  Worker& dst = worker(group, pair->dst);
+
+  // 1. Select + extract at the source.
+  SelectExtractReq sel;
+  sel.dst_load = loads[pair->dst];
+  auto sel_future = sel.reply.get_future();
+  src.send(std::move(sel));
+  auto batch = sel_future.get();
+  if (batch->keys.empty()) {
+    TakeForwardReq tf;  // clears the (empty) forwarding set
+    auto f = tf.reply.get_future();
+    src.send(std::move(tf));
+    f.get();
+    return false;
+  }
+
+  // 2. Target starts holding the migrating keys.
+  dst.send(HoldReq{batch->keys});
+
+  // 3. Routing-table update: from here on push() routes to the target.
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    for (KeyId k : batch->keys) {
+      if (instance_of(k, cfg_.instances) == pair->dst) {
+        overrides_[g].erase(k);
+      } else {
+        overrides_[g][k] = pair->dst;
+      }
+    }
+  }
+
+  // 4. Collect what the source diverted meanwhile.
+  TakeForwardReq tf;
+  auto fwd_future = tf.reply.get_future();
+  src.send(std::move(tf));
+  auto forwarded = fwd_future.get();
+
+  // 5. Target merges and replays, preserving per-key order.
+  tuples_migrated_.fetch_add(batch->stored.size() + forwarded->size(),
+                             std::memory_order_relaxed);
+  dst.send(AbsorbReq{std::move(batch)});
+  dst.send(ReleaseReq{std::move(forwarded)});
+  ++migrations_;
+  return true;
+}
+
+void LiveEngine::monitor_loop() {
+  auto next_window = std::chrono::steady_clock::now() + cfg_.subwindow_len;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(cfg_.monitor_period);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    try_migrate(Side::kR);
+    try_migrate(Side::kS);
+    if (cfg_.window_subwindows > 0 &&
+        std::chrono::steady_clock::now() >= next_window) {
+      next_window += cfg_.subwindow_len;
+      for (int g = 0; g < 2; ++g) {
+        for (auto& w : workers_[g]) w->send(AdvanceWindowReq{});
+      }
+    }
+  }
+}
+
+LiveStats LiveEngine::finish() {
+  assert(started_ && !finished_);
+  finished_ = true;
+  stopping_.store(true);
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+
+  LiveStats stats;
+  LogHistogram merged(1.0, 1e12, 16);
+  for (int g = 0; g < 2; ++g) {
+    for (auto& w : workers_[g]) {
+      w->stop_and_join();
+      stats.results += w->results();
+      stats.probes += w->probes_done();
+      stats.stores += w->stores_done();
+      stats.evicted += w->evicted();
+      merged.merge(w->latency_hist());
+    }
+  }
+  stats.records_in = records_in_.load();
+  stats.migrations = migrations_;
+  stats.tuples_migrated = tuples_migrated_.load();
+  stats.mean_latency_us = merged.mean() / 1e3;
+  stats.p99_latency_us = merged.value_at_percentile(99) / 1e3;
+  stats.final_li = last_li_;
+  return stats;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,163 @@
+// LiveEngine: the join biclique on real threads.
+//
+// Where SimJoinEngine executes the system in virtual time for
+// reproducible experiments, LiveEngine runs the same logic — join
+// instances, key-hash routing with a migration routing table, GreedyFit
+// balancing, the hold/forward migration protocol — on OS threads with
+// bounded queues. It is the deployment-shaped embodiment of the library
+// and is what the examples drive.
+//
+// Concurrency design (and why migration stays exactly-once):
+//  * All records enter through push(), which routes under the routing
+//    lock and enqueues to per-worker FIFO queues. push() is the single
+//    linearization point for routing decisions.
+//  * Workers only ever touch their own state; every cross-worker action
+//    is a control message in the same FIFO queue as data, so "all data
+//    before signal X" is guaranteed by queue order.
+//  * The monitor thread orchestrates migrations:
+//      1. SelectExtract at the source (it quiesces by queue order,
+//         selects keys with GreedyFit, extracts tuples, starts
+//         diverting the selected keys to its forward buffer);
+//      2. Hold at the target;
+//      3. routing-table update (under the same lock push() takes);
+//      4. TakeForward at the source — every record routed to the source
+//         before step 3 is already ahead of this message in its queue,
+//         so the returned buffer is complete;
+//      5. Absorb(batch) then Release(forwarded) at the target; records
+//         routed to the target after step 3 were held since step 2 and
+//         replay after the forwarded ones, preserving per-key order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/queues.hpp"
+#include "core/planner.hpp"
+#include "engine/join_store.hpp"
+#include "engine/tuple.hpp"
+
+namespace fastjoin {
+
+struct LiveConfig {
+  std::uint32_t instances = 4;  ///< join instances per biclique side
+  bool balancer = true;         ///< FastJoin on, BiStream off
+  PlannerConfig planner;        ///< theta etc.
+  std::chrono::milliseconds monitor_period{20};
+  double min_heaviest_load = 1000.0;
+  std::size_t queue_capacity = 1 << 15;
+  /// Artificial nanoseconds of work per match (lets small examples
+  /// exhibit measurable load without gigantic inputs). 0 = none.
+  std::uint64_t work_per_match_ns = 0;
+  /// Sliding-window join: number of sub-windows kept (0 = full history)
+  /// and the wall-clock length of one sub-window. The monitor thread
+  /// drives window advancement, so the balancer must be enabled for
+  /// windows to expire.
+  std::uint32_t window_subwindows = 0;
+  std::chrono::milliseconds subwindow_len{100};
+};
+
+struct LiveStats {
+  std::uint64_t records_in = 0;
+  std::uint64_t evicted = 0;     ///< window-expired tuples
+  std::uint64_t results = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t stores = 0;
+  std::size_t migrations = 0;
+  std::uint64_t tuples_migrated = 0;
+  double mean_latency_us = 0.0;  ///< queue+service latency per probe
+  double p99_latency_us = 0.0;
+  double final_li = 1.0;         ///< last LI the monitor observed
+};
+
+class LiveEngine {
+ public:
+  explicit LiveEngine(const LiveConfig& cfg);
+  ~LiveEngine();
+
+  LiveEngine(const LiveEngine&) = delete;
+  LiveEngine& operator=(const LiveEngine&) = delete;
+
+  /// Start worker and monitor threads.
+  void start();
+
+  /// Route one record (thread-safe; callers may share). Blocks on a
+  /// full worker queue (backpressure).
+  void push(const Record& rec);
+
+  /// Close the feed, drain every queue, stop all threads, and return
+  /// the final statistics.
+  LiveStats finish();
+
+  /// Install a match callback (before start()); called from worker
+  /// threads, must be thread-safe. Used by the completeness tests.
+  void set_on_match(std::function<void(const MatchPair&)> fn) {
+    on_match_ = std::move(fn);
+  }
+
+  std::uint32_t instances() const { return cfg_.instances; }
+
+ private:
+  struct SelectExtractReq {
+    InstanceLoad dst_load;
+    std::promise<std::shared_ptr<MigrationBatch>> reply;
+  };
+  struct TakeForwardReq {
+    std::promise<std::shared_ptr<std::vector<Record>>> reply;
+  };
+  struct HoldReq {
+    std::vector<KeyId> keys;
+  };
+  struct AbsorbReq {
+    std::shared_ptr<MigrationBatch> batch;
+  };
+  struct ReleaseReq {
+    std::shared_ptr<std::vector<Record>> forwarded;
+  };
+  struct AdvanceWindowReq {};
+  /// A data record with its push() timestamp, so probe latency covers
+  /// queueing as well as service.
+  struct DataMsg {
+    Record rec;
+    std::chrono::steady_clock::time_point pushed_at;
+  };
+  using Msg = std::variant<DataMsg, SelectExtractReq, TakeForwardReq,
+                           HoldReq, AbsorbReq, ReleaseReq,
+                           AdvanceWindowReq>;
+
+  class Worker;
+
+  void monitor_loop();
+  bool try_migrate(Side group);
+  Worker& worker(Side group, InstanceId id);
+  InstanceId route(Side group, KeyId key) const;
+
+  LiveConfig cfg_;
+  std::function<void(const MatchPair&)> on_match_;
+  std::vector<std::unique_ptr<Worker>> workers_[2];
+
+  mutable std::mutex route_mutex_;
+  std::unordered_map<KeyId, InstanceId> overrides_[2];
+
+  std::thread monitor_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> records_in_{0};
+  std::atomic<std::uint64_t> tuples_migrated_{0};
+  std::size_t migrations_ = 0;
+  std::vector<std::uint64_t> probe_marks_[2];
+  double last_li_ = 1.0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace fastjoin

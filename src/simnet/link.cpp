@@ -1,0 +1,23 @@
+#include "simnet/link.hpp"
+
+#include <algorithm>
+
+namespace fastjoin {
+
+Link::Link(Simulator& sim, SimTime latency, double bytes_per_sec)
+    : sim_(sim), latency_(latency), bytes_per_sec_(bytes_per_sec) {}
+
+void Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
+  const SimTime start = std::max(sim_.now(), next_free_);
+  SimTime tx = 0;
+  if (bytes_per_sec_ > 0.0) {
+    tx = static_cast<SimTime>(static_cast<double>(bytes) /
+                              bytes_per_sec_ * 1e9);
+  }
+  next_free_ = start + tx;
+  bytes_sent_ += bytes;
+  ++messages_sent_;
+  sim_.schedule_at(start + tx + latency_, std::move(on_delivered));
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,43 @@
+#include "simnet/server.hpp"
+
+#include <utility>
+
+namespace fastjoin {
+
+Server::Server(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void Server::submit(SimTime service_time,
+                    std::function<void()> on_complete) {
+  queue_.push_back(Job{service_time, std::move(on_complete)});
+  maybe_start();
+}
+
+void Server::pause() { paused_ = true; }
+
+void Server::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  maybe_start();
+}
+
+void Server::maybe_start() {
+  if (busy_ || paused_ || queue_.empty()) return;
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_time_ += job.service;
+  sim_.schedule_after(job.service,
+                      [this, job = std::move(job)]() mutable {
+                        finish(std::move(job));
+                      });
+}
+
+void Server::finish(Job job) {
+  busy_ = false;
+  ++completed_;
+  if (job.on_complete) job.on_complete();
+  maybe_start();
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,68 @@
+// A simulated single-threaded service station (one CPU worker).
+//
+// Jobs queue FIFO and are served one at a time; each job declares its own
+// service time, which is how the engine expresses the paper's cost model
+// (probing costs grow with the instance's stored-tuple count). pause()
+// models the paper's migration protocol, where the source instance
+// "stops executing the store and join operations" during key selection
+// and transfer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "simnet/simulator.hpp"
+
+namespace fastjoin {
+
+class Server {
+ public:
+  Server(Simulator& sim, std::string name = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a job taking `service_time`; `on_complete` fires when it
+  /// finishes service.
+  void submit(SimTime service_time, std::function<void()> on_complete);
+
+  /// Stop starting new jobs. A job already in service completes.
+  void pause();
+
+  /// Resume serving queued jobs.
+  void resume();
+
+  bool paused() const { return paused_; }
+  bool busy() const { return busy_; }
+
+  /// Jobs waiting (not counting the one in service).
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Cumulative time spent serving jobs (utilization numerator).
+  SimTime busy_time() const { return busy_time_; }
+
+  std::uint64_t jobs_completed() const { return completed_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    SimTime service;
+    std::function<void()> on_complete;
+  };
+
+  void maybe_start();
+  void finish(Job job);
+
+  Simulator& sim_;
+  std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  bool paused_ = false;
+  SimTime busy_time_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,38 @@
+#include "simnet/simulator.hpp"
+
+#include <cassert>
+
+namespace fastjoin {
+
+Simulator::Handle Simulator::schedule_at(SimTime t, Callback fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return Handle{id};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // The priority_queue's top is const; copy the small header and move
+    // the callback out via const_cast — safe because we pop immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(ev.seq)) continue;  // skip cancelled events
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    if (step()) ++n;
+  }
+  return n;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,68 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "instances=48", "theta=2.2",
+                        "name=fastjoin"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("instances", 0), 48);
+  EXPECT_DOUBLE_EQ(cfg.get_double("theta", 0.0), 2.2);
+  EXPECT_EQ(cfg.get_str("name", ""), "fastjoin");
+}
+
+TEST(Config, IgnoresMalformedArgs) {
+  const char* argv[] = {"prog", "--flag", "=x", "plain"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_TRUE(cfg.entries().empty());
+}
+
+TEST(Config, FallbacksApply) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_str("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(Config, BadNumbersFallBack) {
+  Config cfg;
+  cfg.set("n", "notanumber");
+  EXPECT_EQ(cfg.get_int("n", 3), 3);
+  EXPECT_DOUBLE_EQ(cfg.get_double("n", 2.5), 2.5);
+}
+
+TEST(Config, BoolVariants) {
+  Config cfg;
+  for (const char* t : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    cfg.set("b", t);
+    EXPECT_TRUE(cfg.get_bool("b", false)) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off", "False"}) {
+    cfg.set("b", f);
+    EXPECT_FALSE(cfg.get_bool("b", true)) << f;
+  }
+  cfg.set("b", "maybe");
+  EXPECT_TRUE(cfg.get_bool("b", true));  // unparsable -> fallback
+}
+
+TEST(Config, ValueMayContainEquals) {
+  Config cfg;
+  EXPECT_TRUE(cfg.parse_line("expr=a=b"));
+  EXPECT_EQ(cfg.get_str("expr", ""), "a=b");
+}
+
+TEST(Config, HasAndLookup) {
+  Config cfg;
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.has("k"));
+  EXPECT_FALSE(cfg.has("nope"));
+  EXPECT_EQ(cfg.lookup("k").value(), "v");
+  EXPECT_FALSE(cfg.lookup("nope").has_value());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,96 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_percentile(50), 0.0);
+}
+
+TEST(LogHistogram, SingleValue) {
+  LogHistogram h;
+  h.add(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  // Percentile estimate is bucket-midpoint-based; relative error is
+  // bounded by the sub-bucket resolution (clamped to observed range).
+  EXPECT_NEAR(h.value_at_percentile(50), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(LogHistogram, PercentilesOfUniformSamples) {
+  LogHistogram h(1.0, 1e7);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100'000; ++i) {
+    h.add(1.0 + rng.next_double() * 99'999.0);
+  }
+  EXPECT_NEAR(h.value_at_percentile(50), 50'000, 50'000 * 0.05);
+  EXPECT_NEAR(h.value_at_percentile(99), 99'000, 99'000 * 0.05);
+}
+
+TEST(LogHistogram, RelativeErrorBounded) {
+  LogHistogram h(1.0, 1e9, 64);
+  for (double v : {5.0, 123.0, 4567.0, 1e6, 5e8}) {
+    LogHistogram single(1.0, 1e9, 64);
+    single.add(v);
+    const double est = single.value_at_percentile(50);
+    EXPECT_NEAR(est, v, v * 0.02) << "value " << v;
+  }
+  (void)h;
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h(10.0, 1000.0);
+  h.add(1.0);      // below min -> clamped into first bucket
+  h.add(1e9);      // above max -> clamped into last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1.0);   // raw min/max still tracked
+  EXPECT_EQ(h.max(), 1e9);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h;
+  h.add(100.0, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 500.0);
+}
+
+TEST(LogHistogram, MergeCombines) {
+  LogHistogram a, b;
+  for (int i = 1; i <= 100; ++i) a.add(i);
+  for (int i = 101; i <= 200; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 200.0);
+  EXPECT_NEAR(a.value_at_percentile(50), 100.0, 10.0);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.add(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, MonotonePercentiles) {
+  LogHistogram h;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) h.add(1.0 + rng.next_below(100'000));
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.value_at_percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

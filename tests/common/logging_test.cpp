@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+struct LevelGuard {
+  LogLevel saved = logging::level();
+  ~LevelGuard() { logging::set_level(saved); }
+};
+
+TEST(Logging, LevelRoundTrip) {
+  LevelGuard guard;
+  logging::set_level(LogLevel::kDebug);
+  EXPECT_EQ(logging::level(), LogLevel::kDebug);
+  logging::set_level(LogLevel::kError);
+  EXPECT_EQ(logging::level(), LogLevel::kError);
+}
+
+TEST(Logging, FilteredStatementsDoNotEvaluateCheaply) {
+  LevelGuard guard;
+  logging::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  // The macro's if-guard must skip the streaming expression entirely.
+  FJ_DEBUG("test") << expensive();
+  FJ_INFO("test") << expensive();
+  FJ_ERROR("test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logging, EnabledStatementsEvaluate) {
+  LevelGuard guard;
+  logging::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  FJ_ERROR("test") << count();  // at threshold: evaluated
+  FJ_WARN("test") << count();   // below: skipped
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logging, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace fastjoin

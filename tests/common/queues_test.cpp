@@ -1,0 +1,153 @@
+#include "common/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size_approx(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> q(2);  // rounded up; usable capacity >= 2
+  std::size_t pushed = 0;
+  while (q.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_GE(pushed, 2u);
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop().value(), 0);
+  EXPECT_TRUE(q.try_push(99));  // freed one slot
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> q(4);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(q.try_push(round));
+    ASSERT_EQ(q.try_pop().value(), round);
+  }
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(SpscRing, ConcurrentTransferPreservesSequence) {
+  SpscRing<int> q(1024);
+  const int n = 200'000;
+  std::thread producer([&] {
+    for (int i = 0; i < n; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  int expected = 0;
+  while (expected < n) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expected);  // FIFO, no loss, no duplication
+      sum += *v;
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(n - 1) * n / 2);
+}
+
+TEST(BoundedQueue, BasicPushPop) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed
+}
+
+TEST(BoundedQueue, BlockingPopWakesOnPush) {
+  BoundedQueue<int> q(4);
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop().value(), 42);
+  t.join();
+}
+
+TEST(BoundedQueue, BackpressureBlocksUntilSpace) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  EXPECT_TRUE(q.push(2));  // blocks until the pop frees a slot
+  t.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, MpmcStress) {
+  BoundedQueue<int> q(64);
+  const int producers = 3;
+  const int per_producer = 20'000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> got{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        q.push(p * per_producer + i);
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (got.load() < producers * per_producer) {
+        if (auto v = q.try_pop()) {
+          sum += *v;
+          ++got;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long n = static_cast<long long>(producers) * per_producer;
+  EXPECT_EQ(sum.load(), (n - 1) * n / 2);
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(5));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,97 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(SplitMix64, Reproducible) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, KnownFirstOutput) {
+  // Reference value for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 rng(1234567);
+  EXPECT_EQ(rng(), 6457827717110365317ULL);
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowUnbiased) {
+  Xoshiro256 rng(11);
+  const std::uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int total = 200'000;
+  for (int i = 0; i < total; ++i) ++counts[rng.next_below(n)];
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], total / static_cast<int>(n), total / 100);
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  // Must plug into <random> distributions.
+  Xoshiro256 rng(17);
+  std::uniform_int_distribution<int> dist(1, 6);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,126 @@
+#include "common/spacesaving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "datagen/zipf.hpp"
+
+namespace fastjoin {
+namespace {
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j <= i; ++j) ss.add(static_cast<KeyId>(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ss.estimate(static_cast<KeyId>(i)),
+              static_cast<std::uint64_t>(i + 1));
+    EXPECT_TRUE(ss.is_exact(static_cast<KeyId>(i)));
+  }
+  EXPECT_EQ(ss.min_count(), 0u);  // not full: no eviction floor yet
+  EXPECT_EQ(ss.size(), 5u);
+}
+
+TEST(SpaceSaving, OverestimatesBoundedByMin) {
+  SpaceSaving ss(4);
+  Xoshiro256 rng(7);
+  std::map<KeyId, std::uint64_t> truth;
+  for (int i = 0; i < 20'000; ++i) {
+    const KeyId k = rng.next_below(50);
+    ss.add(k);
+    ++truth[k];
+  }
+  // Classic guarantee: estimate in [truth, truth + error], and every
+  // tracked key's error <= current min tracked count at eviction time
+  // <= final estimates.
+  for (const auto& e : ss.top()) {
+    EXPECT_GE(e.count, truth[e.key]);
+    EXPECT_LE(e.count - e.error, truth[e.key]);
+  }
+}
+
+TEST(SpaceSaving, HeavyHittersAlwaysTracked) {
+  // Any key with true count > N/m must be tracked.
+  const std::size_t m = 32;
+  SpaceSaving ss(m);
+  ZipfDistribution zipf(10'000, 1.2);
+  Xoshiro256 rng(3);
+  std::map<KeyId, std::uint64_t> truth;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const KeyId k = zipf(rng);
+    ss.add(k);
+    ++truth[k];
+  }
+  for (const auto& [k, c] : truth) {
+    if (c > static_cast<std::uint64_t>(n) / m) {
+      EXPECT_GT(ss.estimate(k), 0u) << "heavy hitter " << k << " lost";
+    }
+  }
+}
+
+TEST(SpaceSaving, TopIsSortedDescending) {
+  SpaceSaving ss(8);
+  for (int i = 1; i <= 8; ++i) {
+    ss.add(static_cast<KeyId>(i), static_cast<std::uint64_t>(i * 10));
+  }
+  const auto top = ss.top();
+  ASSERT_EQ(top.size(), 8u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+  EXPECT_EQ(top.front().key, 8u);
+}
+
+TEST(SpaceSaving, WeightedAdds) {
+  SpaceSaving ss(4);
+  ss.add(1, 100);
+  ss.add(2, 50);
+  EXPECT_EQ(ss.estimate(1), 100u);
+  EXPECT_EQ(ss.total_weight(), 150u);
+}
+
+TEST(SpaceSaving, EvictionInheritsFloor) {
+  SpaceSaving ss(2);
+  ss.add(1, 10);
+  ss.add(2, 5);
+  ss.add(3);  // evicts key 2 (min=5): estimate 6, error 5
+  EXPECT_EQ(ss.estimate(2), 0u);
+  EXPECT_EQ(ss.estimate(3), 6u);
+  EXPECT_FALSE(ss.is_exact(3));
+  EXPECT_EQ(ss.min_count(), 6u);
+}
+
+TEST(SpaceSaving, DecayHalvesAndPrunes) {
+  SpaceSaving ss(8);
+  ss.add(1, 8);
+  ss.add(2, 1);
+  ss.decay();
+  EXPECT_EQ(ss.estimate(1), 4u);
+  EXPECT_EQ(ss.estimate(2), 0u);  // 1/2 -> 0: pruned
+  EXPECT_EQ(ss.size(), 1u);
+  EXPECT_EQ(ss.total_weight(), 4u);
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(4);
+  ss.add(1, 3);
+  ss.clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total_weight(), 0u);
+  EXPECT_EQ(ss.estimate(1), 0u);
+}
+
+TEST(SpaceSaving, CapacityAtLeastOne) {
+  SpaceSaving ss(0);
+  ss.add(1);
+  ss.add(2);
+  EXPECT_EQ(ss.capacity(), 1u);
+  EXPECT_EQ(ss.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,136 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats all, a, b;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.value(), 10.0);
+  q.add(20.0);
+  EXPECT_DOUBLE_EQ(q.value(), 15.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile q(0.5);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, P99OfUniform) {
+  P2Quantile q(0.99);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100'000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.value(), 0.99, 0.02);
+}
+
+TEST(Percentile, ExactSmallVector) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Imbalance, BalancedLoadsGiveLiOne) {
+  std::vector<double> loads{100, 100, 100, 100};
+  const auto m = compute_imbalance(loads);
+  EXPECT_DOUBLE_EQ(m.li, 1.0);
+  EXPECT_DOUBLE_EQ(m.peak, 1.0);
+  EXPECT_DOUBLE_EQ(m.cv, 0.0);
+}
+
+TEST(Imbalance, MatchesPaperDefinition) {
+  std::vector<double> loads{250, 100, 150, 100};
+  const auto m = compute_imbalance(loads);
+  EXPECT_DOUBLE_EQ(m.li, 2.5);  // Eq. 2: heaviest / lightest
+  EXPECT_DOUBLE_EQ(m.max_load, 250.0);
+  EXPECT_DOUBLE_EQ(m.min_load, 100.0);
+}
+
+TEST(Imbalance, ZeroLoadFloored) {
+  std::vector<double> loads{500, 0};
+  const auto m = compute_imbalance(loads, 1.0);
+  EXPECT_DOUBLE_EQ(m.li, 500.0);  // floored denominator, finite ratio
+}
+
+TEST(Imbalance, EmptyInput) {
+  const auto m = compute_imbalance({});
+  EXPECT_DOUBLE_EQ(m.li, 1.0);
+}
+
+TEST(Gini, UniformIsZero) {
+  std::vector<double> v{5, 5, 5, 5, 5};
+  EXPECT_NEAR(gini(v), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeConcentration) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_GT(gini(v), 0.95);
+}
+
+TEST(Gini, KnownValue) {
+  // For {1, 3}: mean abs diff = 1, mean = 2 -> gini = 1/(2*2)... the
+  // standard formula gives 0.25.
+  std::vector<double> v{1, 3};
+  EXPECT_NEAR(gini(v), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace fastjoin

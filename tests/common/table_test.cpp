@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fastjoin {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), std::int64_t{7}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(Table, FormatsDoublesCompactly) {
+  EXPECT_EQ(Table::format_cell(1.5), "1.500");
+  EXPECT_EQ(Table::format_cell(0.0), "0.000");
+  // Very large/small values switch to %.4g.
+  EXPECT_EQ(Table::format_cell(1.234e10), "1.234e+10");
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(HumanCount, ScalesUnits) {
+  EXPECT_EQ(human_count(950.0), "950.00");
+  EXPECT_EQ(human_count(1'500.0), "1.50K");
+  EXPECT_EQ(human_count(2'500'000.0), "2.50M");
+  EXPECT_EQ(human_count(3'100'000'000.0), "3.10G");
+}
+
+}  // namespace
+}  // namespace fastjoin

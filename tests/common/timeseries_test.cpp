@@ -1,0 +1,86 @@
+#include "common/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+TEST(TimeSeries, RecordAndAccess) {
+  TimeSeries ts("x");
+  EXPECT_TRUE(ts.empty());
+  ts.record(10, 1.0);
+  ts.record(20, 3.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.name(), "x");
+  EXPECT_DOUBLE_EQ(ts.last(), 3.0);
+}
+
+TEST(TimeSeries, MeanAfterFiltersByTime) {
+  TimeSeries ts;
+  ts.record(0, 10.0);
+  ts.record(100, 20.0);
+  ts.record(200, 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(100), 25.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(201), 0.0);
+}
+
+TEST(TimeSeries, ResampleAveragesBuckets) {
+  TimeSeries ts;
+  ts.record(0, 2.0);
+  ts.record(5, 4.0);
+  ts.record(10, 6.0);
+  const auto out = ts.resample(0, 10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].v, 3.0);  // samples at t=0 and t=5
+  EXPECT_DOUBLE_EQ(out[1].v, 6.0);
+}
+
+TEST(TimeSeries, ResampleCarriesForwardEmptyBuckets) {
+  TimeSeries ts;
+  ts.record(0, 5.0);
+  ts.record(35, 9.0);
+  const auto out = ts.resample(0, 10);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0].v, 5.0);
+  EXPECT_DOUBLE_EQ(out[1].v, 5.0);  // carried forward
+  EXPECT_DOUBLE_EQ(out[2].v, 5.0);
+  EXPECT_DOUBLE_EQ(out[3].v, 9.0);
+}
+
+TEST(RateTracker, CountsPerWindow) {
+  RateTracker rt(kNanosPerSec);
+  rt.add(0, 10);
+  rt.add(kNanosPerSec / 2, 20);
+  rt.add(kNanosPerSec + 1, 5);  // rolls the first window
+  rt.finish();
+  const auto pts = rt.series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 30.0);  // 30 events in first second
+  EXPECT_DOUBLE_EQ(pts[1].v, 5.0);
+  EXPECT_EQ(rt.total(), 35u);
+}
+
+TEST(RateTracker, GapsEmitZeroWindows) {
+  RateTracker rt(kNanosPerSec);
+  rt.add(0, 1);
+  rt.add(3 * kNanosPerSec + 1, 1);  // two empty windows in between
+  rt.finish();
+  const auto pts = rt.series().points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[1].v, 0.0);
+  EXPECT_DOUBLE_EQ(pts[2].v, 0.0);
+}
+
+TEST(RateTracker, SubSecondWindowScalesToPerSecond) {
+  RateTracker rt(kNanosPerSec / 10);  // 100 ms windows
+  rt.add(0, 10);
+  rt.add(kNanosPerSec / 10 + 1, 0);
+  rt.finish();
+  const auto pts = rt.series().points();
+  ASSERT_GE(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 100.0);  // 10 events / 0.1 s = 100/s
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,183 @@
+#include "core/greedy_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace fastjoin {
+namespace {
+
+KeySelectionInput skewed_input() {
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 500};  // load 500k
+  in.dst = {.stored = 100, .queued = 50};    // load 5k
+  in.keys = {
+      {.key = 1, .stored = 400, .queued = 200},  // the monster key
+      {.key = 2, .stored = 100, .queued = 100},
+      {.key = 3, .stored = 100, .queued = 50},
+      {.key = 4, .stored = 200, .queued = 50},
+      {.key = 5, .stored = 200, .queued = 100},
+  };
+  return in;
+}
+
+TEST(GreedyFit, EmptyKeysYieldEmptySelection) {
+  KeySelectionInput in;
+  in.src = {.stored = 10, .queued = 10};
+  in.dst = {.stored = 1, .queued = 1};
+  const auto res = greedy_fit(in);
+  EXPECT_TRUE(res.selection.empty());
+  EXPECT_EQ(res.tuples_moved, 0u);
+}
+
+TEST(GreedyFit, SelectsSomethingOnSkewedInput) {
+  const auto res = greedy_fit(skewed_input());
+  EXPECT_FALSE(res.selection.empty());
+  EXPECT_GT(res.total_benefit, 0.0);
+}
+
+TEST(GreedyFit, MaintainsEq9Invariant) {
+  // Delta L = L'_i - L'_j must stay positive: the target may never end
+  // up heavier than the source (Alg. 1's admission condition).
+  const auto in = skewed_input();
+  const auto res = greedy_fit(in);
+  EXPECT_GT(delta_after_migration(in.src, in.dst, res.selection), 0.0);
+  EXPECT_GT(res.predicted_src_load, res.predicted_dst_load);
+}
+
+TEST(GreedyFit, ReducesTheGap) {
+  const auto in = skewed_input();
+  const auto res = greedy_fit(in);
+  const double gap_before = in.src.load() - in.dst.load();
+  const double gap_after =
+      res.predicted_src_load - res.predicted_dst_load;
+  EXPECT_LT(gap_after, gap_before);
+}
+
+TEST(GreedyFit, BalancedInputSelectsNothing) {
+  KeySelectionInput in;
+  in.src = {.stored = 100, .queued = 100};
+  in.dst = {.stored = 100, .queued = 100};
+  in.keys = {{.key = 1, .stored = 50, .queued = 50}};
+  const auto res = greedy_fit(in);
+  EXPECT_TRUE(res.selection.empty());
+}
+
+TEST(GreedyFit, SrcLighterThanDstSelectsNothing) {
+  KeySelectionInput in;
+  in.src = {.stored = 10, .queued = 10};
+  in.dst = {.stored = 100, .queued = 100};
+  in.keys = {{.key = 1, .stored = 5, .queued = 5}};
+  const auto res = greedy_fit(in);
+  EXPECT_TRUE(res.selection.empty());
+}
+
+TEST(GreedyFit, ThetaGapFiltersSmallBenefits) {
+  auto in = skewed_input();
+  // First find the smallest admitted benefit, then raise theta_gap just
+  // above it and check that key disappears.
+  const auto res = greedy_fit(in);
+  ASSERT_FALSE(res.selection.empty());
+  double min_benefit = 1e30;
+  for (const auto& k : res.selection) {
+    min_benefit = std::min(min_benefit, migration_benefit(in.src, in.dst, k));
+  }
+  in.theta_gap = min_benefit + 1.0;
+  const auto res2 = greedy_fit(in);
+  EXPECT_LT(res2.selection.size(), res.selection.size());
+  for (const auto& k : res2.selection) {
+    EXPECT_GE(migration_benefit(in.src, in.dst, k), in.theta_gap);
+  }
+}
+
+TEST(GreedyFit, PrefersHighFactorKeys) {
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 1000};
+  in.dst = {.stored = 0, .queued = 0};
+  // Key 1: tiny storage, huge probe traffic -> enormous factor.
+  // Key 2: huge storage, no probe traffic -> small factor.
+  in.keys = {
+      {.key = 1, .stored = 1, .queued = 500},
+      {.key = 2, .stored = 999, .queued = 500},
+  };
+  const auto res = greedy_fit(in);
+  ASSERT_FALSE(res.selection.empty());
+  EXPECT_EQ(res.selection.front().key, 1u);
+}
+
+TEST(GreedyFit, DeterministicTieBreak) {
+  KeySelectionInput in;
+  in.src = {.stored = 100, .queued = 100};
+  in.dst = {.stored = 0, .queued = 0};
+  in.keys = {
+      {.key = 7, .stored = 10, .queued = 10},
+      {.key = 3, .stored = 10, .queued = 10},
+      {.key = 5, .stored = 10, .queued = 10},
+  };
+  const auto a = greedy_fit(in);
+  std::reverse(in.keys.begin(), in.keys.end());
+  const auto b = greedy_fit(in);
+  ASSERT_EQ(a.selection.size(), b.selection.size());
+  for (std::size_t i = 0; i < a.selection.size(); ++i) {
+    EXPECT_EQ(a.selection[i].key, b.selection[i].key);
+  }
+}
+
+TEST(GreedyFit, ResultBookkeepingConsistent) {
+  const auto in = skewed_input();
+  const auto res = greedy_fit(in);
+  std::uint64_t tuples = 0;
+  double benefit = 0.0;
+  for (const auto& k : res.selection) {
+    tuples += k.stored;
+    benefit += migration_benefit(in.src, in.dst, k);
+  }
+  EXPECT_EQ(res.tuples_moved, tuples);
+  EXPECT_DOUBLE_EQ(res.total_benefit, benefit);
+  InstanceLoad src = in.src, dst = in.dst;
+  apply_migration(src, dst, res.selection);
+  EXPECT_DOUBLE_EQ(res.predicted_src_load, src.load());
+  EXPECT_DOUBLE_EQ(res.predicted_dst_load, dst.load());
+}
+
+// Property sweep: on random instances GreedyFit never violates Eq. 9 and
+// never picks a key twice.
+class GreedyFitPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyFitPropertyTest, RandomInstancesKeepInvariants) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    KeySelectionInput in;
+    const int n = 1 + static_cast<int>(rng.next_below(60));
+    std::uint64_t stored_sum = 0, queued_sum = 0;
+    for (int i = 0; i < n; ++i) {
+      KeyLoad k;
+      k.key = static_cast<KeyId>(i);
+      k.stored = rng.next_below(1000);
+      k.queued = rng.next_below(500);
+      stored_sum += k.stored;
+      queued_sum += k.queued;
+      in.keys.push_back(k);
+    }
+    in.src = {.stored = stored_sum, .queued = queued_sum};
+    in.dst = {.stored = rng.next_below(200), .queued = rng.next_below(100)};
+
+    const auto res = greedy_fit(in);
+    std::set<KeyId> seen;
+    for (const auto& k : res.selection) {
+      EXPECT_TRUE(seen.insert(k.key).second) << "duplicate key selected";
+    }
+    if (!res.selection.empty()) {
+      EXPECT_GT(delta_after_migration(in.src, in.dst, res.selection), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyFitPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fastjoin

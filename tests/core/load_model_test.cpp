@@ -1,0 +1,119 @@
+#include "core/load_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(LoadModel, Eq1LoadIsProduct) {
+  InstanceLoad l{.stored = 1000, .queued = 50};
+  EXPECT_DOUBLE_EQ(l.load(), 50'000.0);
+}
+
+TEST(LoadModel, LoadHandlesHugeCounts) {
+  // Products overflow u64 at realistic scales; load() must not.
+  InstanceLoad l{.stored = 5'000'000'000ULL, .queued = 5'000'000'000ULL};
+  EXPECT_DOUBLE_EQ(l.load(), 2.5e19);
+}
+
+TEST(LoadModel, Eq2LoadImbalance) {
+  std::vector<InstanceLoad> loads{
+      {.stored = 100, .queued = 10},  // 1000
+      {.stored = 50, .queued = 10},   // 500
+      {.stored = 200, .queued = 20},  // 4000
+  };
+  EXPECT_DOUBLE_EQ(load_imbalance(loads), 8.0);
+}
+
+TEST(LoadModel, LiAtLeastOneAndFloored) {
+  std::vector<InstanceLoad> loads{{.stored = 0, .queued = 0},
+                                  {.stored = 10, .queued = 10}};
+  const double li = load_imbalance(loads, 1.0);
+  EXPECT_DOUBLE_EQ(li, 100.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 1.0);
+}
+
+TEST(LoadModel, Eq5RemovalLoad) {
+  InstanceLoad src{.stored = 100, .queued = 40};
+  KeyLoad k{.key = 1, .stored = 30, .queued = 10};
+  // (100-30) * (40-10) = 2100
+  EXPECT_DOUBLE_EQ(load_after_removal(src, k), 2100.0);
+}
+
+TEST(LoadModel, Eq6InsertionLoad) {
+  InstanceLoad dst{.stored = 20, .queued = 5};
+  KeyLoad k{.key = 1, .stored = 30, .queued = 10};
+  // (20+30) * (5+10) = 750
+  EXPECT_DOUBLE_EQ(load_after_insertion(dst, k), 750.0);
+}
+
+TEST(LoadModel, Eq8BenefitMatchesDefinition7) {
+  // F_k must equal (L_i - L_j) - (L'_i - L'_j) exactly (Eq. 7 = Eq. 8).
+  InstanceLoad src{.stored = 100, .queued = 40};
+  InstanceLoad dst{.stored = 20, .queued = 5};
+  KeyLoad k{.key = 1, .stored = 30, .queued = 10};
+  const double before = src.load() - dst.load();
+  const double after = load_after_removal(src, k) -
+                       load_after_insertion(dst, k);
+  EXPECT_DOUBLE_EQ(migration_benefit(src, dst, k), before - after);
+  // And the closed form: (100+20)*10 + (40+5)*30 = 1200 + 1350 = 2550.
+  EXPECT_DOUBLE_EQ(migration_benefit(src, dst, k), 2550.0);
+}
+
+TEST(LoadModel, BenefitAsymmetry) {
+  // The paper's observation: the load removed from the source is not the
+  // load added to the target.
+  InstanceLoad src{.stored = 1000, .queued = 100};
+  InstanceLoad dst{.stored = 10, .queued = 1};
+  KeyLoad k{.key = 1, .stored = 100, .queued = 20};
+  const double removed = src.load() - load_after_removal(src, k);
+  const double added = load_after_insertion(dst, k) - dst.load();
+  EXPECT_NE(removed, added);
+}
+
+TEST(LoadModel, KeyFactorDefinition2) {
+  InstanceLoad src{.stored = 100, .queued = 40};
+  InstanceLoad dst{.stored = 20, .queued = 5};
+  KeyLoad k{.key = 1, .stored = 30, .queued = 10};
+  EXPECT_DOUBLE_EQ(migration_key_factor(src, dst, k), 2550.0 / 30.0);
+}
+
+TEST(LoadModel, ZeroStoredKeyHasInfiniteFactor) {
+  InstanceLoad src{.stored = 100, .queued = 40};
+  InstanceLoad dst{.stored = 20, .queued = 5};
+  KeyLoad k{.key = 1, .stored = 0, .queued = 10};
+  EXPECT_TRUE(std::isinf(migration_key_factor(src, dst, k)));
+}
+
+TEST(LoadModel, Eq9TelescopesExactly) {
+  // Delta L after migrating a SET of keys must equal
+  // L_i - L_j - sum(F_k) with F_k computed from the INITIAL aggregates.
+  InstanceLoad src{.stored = 500, .queued = 200};
+  InstanceLoad dst{.stored = 100, .queued = 30};
+  std::vector<KeyLoad> sel{
+      {.key = 1, .stored = 50, .queued = 20},
+      {.key = 2, .stored = 30, .queued = 40},
+      {.key = 3, .stored = 5, .queued = 1},
+  };
+  double sum_f = 0.0;
+  for (const auto& k : sel) sum_f += migration_benefit(src, dst, k);
+  const double expected = src.load() - dst.load() - sum_f;
+  EXPECT_DOUBLE_EQ(delta_after_migration(src, dst, sel), expected);
+}
+
+TEST(LoadModel, ApplyMigrationMovesCounts) {
+  InstanceLoad src{.stored = 500, .queued = 200};
+  InstanceLoad dst{.stored = 100, .queued = 30};
+  std::vector<KeyLoad> sel{{.key = 1, .stored = 50, .queued = 20}};
+  apply_migration(src, dst, sel);
+  EXPECT_EQ(src.stored, 450u);
+  EXPECT_EQ(src.queued, 180u);
+  EXPECT_EQ(dst.stored, 150u);
+  EXPECT_EQ(dst.queued, 50u);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/planner.hpp"
+
+namespace fastjoin {
+namespace {
+
+std::vector<InstanceLoad> ramp_loads(int n) {
+  // Load of instance i = (i+1)^2 * 100: a clean heavy tail.
+  std::vector<InstanceLoad> loads;
+  for (int i = 0; i < n; ++i) {
+    loads.push_back({.stored = static_cast<std::uint64_t>((i + 1) * 10),
+                     .queued = static_cast<std::uint64_t>((i + 1) * 10)});
+  }
+  return loads;
+}
+
+TEST(MultiPair, SinglePairMatchesClassicPick) {
+  const auto loads = ramp_loads(8);
+  PlannerConfig cfg;
+  cfg.theta = 2.0;
+  const auto single = pick_migration_pair(loads, cfg);
+  const auto multi = pick_migration_pairs(loads, cfg, 1);
+  ASSERT_TRUE(single.has_value());
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(multi[0].src, single->src);
+  EXPECT_EQ(multi[0].dst, single->dst);
+  EXPECT_DOUBLE_EQ(multi[0].li, single->li);
+}
+
+TEST(MultiPair, PairsAreDisjointAndOrdered) {
+  const auto loads = ramp_loads(10);
+  PlannerConfig cfg;
+  cfg.theta = 1.5;
+  const auto pairs = pick_migration_pairs(loads, cfg, 3);
+  ASSERT_GE(pairs.size(), 2u);
+  std::set<InstanceId> used;
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(used.insert(p.src).second);
+    EXPECT_TRUE(used.insert(p.dst).second);
+  }
+  // Heaviest-first: successive pairs have non-increasing LI.
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i].li, pairs[i - 1].li);
+  }
+  // First pair = heaviest (9) with lightest (0).
+  EXPECT_EQ(pairs[0].src, 9u);
+  EXPECT_EQ(pairs[0].dst, 0u);
+  EXPECT_EQ(pairs[1].src, 8u);
+  EXPECT_EQ(pairs[1].dst, 1u);
+}
+
+TEST(MultiPair, StopsAtThetaCutoff) {
+  // Only the extreme pair exceeds theta; inner pairs are balanced.
+  std::vector<InstanceLoad> loads{
+      {.stored = 100, .queued = 100},  // 10000
+      {.stored = 32, .queued = 32},    // 1024
+      {.stored = 31, .queued = 31},    // 961
+      {.stored = 10, .queued = 10},    // 100
+  };
+  PlannerConfig cfg;
+  cfg.theta = 5.0;
+  const auto pairs = pick_migration_pairs(loads, cfg, 2);
+  ASSERT_EQ(pairs.size(), 1u);  // 1024/961 ~ 1.07 <= 5 stops the scan
+  EXPECT_EQ(pairs[0].src, 0u);
+  EXPECT_EQ(pairs[0].dst, 3u);
+}
+
+TEST(MultiPair, BalancedReturnsNothing) {
+  std::vector<InstanceLoad> loads(6, {.stored = 50, .queued = 50});
+  PlannerConfig cfg;
+  cfg.theta = 1.5;
+  EXPECT_TRUE(pick_migration_pairs(loads, cfg, 3).empty());
+}
+
+TEST(MultiPair, CappedByHalfTheInstances) {
+  const auto loads = ramp_loads(4);
+  PlannerConfig cfg;
+  cfg.theta = 1.01;
+  const auto pairs = pick_migration_pairs(loads, cfg, 100);
+  EXPECT_LE(pairs.size(), 2u);
+}
+
+TEST(MultiPair, ZeroMaxPairsIsEmpty) {
+  const auto loads = ramp_loads(6);
+  PlannerConfig cfg;
+  EXPECT_TRUE(pick_migration_pairs(loads, cfg, 0).empty());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,119 @@
+#include "core/optimal_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/greedy_fit.hpp"
+
+namespace fastjoin {
+namespace {
+
+KeySelectionInput random_input(Xoshiro256& rng, int n) {
+  KeySelectionInput in;
+  std::uint64_t ssum = 0, qsum = 0;
+  for (int i = 0; i < n; ++i) {
+    KeyLoad k{.key = static_cast<KeyId>(i),
+              .stored = 1 + rng.next_below(200),
+              .queued = rng.next_below(100)};
+    ssum += k.stored;
+    qsum += k.queued;
+    in.keys.push_back(k);
+  }
+  in.src = {.stored = ssum, .queued = qsum};
+  in.dst = {.stored = rng.next_below(50), .queued = rng.next_below(20)};
+  return in;
+}
+
+TEST(OptimalBruteforce, RejectsLargeInputs) {
+  KeySelectionInput in;
+  in.keys.resize(25);
+  EXPECT_THROW(optimal_fit_bruteforce(in), std::invalid_argument);
+}
+
+TEST(OptimalBruteforce, EmptyAndInfeasible) {
+  KeySelectionInput in;
+  in.src = {.stored = 1, .queued = 1};
+  in.dst = {.stored = 10, .queued = 10};
+  in.keys = {{.key = 1, .stored = 1, .queued = 1}};
+  EXPECT_TRUE(optimal_fit_bruteforce(in).selection.empty());
+}
+
+TEST(OptimalBruteforce, FindsExactOptimumOnTinyInstance) {
+  KeySelectionInput in;
+  in.src = {.stored = 100, .queued = 100};  // load 10000
+  in.dst = {.stored = 0, .queued = 0};
+  in.keys = {
+      {.key = 1, .stored = 40, .queued = 40},
+      {.key = 2, .stored = 30, .queued = 30},
+      {.key = 3, .stored = 30, .queued = 30},
+  };
+  // F_k = 100*q + 100*s: F1 = 8000, F2 = F3 = 6000. Gap = 10000.
+  // Best feasible (sum < 10000): {k1} with 8000 (k2+k3 = 12000 > gap).
+  const auto res = optimal_fit_bruteforce(in);
+  ASSERT_EQ(res.selection.size(), 1u);
+  EXPECT_EQ(res.selection[0].key, 1u);
+  EXPECT_DOUBLE_EQ(res.total_benefit, 8000.0);
+}
+
+TEST(OptimalBruteforce, BeatsOrMatchesGreedyByBenefit) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto in = random_input(rng, 12);
+    const auto greedy = greedy_fit(in);
+    const auto optimal = optimal_fit_bruteforce(in);
+    EXPECT_GE(optimal.total_benefit, greedy.total_benefit - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(OptimalDp, FeasibleAndNearBruteforce) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto in = random_input(rng, 14);
+    const double gap = in.src.load() - in.dst.load();
+    const auto bf = optimal_fit_bruteforce(in);
+    const auto dp = optimal_fit_dp(in, 20'000);
+    // DP is feasible...
+    EXPECT_LT(dp.total_benefit, std::max(gap, 0.0) + 1e-9);
+    // ...and within the quantization error of the true optimum.
+    if (bf.total_benefit > 0) {
+      EXPECT_GE(dp.total_benefit, bf.total_benefit * 0.98)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(OptimalDp, ZeroResolutionIsEmpty) {
+  Xoshiro256 rng(5);
+  const auto in = random_input(rng, 8);
+  EXPECT_TRUE(optimal_fit_dp(in, 0).selection.empty());
+}
+
+TEST(OptimalDp, HandlesManyKeys) {
+  Xoshiro256 rng(31);
+  const auto in = random_input(rng, 300);
+  const auto dp = optimal_fit_dp(in, 5'000);
+  const double gap = in.src.load() - in.dst.load();
+  EXPECT_LE(dp.total_benefit, gap);
+  // With 300 keys the gap should be almost perfectly fillable.
+  EXPECT_GT(dp.total_benefit, 0.8 * gap);
+}
+
+TEST(GreedyApproximationGap, GreedyIsCloseToOptimal) {
+  // Quantify the claim of Section IV-A: GreedyFit is "good enough".
+  Xoshiro256 rng(41);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto in = random_input(rng, 16);
+    const auto greedy = greedy_fit(in);
+    const auto optimal = optimal_fit_bruteforce(in);
+    if (optimal.total_benefit <= 0) continue;
+    worst_ratio = std::min(
+        worst_ratio, greedy.total_benefit / optimal.total_benefit);
+  }
+  // Greedy by factor can be suboptimal at gap-filling, but not wildly.
+  EXPECT_GT(worst_ratio, 0.4);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,89 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(Planner, BalancedClusterNoMigration) {
+  std::vector<InstanceLoad> loads(4, {.stored = 100, .queued = 100});
+  PlannerConfig cfg;
+  cfg.theta = 2.2;
+  EXPECT_FALSE(pick_migration_pair(loads, cfg).has_value());
+}
+
+TEST(Planner, PicksHeaviestAndLightest) {
+  std::vector<InstanceLoad> loads{
+      {.stored = 100, .queued = 100},  // 10000
+      {.stored = 300, .queued = 100},  // 30000 -> heaviest
+      {.stored = 50, .queued = 100},   // 5000  -> lightest
+      {.stored = 120, .queued = 100},  // 12000
+  };
+  PlannerConfig cfg;
+  cfg.theta = 2.2;
+  const auto pair = pick_migration_pair(loads, cfg);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->src, 1u);
+  EXPECT_EQ(pair->dst, 2u);
+  EXPECT_DOUBLE_EQ(pair->li, 6.0);
+}
+
+TEST(Planner, ThresholdIsStrict) {
+  std::vector<InstanceLoad> loads{
+      {.stored = 22, .queued = 100},  // 2200
+      {.stored = 10, .queued = 100},  // 1000 -> LI = 2.2 exactly
+  };
+  PlannerConfig cfg;
+  cfg.theta = 2.2;
+  EXPECT_FALSE(pick_migration_pair(loads, cfg).has_value());
+  cfg.theta = 2.1999;
+  EXPECT_TRUE(pick_migration_pair(loads, cfg).has_value());
+}
+
+TEST(Planner, SingleInstanceNeverMigrates) {
+  std::vector<InstanceLoad> loads{{.stored = 1000, .queued = 1000}};
+  PlannerConfig cfg;
+  EXPECT_FALSE(pick_migration_pair(loads, cfg).has_value());
+}
+
+TEST(Planner, AllIdleNoMigration) {
+  // Every load 0: LI floored to 1, below any theta > 1.
+  std::vector<InstanceLoad> loads(4);
+  PlannerConfig cfg;
+  cfg.theta = 2.0;
+  EXPECT_FALSE(pick_migration_pair(loads, cfg).has_value());
+}
+
+TEST(Planner, IdleLightestUsesFloor) {
+  std::vector<InstanceLoad> loads{
+      {.stored = 1000, .queued = 1000},  // 1e6
+      {.stored = 0, .queued = 0},        // 0 -> floored
+  };
+  PlannerConfig cfg;
+  cfg.theta = 2.0;
+  cfg.floor_eps = 1.0;
+  const auto pair = pick_migration_pair(loads, cfg);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->li, 1e6);
+  EXPECT_EQ(pair->dst, 1u);
+}
+
+TEST(Planner, SelectKeysDispatchesToGreedy) {
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 500};
+  in.dst = {.stored = 10, .queued = 5};
+  in.keys = {{.key = 1, .stored = 100, .queued = 50},
+             {.key = 2, .stored = 200, .queued = 100}};
+  PlannerConfig cfg;
+  cfg.selector = KeySelectorKind::kGreedyFit;
+  const auto g = select_keys(in, cfg);
+  EXPECT_FALSE(g.selection.empty());
+  cfg.selector = KeySelectorKind::kSAFit;
+  const auto s = select_keys(in, cfg);
+  EXPECT_LE(s.total_benefit, in.src.load() - in.dst.load());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,137 @@
+#include "core/random_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/greedy_fit.hpp"
+
+namespace fastjoin {
+namespace {
+
+KeySelectionInput skewed_input() {
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 500};
+  in.dst = {.stored = 100, .queued = 50};
+  in.keys = {
+      {.key = 1, .stored = 400, .queued = 200},
+      {.key = 2, .stored = 100, .queued = 100},
+      {.key = 3, .stored = 100, .queued = 50},
+      {.key = 4, .stored = 200, .queued = 50},
+      {.key = 5, .stored = 200, .queued = 100},
+  };
+  return in;
+}
+
+TEST(RandomFit, StaysFeasible) {
+  const auto in = skewed_input();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomFitParams p;
+    p.seed = seed;
+    const auto res = random_fit(in, p);
+    if (!res.selection.empty()) {
+      EXPECT_GT(delta_after_migration(in.src, in.dst, res.selection), 0.0)
+          << "seed " << seed;
+    }
+    std::set<KeyId> seen;
+    for (const auto& k : res.selection) {
+      EXPECT_TRUE(seen.insert(k.key).second);
+    }
+  }
+}
+
+TEST(RandomFit, EmptyAndInfeasibleInputs) {
+  KeySelectionInput in;
+  in.src = {.stored = 1, .queued = 1};
+  in.dst = {.stored = 100, .queued = 100};
+  in.keys = {{.key = 1, .stored = 1, .queued = 1}};
+  EXPECT_TRUE(random_fit(in).selection.empty());
+  in.keys.clear();
+  EXPECT_TRUE(random_fit(in).selection.empty());
+}
+
+TEST(RandomFit, RespectsMaxFraction) {
+  KeySelectionInput in;
+  in.src = {.stored = 10'000, .queued = 10'000};
+  in.dst = {.stored = 0, .queued = 0};
+  for (int i = 0; i < 100; ++i) {
+    in.keys.push_back({static_cast<KeyId>(i), 100, 100});
+  }
+  RandomFitParams p;
+  p.max_fraction = 0.1;
+  const auto res = random_fit(in, p);
+  EXPECT_LE(res.selection.size(), 10u);
+}
+
+TEST(RandomFit, NaiveModeIgnoresFeasibility) {
+  // The paper's Section III-B strawman: with enough hot keys selected
+  // blindly, the target can end up heavier than the source.
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 1000};
+  in.dst = {.stored = 900, .queued = 900};
+  for (int i = 0; i < 20; ++i) {
+    in.keys.push_back({static_cast<KeyId>(i), 50, 50});
+  }
+  RandomFitParams p;
+  p.naive = true;
+  p.max_fraction = 1.0;
+  bool violated = false;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    p.seed = seed;
+    const auto res = random_fit(in, p);
+    if (!res.selection.empty() &&
+        delta_after_migration(in.src, in.dst, res.selection) < 0.0) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(RandomFit, DeterministicPerSeed) {
+  const auto in = skewed_input();
+  RandomFitParams p;
+  p.seed = 5;
+  const auto a = random_fit(in, p);
+  const auto b = random_fit(in, p);
+  ASSERT_EQ(a.selection.size(), b.selection.size());
+  for (std::size_t i = 0; i < a.selection.size(); ++i) {
+    EXPECT_EQ(a.selection[i].key, b.selection[i].key);
+  }
+}
+
+TEST(RandomFit, WorsePerTupleValueThanGreedyOnAverage) {
+  // The paper's Section III-B point: random selection migrates tuples
+  // far less efficiently than GreedyFit's factor ordering.
+  Xoshiro256 rng(3);
+  double greedy_total = 0.0, random_total = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    KeySelectionInput in;
+    std::uint64_t ssum = 0, qsum = 0;
+    for (int i = 0; i < 40; ++i) {
+      KeyLoad k{static_cast<KeyId>(i), 1 + rng.next_below(500),
+                rng.next_below(300)};
+      ssum += k.stored;
+      qsum += k.queued;
+      in.keys.push_back(k);
+    }
+    in.src = {ssum, qsum};
+    in.dst = {ssum / 30, qsum / 30};
+    const auto g = greedy_fit(in);
+    RandomFitParams p;
+    p.seed = 100 + trial;
+    const auto r = random_fit(in, p);
+    auto value = [](const KeySelectionResult& res) {
+      return res.tuples_moved
+                 ? res.total_benefit /
+                       static_cast<double>(res.tuples_moved)
+                 : 0.0;
+    };
+    greedy_total += value(g);
+    random_total += value(r);
+  }
+  EXPECT_GT(greedy_total, random_total * 1.2);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,135 @@
+#include "core/sa_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/greedy_fit.hpp"
+
+namespace fastjoin {
+namespace {
+
+KeySelectionInput skewed_input() {
+  KeySelectionInput in;
+  in.src = {.stored = 1000, .queued = 500};
+  in.dst = {.stored = 100, .queued = 50};
+  in.keys = {
+      {.key = 1, .stored = 400, .queued = 200},
+      {.key = 2, .stored = 100, .queued = 100},
+      {.key = 3, .stored = 100, .queued = 50},
+      {.key = 4, .stored = 200, .queued = 50},
+      {.key = 5, .stored = 200, .queued = 100},
+  };
+  return in;
+}
+
+TEST(SAFit, EmptyInput) {
+  KeySelectionInput in;
+  in.src = {.stored = 10, .queued = 10};
+  in.dst = {.stored = 1, .queued = 1};
+  const auto res = sa_fit(in);
+  EXPECT_TRUE(res.selection.empty());
+}
+
+TEST(SAFit, RespectsFeasibilityBound) {
+  const auto in = skewed_input();
+  const auto res = sa_fit(in);
+  // Benefit(SK) <= L_i - L_j (Alg. 3 line 22).
+  EXPECT_LE(res.total_benefit, in.src.load() - in.dst.load());
+}
+
+TEST(SAFit, SelectsSomethingUseful) {
+  const auto res = sa_fit(skewed_input());
+  EXPECT_FALSE(res.selection.empty());
+  EXPECT_GT(res.total_benefit, 0.0);
+}
+
+TEST(SAFit, DeterministicGivenSeed) {
+  const auto in = skewed_input();
+  SAFitParams p;
+  p.seed = 123;
+  const auto a = sa_fit(in, p);
+  const auto b = sa_fit(in, p);
+  ASSERT_EQ(a.selection.size(), b.selection.size());
+  for (std::size_t i = 0; i < a.selection.size(); ++i) {
+    EXPECT_EQ(a.selection[i].key, b.selection[i].key);
+  }
+}
+
+TEST(SAFit, NoDuplicateKeys) {
+  const auto res = sa_fit(skewed_input());
+  std::set<KeyId> seen;
+  for (const auto& k : res.selection) {
+    EXPECT_TRUE(seen.insert(k.key).second);
+  }
+}
+
+TEST(SAFit, InfeasibleGapSelectsNothing) {
+  KeySelectionInput in;
+  in.src = {.stored = 10, .queued = 10};   // load 100
+  in.dst = {.stored = 50, .queued = 50};   // load 2500 > src
+  in.keys = {{.key = 1, .stored = 5, .queued = 5}};
+  const auto res = sa_fit(in);
+  EXPECT_TRUE(res.selection.empty());
+}
+
+TEST(SAFit, QualityComparableToGreedy) {
+  // The paper's Fig. 14 conclusion: SAFit and GreedyFit perform about
+  // the same. Check SAFit's per-tuple value is at least half of
+  // GreedyFit's on random instances (SA is stochastic; exact parity is
+  // not required).
+  Xoshiro256 rng(99);
+  int sa_not_worse = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    KeySelectionInput in;
+    const int n = 5 + static_cast<int>(rng.next_below(30));
+    std::uint64_t ssum = 0, qsum = 0;
+    for (int i = 0; i < n; ++i) {
+      KeyLoad k{.key = static_cast<KeyId>(i),
+                .stored = 1 + rng.next_below(500),
+                .queued = rng.next_below(300)};
+      ssum += k.stored;
+      qsum += k.queued;
+      in.keys.push_back(k);
+    }
+    in.src = {.stored = ssum, .queued = qsum};
+    in.dst = {.stored = rng.next_below(100), .queued = rng.next_below(50)};
+
+    const auto g = greedy_fit(in);
+    SAFitParams p;
+    p.seed = 1000 + t;
+    p.iters_per_temp = 200;
+    const auto s = sa_fit(in, p);
+    if (g.total_benefit <= 0.0) {
+      ++sa_not_worse;
+      continue;
+    }
+    const double g_value =
+        g.tuples_moved ? g.total_benefit / g.tuples_moved : 0.0;
+    const double s_value =
+        s.tuples_moved ? s.total_benefit / s.tuples_moved : 0.0;
+    if (s_value >= 0.5 * g_value) ++sa_not_worse;
+  }
+  EXPECT_GE(sa_not_worse, trials * 3 / 4);
+}
+
+TEST(SAFit, ExtremeParametersStayFeasible) {
+  const auto in = skewed_input();
+  for (SAFitParams p :
+       {SAFitParams{.initial_temp = 1e-2, .min_temp = 1e-3, .cooling = 0.5,
+                    .iters_per_temp = 1, .seed = 7},
+        SAFitParams{.initial_temp = 10.0, .min_temp = 1e-4, .cooling = 0.99,
+                    .iters_per_temp = 300, .seed = 8}}) {
+    const auto res = sa_fit(in, p);
+    EXPECT_LE(res.total_benefit, in.src.load() - in.dst.load());
+    std::set<KeyId> seen;
+    for (const auto& k : res.selection) {
+      EXPECT_TRUE(seen.insert(k.key).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

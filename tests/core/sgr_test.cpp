@@ -1,0 +1,55 @@
+#include "core/sgr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+TEST(Sgr, Eq12MatchesClosedForm) {
+  SgrParams p{.tuple_bytes = 48.0, .stat_bytes = 24.0};
+  // SGR = 48*1000 / (48*1000 + 24*100) = 48000/50400
+  EXPECT_NEAR(scaling_gain_ratio(1000, 100, p), 48000.0 / 50400.0, 1e-12);
+}
+
+TEST(Sgr, Eq13EquivalentToEq12) {
+  SgrParams p;
+  const std::uint64_t tuples = 140'000;
+  const std::uint64_t keys = 10'000;
+  const double c = static_cast<double>(tuples) / keys;
+  EXPECT_NEAR(scaling_gain_ratio(tuples, keys, p),
+              scaling_gain_ratio_c(c, p), 1e-12);
+}
+
+TEST(Sgr, PaperClaimCAbove10GivesSgrAbove09) {
+  // Section IV-C: "when c is larger than 10, the value of SGR is larger
+  // than 0.9". Holds whenever chi_k <= chi_t.
+  SgrParams p{.tuple_bytes = 48.0, .stat_bytes = 48.0};
+  EXPECT_GT(scaling_gain_ratio_c(10.0, p), 0.9);
+}
+
+TEST(Sgr, PaperDatasetValues) {
+  SgrParams p;
+  // Passenger stream: c = 14 -> well above 0.9.
+  EXPECT_GT(scaling_gain_ratio_c(14.0, p), 0.9);
+  // Taxi stream: c > 10^4 -> essentially 1.
+  EXPECT_GT(scaling_gain_ratio_c(1e4, p), 0.9999);
+}
+
+TEST(Sgr, MonotoneInC) {
+  SgrParams p;
+  double prev = 0.0;
+  for (double c = 1.0; c <= 1e6; c *= 10) {
+    const double s = scaling_gain_ratio_c(c, p);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(Sgr, ZeroTuplesDefined) {
+  EXPECT_GT(scaling_gain_ratio(0, 10), -1e-9);
+  EXPECT_LT(scaling_gain_ratio(0, 10), 1e-9);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,96 @@
+#include "datagen/adclick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fastjoin {
+namespace {
+
+AdClickConfig small_config() {
+  AdClickConfig cfg;
+  cfg.num_campaigns = 1000;
+  cfg.query_rate = 10'000;
+  cfg.click_through = 0.3;
+  cfg.total_records = 50'000;
+  return cfg;
+}
+
+TEST(AdClick, TimestampsNonDecreasing) {
+  AdClickGenerator gen(small_config());
+  SimTime prev = -1;
+  while (auto rec = gen.next()) {
+    EXPECT_GE(rec->ts, prev);
+    prev = rec->ts;
+  }
+}
+
+TEST(AdClick, ClickThroughRateApproximatelyHolds) {
+  AdClickGenerator gen(small_config());
+  std::uint64_t queries = 0, clicks = 0;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? queries : clicks)++;
+  }
+  EXPECT_GT(queries, 0u);
+  const double ctr = static_cast<double>(clicks) / queries;
+  EXPECT_NEAR(ctr, 0.3, 0.05);
+}
+
+TEST(AdClick, EveryClickReferencesAnEarlierQuery) {
+  AdClickGenerator gen(small_config());
+  std::map<std::uint64_t, std::pair<KeyId, SimTime>> queries;
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kR) {
+      queries[rec->seq] = {rec->key, rec->ts};
+    } else {
+      const auto it = queries.find(rec->payload);
+      ASSERT_NE(it, queries.end()) << "click for unknown query";
+      EXPECT_EQ(rec->key, it->second.first);   // same campaign
+      EXPECT_GT(rec->ts, it->second.second);   // strictly later
+    }
+  }
+}
+
+TEST(AdClick, ClickSeqsAreDense) {
+  AdClickGenerator gen(small_config());
+  std::uint64_t next_click = 0;
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kS) {
+      EXPECT_EQ(rec->seq, next_click++);
+    }
+  }
+  EXPECT_GT(next_click, 0u);
+}
+
+TEST(AdClick, CampaignsAreSkewed) {
+  AdClickGenerator gen(small_config());
+  std::map<KeyId, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kR) {
+      ++counts[rec->key];
+      ++total;
+    }
+  }
+  std::uint64_t max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  // Hot campaign far above uniform share.
+  EXPECT_GT(max_count, 20 * total / 1000);
+}
+
+TEST(AdClick, Deterministic) {
+  AdClickGenerator a(small_config());
+  AdClickGenerator b(small_config());
+  for (int i = 0; i < 2000; ++i) {
+    auto ra = a.next();
+    auto rb = b.next();
+    ASSERT_TRUE(ra && rb);
+    EXPECT_EQ(ra->key, rb->key);
+    EXPECT_EQ(ra->ts, rb->ts);
+    EXPECT_EQ(ra->side, rb->side);
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

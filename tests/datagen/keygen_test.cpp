@@ -1,0 +1,112 @@
+#include "datagen/keygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fastjoin {
+namespace {
+
+TEST(KeyGenerator, RanksMapToDistinctKeys) {
+  KeyStreamSpec spec;
+  spec.num_keys = 10'000;
+  KeyGenerator gen(spec);
+  std::set<KeyId> keys;
+  for (std::uint64_t r = 1; r <= spec.num_keys; ++r) {
+    keys.insert(gen.key_for_rank(r));
+  }
+  EXPECT_EQ(keys.size(), spec.num_keys);
+}
+
+TEST(KeyGenerator, SameScrambleSharesUniverse) {
+  // R and S streams built with the same (num_keys, scramble) must join
+  // on a common key universe even with different seeds/skews.
+  KeyStreamSpec r;
+  r.num_keys = 1000;
+  r.zipf_s = 1.0;
+  r.seed = 1;
+  KeyStreamSpec s = r;
+  s.zipf_s = 2.0;
+  s.seed = 2;
+  KeyGenerator gr(r), gs(s);
+  for (std::uint64_t rank = 1; rank <= 1000; ++rank) {
+    EXPECT_EQ(gr.key_for_rank(rank), gs.key_for_rank(rank));
+  }
+}
+
+TEST(KeyGenerator, DifferentScrambleDisjointUniverse) {
+  KeyStreamSpec a;
+  a.num_keys = 1000;
+  KeyStreamSpec b = a;
+  b.scramble = a.scramble + 1;
+  KeyGenerator ga(a), gb(b);
+  std::set<KeyId> ua, ub;
+  for (std::uint64_t r = 1; r <= 1000; ++r) {
+    ua.insert(ga.key_for_rank(r));
+    ub.insert(gb.key_for_rank(r));
+  }
+  std::set<KeyId> inter;
+  std::set_intersection(ua.begin(), ua.end(), ub.begin(), ub.end(),
+                        std::inserter(inter, inter.begin()));
+  // mix64 is bijective, so overlap is possible but vanishingly unlikely.
+  EXPECT_LT(inter.size(), 3u);
+}
+
+TEST(KeyGenerator, ZipfStreamIsSkewed) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kZipf;
+  spec.num_keys = 10'000;
+  spec.zipf_s = 1.2;
+  KeyGenerator gen(spec);
+  std::map<KeyId, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[gen()];
+  int max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  // The hottest key should hold far more than the uniform share.
+  EXPECT_GT(max_count, 20 * n / 10'000);
+}
+
+TEST(KeyGenerator, UniformStreamIsFlat) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kUniform;
+  spec.num_keys = 100;
+  KeyGenerator gen(spec);
+  std::map<KeyId, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[gen()];
+  for (const auto& [_, c] : counts) {
+    EXPECT_NEAR(c, n / 100, n / 100 / 4);
+  }
+}
+
+TEST(KeyGenerator, HottestKeyIsRankOne) {
+  KeyStreamSpec spec;
+  spec.dist = KeyDist::kZipf;
+  spec.num_keys = 1000;
+  spec.zipf_s = 1.5;
+  KeyGenerator gen(spec);
+  std::map<KeyId, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[gen()];
+  KeyId hottest = 0;
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      hottest = k;
+    }
+  }
+  EXPECT_EQ(hottest, gen.key_for_rank(1));
+}
+
+TEST(KeyGenerator, DeterministicAcrossInstances) {
+  KeyStreamSpec spec;
+  spec.num_keys = 500;
+  spec.seed = 77;
+  KeyGenerator a(spec), b(spec);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,115 @@
+#include "datagen/ride_hailing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+RideHailingConfig small_config() {
+  RideHailingConfig cfg;
+  cfg.num_locations = 2000;
+  cfg.order_rate = 10'000;
+  cfg.track_rate = 50'000;
+  cfg.total_records = 100'000;
+  return cfg;
+}
+
+/// Fraction of the stream held by the top `frac` of observed keys.
+double observed_top_mass(const std::map<KeyId, std::uint64_t>& counts,
+                         double frac, std::uint64_t universe) {
+  std::vector<std::uint64_t> v;
+  v.reserve(counts.size());
+  std::uint64_t total = 0;
+  for (const auto& [_, c] : counts) {
+    v.push_back(c);
+    total += c;
+  }
+  std::sort(v.rbegin(), v.rend());
+  const auto top = static_cast<std::size_t>(frac * universe);
+  std::uint64_t mass = 0;
+  for (std::size_t i = 0; i < std::min(top, v.size()); ++i) mass += v[i];
+  return static_cast<double>(mass) / static_cast<double>(total);
+}
+
+TEST(RideHailing, CalibratedExponentsAreOrdered) {
+  RideHailingGenerator gen(small_config());
+  // Orders concentrate 80% into 20% of keys, tracks into 24% — the
+  // order stream must be calibrated steeper.
+  EXPECT_GT(gen.order_exponent(), gen.track_exponent());
+  EXPECT_GT(gen.track_exponent(), 0.5);
+}
+
+TEST(RideHailing, SkewMatchesPaperStatistics) {
+  const auto cfg = small_config();
+  RideHailingGenerator gen(cfg);
+  std::map<KeyId, std::uint64_t> orders, tracks;
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kR) {
+      ++orders[rec->key];
+    } else {
+      ++tracks[rec->key];
+    }
+  }
+  // Fig. 1a: ~20% of locations hold ~80% of orders.
+  EXPECT_NEAR(observed_top_mass(orders, 0.20, cfg.num_locations), 0.80,
+              0.05);
+  // Fig. 1b: ~24% of locations hold ~80% of tracks.
+  EXPECT_NEAR(observed_top_mass(tracks, 0.24, cfg.num_locations), 0.80,
+              0.05);
+}
+
+TEST(RideHailing, StreamsShareKeyUniverse) {
+  RideHailingGenerator gen(small_config());
+  std::map<KeyId, int> order_keys, track_keys;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? order_keys : track_keys)[rec->key] = 1;
+  }
+  // Hot locations appear in both streams (that is what makes them join).
+  int shared = 0;
+  for (const auto& [k, _] : order_keys) {
+    if (track_keys.count(k)) ++shared;
+  }
+  EXPECT_GT(shared, static_cast<int>(order_keys.size() / 2));
+}
+
+TEST(RideHailing, TrackStreamDominatesVolume) {
+  const auto cfg = small_config();
+  RideHailingGenerator gen(cfg);
+  std::uint64_t orders = 0, tracks = 0;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? orders : tracks)++;
+  }
+  EXPECT_NEAR(static_cast<double>(tracks) / orders,
+              cfg.track_rate / cfg.order_rate, 1.0);
+}
+
+TEST(RideHailing, TaxiIdsWithinPool) {
+  auto cfg = small_config();
+  cfg.num_taxis = 100;
+  cfg.total_records = 10'000;
+  RideHailingGenerator gen(cfg);
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kS) {
+      EXPECT_LT(rec->payload, cfg.num_taxis);
+    }
+  }
+}
+
+TEST(RideHailing, Deterministic) {
+  RideHailingGenerator a(small_config());
+  RideHailingGenerator b(small_config());
+  for (int i = 0; i < 1000; ++i) {
+    auto ra = a.next();
+    auto rb = b.next();
+    ASSERT_TRUE(ra && rb);
+    EXPECT_EQ(ra->key, rb->key);
+    EXPECT_EQ(ra->payload, rb->payload);
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,74 @@
+#include "datagen/stock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fastjoin {
+namespace {
+
+StockConfig small_config() {
+  StockConfig cfg;
+  cfg.num_symbols = 500;
+  cfg.total_records = 50'000;
+  return cfg;
+}
+
+TEST(Stock, PayloadDecodesToValidPriceAndQuantity) {
+  StockGenerator gen(small_config());
+  while (auto rec = gen.next()) {
+    const auto price = StockGenerator::price_cents(rec->payload);
+    const auto qty = StockGenerator::quantity(rec->payload);
+    EXPECT_GE(price, 100u);
+    EXPECT_LT(price, 100'000u);
+    EXPECT_GE(qty, 1u);
+    EXPECT_LE(qty, 1'000u);
+  }
+}
+
+TEST(Stock, BothSidesPresentRoughlyEqually) {
+  StockGenerator gen(small_config());
+  std::uint64_t buys = 0, sells = 0;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? buys : sells)++;
+  }
+  EXPECT_NEAR(static_cast<double>(buys) / sells, 1.0, 0.1);
+}
+
+TEST(Stock, SymbolVolumeIsSkewed) {
+  StockGenerator gen(small_config());
+  std::map<KeyId, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  while (auto rec = gen.next()) {
+    ++counts[rec->key];
+    ++total;
+  }
+  std::uint64_t max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 30 * total / 500);
+}
+
+TEST(Stock, BuyAndSellShareSymbolUniverse) {
+  StockGenerator gen(small_config());
+  std::map<KeyId, int> buy_keys, sell_keys;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? buy_keys : sell_keys)[rec->key] = 1;
+  }
+  int shared = 0;
+  for (const auto& [k, _] : buy_keys) {
+    if (sell_keys.count(k)) ++shared;
+  }
+  EXPECT_GT(shared, static_cast<int>(buy_keys.size() * 3 / 4));
+}
+
+TEST(Stock, TimestampsNonDecreasing) {
+  StockGenerator gen(small_config());
+  SimTime prev = -1;
+  while (auto rec = gen.next()) {
+    EXPECT_GE(rec->ts, prev);
+    prev = rec->ts;
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

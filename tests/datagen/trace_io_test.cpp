@@ -1,0 +1,156 @@
+#include "datagen/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fastjoin {
+namespace {
+
+std::vector<Record> sample_records(int n) {
+  std::vector<Record> out;
+  for (int i = 0; i < n; ++i) {
+    Record r;
+    r.side = i % 2 ? Side::kS : Side::kR;
+    r.key = static_cast<KeyId>(i * 31 + 7);
+    r.seq = static_cast<std::uint64_t>(i);
+    r.payload = static_cast<std::uint64_t>(i) * 1000;
+    r.ts = i * 123;
+    out.push_back(r);
+  }
+  return out;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(TraceIo, BinaryRoundTripExact) {
+  TempFile f("roundtrip.fjt");
+  const auto records = sample_records(1000);
+  EXPECT_EQ(write_trace_binary(f.path, records), 1000u);
+  const auto back = read_trace_binary(f.path);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].key, records[i].key);
+    EXPECT_EQ(back[i].seq, records[i].seq);
+    EXPECT_EQ(back[i].payload, records[i].payload);
+    EXPECT_EQ(back[i].ts, records[i].ts);
+    EXPECT_EQ(back[i].side, records[i].side);
+  }
+}
+
+TEST(TraceIo, StreamingSourceMatchesBulkRead) {
+  TempFile f("stream.fjt");
+  const auto records = sample_records(257);
+  write_trace_binary(f.path, records);
+  TraceFileSource src(f.path);
+  EXPECT_EQ(src.total_records(), 257u);
+  std::size_t i = 0;
+  while (auto rec = src.next()) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(rec->seq, records[i].seq);
+    ++i;
+  }
+  EXPECT_EQ(i, 257u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(TraceIo, WriteFromSourceDrains) {
+  TempFile f("gen.fjt");
+  KeyStreamSpec r;
+  r.num_keys = 100;
+  KeyStreamSpec s = r;
+  s.seed = 9;
+  TraceConfig tc;
+  tc.total_records = 500;
+  TraceGenerator gen(r, s, tc);
+  EXPECT_EQ(write_trace_binary(f.path, gen), 500u);
+  EXPECT_EQ(read_trace_binary(f.path).size(), 500u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(TraceFileSource("/nonexistent/path.fjt"),
+               std::runtime_error);
+  EXPECT_THROW(read_trace_binary("/nonexistent/path.fjt"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  TempFile f("junk.fjt");
+  std::ofstream out(f.path, std::ios::binary);
+  out << "this is not a trace file at all, definitely";
+  out.close();
+  EXPECT_THROW(TraceFileSource src(f.path), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedFileDetected) {
+  TempFile f("trunc.fjt");
+  write_trace_binary(f.path, sample_records(100));
+  // Chop the file short.
+  std::ifstream in(f.path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  EXPECT_THROW(read_trace_binary(f.path), std::runtime_error);
+}
+
+TEST(TraceIo, CsvHasHeaderAndRows) {
+  TempFile f("trace.csv");
+  const auto records = sample_records(10);
+  EXPECT_EQ(write_trace_csv(f.path, records), 10u);
+  std::ifstream in(f.path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "side,key,seq,payload,ts");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 10);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  TempFile f("round.csv");
+  const auto records = sample_records(200);
+  write_trace_csv(f.path, records);
+  const auto back = read_trace_csv(f.path);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].key, records[i].key);
+    EXPECT_EQ(back[i].seq, records[i].seq);
+    EXPECT_EQ(back[i].payload, records[i].payload);
+    EXPECT_EQ(back[i].ts, records[i].ts);
+    EXPECT_EQ(back[i].side, records[i].side);
+  }
+}
+
+TEST(TraceIo, CsvBadHeaderThrows) {
+  TempFile f("bad.csv");
+  std::ofstream out(f.path);
+  out << "nope,nope\nR,1,2,3,4\n";
+  out.close();
+  EXPECT_THROW(read_trace_csv(f.path), std::runtime_error);
+}
+
+TEST(TraceIo, CsvMalformedRowThrows) {
+  TempFile f("mal.csv");
+  std::ofstream out(f.path);
+  out << "side,key,seq,payload,ts\nR,1,2,3,4\nX,broken\n";
+  out.close();
+  EXPECT_THROW(read_trace_csv(f.path), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  TempFile f("empty.fjt");
+  EXPECT_EQ(write_trace_binary(f.path, std::vector<Record>{}), 0u);
+  EXPECT_TRUE(read_trace_binary(f.path).empty());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,136 @@
+#include "datagen/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fastjoin {
+namespace {
+
+KeyStreamSpec small_spec(std::uint64_t seed) {
+  KeyStreamSpec spec;
+  spec.num_keys = 100;
+  spec.zipf_s = 1.0;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(TraceGenerator, EmitsExactlyTotalRecords) {
+  TraceConfig cfg;
+  cfg.total_records = 1000;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  std::uint64_t n = 0;
+  while (gen.next()) ++n;
+  EXPECT_EQ(n, 1000u);
+  EXPECT_FALSE(gen.next().has_value());  // stays exhausted
+}
+
+TEST(TraceGenerator, TimestampsNonDecreasing) {
+  TraceConfig cfg;
+  cfg.total_records = 5000;
+  cfg.arrivals = ArrivalKind::kPoisson;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  SimTime prev = -1;
+  while (auto rec = gen.next()) {
+    EXPECT_GE(rec->ts, prev);
+    prev = rec->ts;
+  }
+}
+
+TEST(TraceGenerator, SequenceNumbersPerSideAreDense) {
+  TraceConfig cfg;
+  cfg.total_records = 2000;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  std::uint64_t next_r = 0, next_s = 0;
+  while (auto rec = gen.next()) {
+    if (rec->side == Side::kR) {
+      EXPECT_EQ(rec->seq, next_r++);
+    } else {
+      EXPECT_EQ(rec->seq, next_s++);
+    }
+  }
+  EXPECT_GT(next_r, 0u);
+  EXPECT_GT(next_s, 0u);
+}
+
+TEST(TraceGenerator, RateRatioRespected) {
+  TraceConfig cfg;
+  cfg.r_rate = 10'000;
+  cfg.s_rate = 40'000;
+  cfg.total_records = 50'000;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  std::uint64_t r = 0, s = 0;
+  while (auto rec = gen.next()) {
+    (rec->side == Side::kR ? r : s)++;
+  }
+  EXPECT_NEAR(static_cast<double>(s) / static_cast<double>(r), 4.0, 0.2);
+}
+
+TEST(TraceGenerator, FixedArrivalsHaveConstantGaps) {
+  TraceConfig cfg;
+  cfg.r_rate = 1000;
+  cfg.s_rate = 0.0001;  // effectively silence S
+  cfg.total_records = 100;
+  cfg.arrivals = ArrivalKind::kFixed;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  SimTime prev = -1;
+  SimTime gap = -1;
+  while (auto rec = gen.next()) {
+    if (rec->side != Side::kR) continue;
+    if (prev >= 0) {
+      const SimTime g = rec->ts - prev;
+      if (gap >= 0) EXPECT_EQ(g, gap);
+      gap = g;
+    }
+    prev = rec->ts;
+  }
+  EXPECT_EQ(gap, kNanosPerSec / 1000);
+}
+
+TEST(TraceGenerator, PoissonArrivalsJitter) {
+  TraceConfig cfg;
+  cfg.r_rate = 1000;
+  cfg.s_rate = 0.0001;
+  cfg.total_records = 200;
+  cfg.arrivals = ArrivalKind::kPoisson;
+  TraceGenerator gen(small_spec(1), small_spec(2), cfg);
+  std::map<SimTime, int> gaps;
+  SimTime prev = -1;
+  while (auto rec = gen.next()) {
+    if (rec->side != Side::kR) continue;
+    if (prev >= 0) ++gaps[rec->ts - prev];
+    prev = rec->ts;
+  }
+  EXPECT_GT(gaps.size(), 10u);  // many distinct gaps
+}
+
+TEST(TraceGenerator, Deterministic) {
+  TraceConfig cfg;
+  cfg.total_records = 1000;
+  cfg.arrivals = ArrivalKind::kPoisson;
+  TraceGenerator a(small_spec(1), small_spec(2), cfg);
+  TraceGenerator b(small_spec(1), small_spec(2), cfg);
+  while (true) {
+    auto ra = a.next();
+    auto rb = b.next();
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (!ra) break;
+    EXPECT_EQ(ra->key, rb->key);
+    EXPECT_EQ(ra->ts, rb->ts);
+    EXPECT_EQ(ra->side, rb->side);
+    EXPECT_EQ(ra->seq, rb->seq);
+  }
+}
+
+TEST(DatasetScale, MapsGbToTuplesLinearly) {
+  DatasetScale scale;
+  const auto t10 = scale.tuples_for_gb(10);
+  const auto t30 = scale.tuples_for_gb(30);
+  const auto t70 = scale.tuples_for_gb(70);
+  EXPECT_NEAR(static_cast<double>(t30) / t10, 3.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(t70) / t10, 7.0, 0.01);
+  EXPECT_GT(t10, 0u);
+}
+
+}  // namespace
+}  // namespace fastjoin

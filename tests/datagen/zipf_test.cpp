@@ -1,0 +1,111 @@
+#include "datagen/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution z(1000, s);
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 1000; ++k) sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  ZipfDistribution z(100, 1.2);
+  for (std::uint64_t k = 1; k < 100; ++k) {
+    EXPECT_GE(z.pmf(k), z.pmf(k + 1));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfDistribution z(50, 0.0);
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    EXPECT_NEAR(z.pmf(k), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution z(100, 1.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = z(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(Zipf, SingleRankAlwaysOne) {
+  ZipfDistribution z(1, 1.5);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+// Empirical frequencies must match the pmf (chi-square-lite check on the
+// head of the distribution where counts are large).
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalMatchesPmf) {
+  const double s = GetParam();
+  const std::uint64_t n = 1000;
+  ZipfDistribution z(n, s);
+  Xoshiro256 rng(42);
+  const int samples = 500'000;
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < samples; ++i) ++counts[z(rng)];
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    const double expected = z.pmf(k) * samples;
+    if (expected < 100) continue;  // too noisy to assert
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 10)
+        << "s=" << s << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.5, 0.99, 1.0, 1.5, 2.0));
+
+TEST(Zipf, TopMassGrowsWithSkew) {
+  ZipfDistribution flat(10'000, 0.5);
+  ZipfDistribution steep(10'000, 1.5);
+  EXPECT_LT(flat.top_mass(0.2), steep.top_mass(0.2));
+  EXPECT_GT(steep.top_mass(0.2), 0.9);
+}
+
+TEST(Zipf, TopMassUniformIsProportional) {
+  ZipfDistribution z(1000, 0.0);
+  EXPECT_NEAR(z.top_mass(0.2), 0.2, 1e-9);
+}
+
+TEST(Zipf, FitExponentHitsTarget) {
+  // The paper's Fig. 1a property: top 20% of keys hold 80% of tuples.
+  const double s = ZipfDistribution::fit_exponent(10'000, 0.20, 0.80);
+  ZipfDistribution z(10'000, s);
+  EXPECT_NEAR(z.top_mass(0.20), 0.80, 0.01);
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(Zipf, FitExponentTrackFraction) {
+  // Fig. 1b: top 24% of locations hold 80% of track points.
+  const double s = ZipfDistribution::fit_exponent(10'000, 0.24, 0.80);
+  ZipfDistribution z(10'000, s);
+  EXPECT_NEAR(z.top_mass(0.24), 0.80, 0.01);
+  // A looser concentration target needs a smaller exponent.
+  const double s_order = ZipfDistribution::fit_exponent(10'000, 0.20, 0.80);
+  EXPECT_LT(s, s_order);
+}
+
+TEST(Zipf, DeterministicGivenSeed) {
+  ZipfDistribution z(500, 1.1);
+  Xoshiro256 a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,135 @@
+// Chaos property test: every engine feature at once, across random
+// schedules. Windows + aggressive concurrent migrations + mid-run
+// scale-out + instance crashes with checkpointing, on skewed Poisson
+// traffic. Invariants checked per seed:
+//   * the run terminates and consumes every record,
+//   * results never exceed the full-history ground truth and are never
+//     duplicated,
+//   * per-instance load accounting stays consistent with the stores,
+//   * crashed-and-recovered instances keep processing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin {
+namespace {
+
+struct ChaosPlan {
+  EngineConfig cfg;
+  KeyStreamSpec r, s;
+  TraceConfig tc;
+  SimTime scale_at = 0;
+  std::uint32_t scale_add = 0;
+  std::vector<std::tuple<SimTime, Side, InstanceId>> failures;
+};
+
+ChaosPlan make_plan(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 2654435761ULL + 17);
+  ChaosPlan p;
+
+  p.r.num_keys = 200 + rng.next_below(1500);
+  p.r.zipf_s = 0.8 + 0.1 * static_cast<double>(rng.next_below(8));
+  p.r.seed = seed;
+  p.s = p.r;
+  p.s.seed = seed + 5000;
+  p.s.rank_offset = rng.next_below(p.r.num_keys);
+
+  p.tc.total_records = 8'000 + rng.next_below(8'000);
+  p.tc.r_rate = 150'000;
+  p.tc.s_rate = 150'000;
+  p.tc.arrivals = ArrivalKind::kPoisson;
+  p.tc.seed = seed;
+
+  p.cfg.instances = 3 + static_cast<std::uint32_t>(rng.next_below(5));
+  p.cfg.balancer.enabled = true;
+  p.cfg.balancer.planner.theta = 1.2 + 0.2 * rng.next_below(4);
+  p.cfg.balancer.min_heaviest_load = 5.0;
+  p.cfg.balancer.monitor_period = kNanosPerSec / (100 + rng.next_below(150));
+  p.cfg.balancer.max_concurrent_migrations = 1 + rng.next_below(3);
+  if (rng.next_below(2)) {
+    p.cfg.window_subwindows = 2 + static_cast<std::uint32_t>(
+                                      rng.next_below(6));
+    p.cfg.subwindow_len = kNanosPerSec / 50;
+  }
+  p.cfg.checkpoint_period = kNanosPerSec / (20 + rng.next_below(80));
+  p.cfg.metrics.record_pairs = true;
+  p.cfg.drain = true;
+  p.cfg.seed = seed;
+
+  const double feed_secs = static_cast<double>(p.tc.total_records) /
+                           (p.tc.r_rate + p.tc.s_rate);
+  if (rng.next_below(2)) {
+    p.scale_at = from_seconds(feed_secs * 0.3);
+    p.scale_add = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+  }
+  const auto n_failures = rng.next_below(3);
+  for (std::uint64_t i = 0; i < n_failures; ++i) {
+    p.failures.emplace_back(
+        from_seconds(feed_secs * (0.2 + 0.2 * static_cast<double>(i + 1))),
+        static_cast<Side>(rng.next_below(2)),
+        static_cast<InstanceId>(rng.next_below(p.cfg.instances)));
+  }
+  return p;
+}
+
+class ChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosTest, InvariantsHold) {
+  const auto plan = make_plan(static_cast<std::uint64_t>(GetParam()));
+
+  // Full-history ground truth (upper bound under windows/failures).
+  std::map<KeyId, std::pair<std::uint64_t, std::uint64_t>> counts;
+  {
+    TraceGenerator gen(plan.r, plan.s, plan.tc);
+    while (auto x = gen.next()) {
+      auto& [cr, cs] = counts[x->key];
+      (x->side == Side::kR ? cr : cs)++;
+    }
+  }
+  std::uint64_t upper = 0;
+  for (const auto& [_, rs] : counts) upper += rs.first * rs.second;
+
+  TraceGenerator gen(plan.r, plan.s, plan.tc);
+  SimJoinEngine engine(plan.cfg);
+  if (plan.scale_add) engine.schedule_scale_out(plan.scale_at, plan.scale_add);
+  for (const auto& [at, side, id] : plan.failures) {
+    engine.schedule_failure(at, side, id);
+  }
+  const auto rep = engine.run(gen, from_seconds(1000));
+
+  // Terminates with every record consumed.
+  EXPECT_EQ(rep.records_in, plan.tc.total_records);
+  // Bounded by the full-history ground truth, never duplicated.
+  EXPECT_LE(rep.results, upper);
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  for (const auto& p : rep.pairs) {
+    ASSERT_TRUE(seen.insert({p.key, p.r_seq, p.s_seq}).second)
+        << "duplicate pair (seed " << GetParam() << ")";
+  }
+  EXPECT_EQ(seen.size(), rep.results);
+  // If nothing could lose tuples, the result must be exact.
+  if (plan.cfg.window_subwindows == 0 && rep.failures == 0) {
+    EXPECT_EQ(rep.results, upper) << "seed " << GetParam();
+  }
+  // Load accounting consistent with the physical stores.
+  const std::uint32_t n = plan.cfg.instances + plan.scale_add;
+  for (int g = 0; g < 2; ++g) {
+    for (InstanceId i = 0; i < n; ++i) {
+      if (plan.scale_add == 0 && i >= plan.cfg.instances) break;
+      const auto& inst = engine.instance(static_cast<Side>(g), i);
+      EXPECT_EQ(inst.aggregate_load().stored, inst.store().size());
+      EXPECT_FALSE(inst.paused());
+      EXPECT_EQ(inst.queue_length(), 0u);  // fully drained
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace fastjoin

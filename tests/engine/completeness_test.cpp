@@ -1,0 +1,182 @@
+// The paper's third basic requirement: every matching (r, s) pair must
+// be joined EXACTLY once — across partitioning strategies and, crucially,
+// across live key migrations. These property tests compute the expected
+// pair set from first principles and compare it with the engine's
+// recorded matches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin {
+namespace {
+
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Record> records)
+      : records_(std::move(records)) {}
+  std::optional<Record> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Record> make_trace(std::uint64_t seed, int total, int num_keys,
+                               double zipf) {
+  KeyStreamSpec r;
+  r.num_keys = num_keys;
+  r.zipf_s = zipf;
+  r.seed = seed;
+  KeyStreamSpec s = r;
+  s.seed = seed + 1000;
+  TraceConfig tc;
+  tc.total_records = total;
+  tc.r_rate = 500'000;
+  tc.s_rate = 500'000;
+  tc.arrivals = ArrivalKind::kPoisson;
+  tc.seed = seed;
+  TraceGenerator gen(r, s, tc);
+  std::vector<Record> out;
+  while (auto rec = gen.next()) out.push_back(*rec);
+  return out;
+}
+
+/// Expected number of join results: every (r, s) pair sharing a key.
+std::uint64_t expected_pairs(const std::vector<Record>& trace) {
+  std::map<KeyId, std::pair<std::uint64_t, std::uint64_t>> counts;
+  for (const auto& rec : trace) {
+    auto& [r, s] = counts[rec.key];
+    (rec.side == Side::kR ? r : s)++;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [_, rs] : counts) total += rs.first * rs.second;
+  return total;
+}
+
+/// Run the engine with pair recording and verify the exactly-once
+/// property against the ground truth.
+void check_exactly_once(const std::vector<Record>& trace,
+                        EngineConfig cfg) {
+  cfg.metrics.record_pairs = true;
+  cfg.drain = true;
+  VectorSource src(trace);
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(src, from_seconds(1000));
+
+  ASSERT_EQ(rep.records_in, trace.size());
+  const std::uint64_t expected = expected_pairs(trace);
+  EXPECT_EQ(rep.results, expected) << "missed or duplicated pairs";
+  EXPECT_EQ(rep.pairs.size(), expected);
+
+  // No pair may appear twice (duplicates could hide misses in the sum).
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  for (const auto& p : rep.pairs) {
+    EXPECT_TRUE(seen.insert({p.key, p.r_seq, p.s_seq}).second)
+        << "duplicate join of pair key=" << p.key << " r=" << p.r_seq
+        << " s=" << p.s_seq;
+  }
+}
+
+EngineConfig base_config(std::uint32_t instances) {
+  EngineConfig cfg;
+  cfg.instances = instances;
+  cfg.balancer.enabled = false;
+  return cfg;
+}
+
+TEST(Completeness, HashPartitioningExactlyOnce) {
+  check_exactly_once(make_trace(1, 4000, 50, 1.0), base_config(4));
+}
+
+TEST(Completeness, SingleInstanceDegenerate) {
+  check_exactly_once(make_trace(2, 2000, 20, 1.0), base_config(1));
+}
+
+TEST(Completeness, ContRandExactlyOnce) {
+  auto cfg = base_config(8);
+  cfg.strategy = PartitionStrategy::kContRand;
+  cfg.contrand_group = 4;
+  check_exactly_once(make_trace(3, 4000, 50, 1.2), cfg);
+}
+
+TEST(Completeness, RandomBroadcastExactlyOnce) {
+  auto cfg = base_config(4);
+  cfg.strategy = PartitionStrategy::kRandomBroadcast;
+  check_exactly_once(make_trace(4, 2000, 30, 1.0), cfg);
+}
+
+TEST(Completeness, WithMigrationsExactlyOnce) {
+  auto cfg = base_config(4);
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.5;   // trigger aggressively
+  cfg.balancer.min_heaviest_load = 10.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 200;  // 5 ms
+  const auto trace = make_trace(5, 6000, 40, 1.5);
+  check_exactly_once(trace, cfg);
+}
+
+TEST(Completeness, MigrationsActuallyHappenedInStressConfig) {
+  // Guard: the previous test is only meaningful if migrations fire.
+  auto cfg = base_config(4);
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.5;
+  cfg.balancer.min_heaviest_load = 10.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 200;
+  cfg.drain = true;
+  auto trace = make_trace(5, 6000, 40, 1.5);
+  VectorSource src(trace);
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_GT(rep.migrations, 0u);
+}
+
+// Exactly-once must hold under many randomized migration schedules:
+// different seeds shuffle keys, arrival jitter and migration timing.
+class MigrationCompletenessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MigrationCompletenessSweep, ExactlyOnce) {
+  const int seed = GetParam();
+  auto cfg = base_config(3 + seed % 4);
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.2 + 0.3 * (seed % 3);
+  cfg.balancer.min_heaviest_load = 5.0;
+  cfg.balancer.monitor_period = kNanosPerSec / (100 + 50 * (seed % 5));
+  cfg.seed = seed;
+  check_exactly_once(make_trace(100 + seed, 5000, 30, 1.4), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationCompletenessSweep,
+                         ::testing::Range(0, 10));
+
+TEST(Completeness, SAFitMigrationsExactlyOnce) {
+  auto cfg = base_config(4);
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.selector = KeySelectorKind::kSAFit;
+  cfg.balancer.planner.theta = 1.5;
+  cfg.balancer.min_heaviest_load = 10.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 200;
+  check_exactly_once(make_trace(7, 5000, 40, 1.5), cfg);
+}
+
+TEST(Completeness, SlowControlPlaneStillExactlyOnce) {
+  // Failure-ish injection: make control messages and transfers crawl so
+  // migration phases overlap with lots of data-plane traffic.
+  auto cfg = base_config(4);
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.3;
+  cfg.balancer.min_heaviest_load = 10.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;
+  cfg.migration.control_latency = 20 * kNanosPerMilli;   // brutal 20 ms
+  cfg.migration.link_bytes_per_sec = 1e6;                // 1 MB/s
+  check_exactly_once(make_trace(8, 5000, 30, 1.5), cfg);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,81 @@
+#include "engine/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+TEST(CostModel, HashIndexScalesWithMatches) {
+  CostModel cm;
+  cm.kind = ProbeCostKind::kHashIndex;
+  cm.probe_base = 1000;
+  cm.probe_per_match = 100.0;
+  EXPECT_EQ(cm.probe_time(50'000, 0), 1000);  // store size irrelevant
+  EXPECT_EQ(cm.probe_time(50'000, 10), 2000);
+  EXPECT_EQ(cm.probe_time(1, 10), 2000);
+}
+
+TEST(CostModel, NestedLoopScalesWithStore) {
+  CostModel cm;
+  cm.kind = ProbeCostKind::kNestedLoop;
+  cm.probe_base = 1000;
+  cm.probe_per_scan = 2.0;
+  EXPECT_EQ(cm.probe_time(500, 0), 2000);
+  EXPECT_EQ(cm.probe_time(500, 499), 2000);  // matches irrelevant
+}
+
+TEST(CostModel, MissCostApplies) {
+  CostModel cm;
+  cm.probe_base = 1000;
+  cm.probe_miss_cost = 100;
+  cm.probe_per_match = 50.0;
+  EXPECT_EQ(cm.probe_time(10, 0), 100);   // miss: cheap path
+  EXPECT_EQ(cm.probe_time(10, 2), 1100);  // hit: full base + matches
+}
+
+TEST(CostModel, MissCostDefaultsToBase) {
+  CostModel cm;
+  cm.probe_base = 777;
+  cm.probe_per_match = 0.0;
+  cm.probe_miss_cost = -1;
+  EXPECT_EQ(cm.probe_time(10, 0), 777);
+}
+
+TEST(CostModel, MatchCapBoundsServiceTime) {
+  CostModel cm;
+  cm.probe_base = 0;
+  cm.probe_per_match = 10.0;
+  cm.probe_match_cap = 100;
+  EXPECT_EQ(cm.probe_time(0, 50), 500);
+  EXPECT_EQ(cm.probe_time(0, 100), 1000);
+  EXPECT_EQ(cm.probe_time(0, 1'000'000), 1000);  // capped
+  cm.probe_match_cap = 0;
+  EXPECT_EQ(cm.probe_time(0, 1'000'000), 10'000'000);  // uncapped
+}
+
+TEST(CostModel, StoreTimeIsFlat) {
+  CostModel cm;
+  cm.store_cost = 4242;
+  EXPECT_EQ(cm.store_time(), 4242);
+}
+
+TEST(MigrationCosts, SelectionTimeScalesWithKeys) {
+  MigrationCosts mc;
+  mc.selection_base = 1000;
+  mc.selection_per_key = 10.0;
+  EXPECT_EQ(mc.selection_time(0), 1000);
+  EXPECT_EQ(mc.selection_time(100), 2000);
+}
+
+TEST(MigrationCosts, TransferTimeMatchesBandwidth) {
+  MigrationCosts mc;
+  mc.tuple_bytes = 100;
+  mc.link_bytes_per_sec = 1e8;  // 100 MB/s
+  // 1000 tuples * 100 B = 100 kB -> 1 ms.
+  EXPECT_EQ(mc.transfer_time(1000), kNanosPerMilli);
+  mc.link_bytes_per_sec = 0;  // infinite
+  EXPECT_EQ(mc.transfer_time(1000), 0);
+}
+
+}  // namespace
+}  // namespace fastjoin

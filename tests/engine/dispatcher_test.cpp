@@ -1,0 +1,132 @@
+#include "engine/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fastjoin {
+namespace {
+
+Record rec(Side side, KeyId key) {
+  Record r;
+  r.side = side;
+  r.key = key;
+  return r;
+}
+
+TEST(Dispatcher, HashRoutesStoreAndProbeOfSameKeyTogether) {
+  Dispatcher d(PartitionStrategy::kHash, 16);
+  for (KeyId k = 0; k < 1000; ++k) {
+    const auto store_dst = d.route_store(rec(Side::kR, k));
+    std::vector<InstanceId> probes;
+    d.route_probe(Side::kR, rec(Side::kS, k), probes);
+    ASSERT_EQ(probes.size(), 1u);
+    // An S tuple probing the R group must land where R tuples of the
+    // same key are stored — that is what makes hash join work.
+    EXPECT_EQ(probes[0], store_dst);
+  }
+}
+
+TEST(Dispatcher, HashIsDeterministic) {
+  Dispatcher a(PartitionStrategy::kHash, 48, 4, 7);
+  Dispatcher b(PartitionStrategy::kHash, 48, 4, 7);
+  for (KeyId k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.route_store(rec(Side::kR, k)),
+              b.route_store(rec(Side::kR, k)));
+  }
+}
+
+TEST(Dispatcher, HashSidesAreIndependent) {
+  Dispatcher d(PartitionStrategy::kHash, 16);
+  // R-group and S-group routing use the same hash (same seed), but
+  // overrides apply per group.
+  d.apply_override(Side::kR, 42, 3);
+  EXPECT_EQ(d.hash_route(Side::kR, 42), 3u);
+  EXPECT_EQ(d.hash_route(Side::kS, 42), instance_of(42, 16, 0));
+}
+
+TEST(Dispatcher, OverrideRedirectsBothRoles) {
+  Dispatcher d(PartitionStrategy::kHash, 16);
+  const KeyId k = 123;
+  const InstanceId home = d.hash_route(Side::kR, k);
+  const InstanceId dst = (home + 1) % 16;
+  d.apply_override(Side::kR, k, dst);
+  EXPECT_EQ(d.route_store(rec(Side::kR, k)), dst);
+  std::vector<InstanceId> probes;
+  d.route_probe(Side::kR, rec(Side::kS, k), probes);
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0], dst);
+}
+
+TEST(Dispatcher, OverrideBackHomeErases) {
+  Dispatcher d(PartitionStrategy::kHash, 16);
+  const KeyId k = 55;
+  const InstanceId home = d.hash_route(Side::kR, k);
+  d.apply_override(Side::kR, k, (home + 1) % 16);
+  EXPECT_EQ(d.overrides(Side::kR), 1u);
+  d.apply_override(Side::kR, k, home);  // migrate back home
+  EXPECT_EQ(d.overrides(Side::kR), 0u);
+  EXPECT_EQ(d.hash_route(Side::kR, k), home);
+}
+
+TEST(Dispatcher, ContRandProbesCoverStoreDestination) {
+  // Completeness under ContRand: wherever a store lands, the probe
+  // broadcast for the same key must include that instance.
+  Dispatcher d(PartitionStrategy::kContRand, 16, 4);
+  for (KeyId k = 0; k < 200; ++k) {
+    for (int i = 0; i < 8; ++i) {  // stores round-robin inside subgroup
+      const auto store_dst = d.route_store(rec(Side::kR, k));
+      std::vector<InstanceId> probes;
+      d.route_probe(Side::kR, rec(Side::kS, k), probes);
+      EXPECT_EQ(probes.size(), 4u);
+      EXPECT_NE(std::find(probes.begin(), probes.end(), store_dst),
+                probes.end());
+    }
+  }
+}
+
+TEST(Dispatcher, ContRandSpreadsKeyInsideSubgroup) {
+  Dispatcher d(PartitionStrategy::kContRand, 16, 4);
+  std::set<InstanceId> dsts;
+  for (int i = 0; i < 16; ++i) {
+    dsts.insert(d.route_store(rec(Side::kR, 7)));
+  }
+  EXPECT_EQ(dsts.size(), 4u);  // a hot key spreads over its subgroup
+}
+
+TEST(Dispatcher, RandomBroadcastProbesEverywhere) {
+  Dispatcher d(PartitionStrategy::kRandomBroadcast, 8);
+  std::vector<InstanceId> probes;
+  d.route_probe(Side::kR, rec(Side::kS, 1), probes);
+  EXPECT_EQ(probes.size(), 8u);
+  std::set<InstanceId> unique(probes.begin(), probes.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Dispatcher, RandomBroadcastStoresBalancePerfectly) {
+  Dispatcher d(PartitionStrategy::kRandomBroadcast, 8);
+  std::map<InstanceId, int> counts;
+  for (int i = 0; i < 800; ++i) {
+    ++counts[d.route_store(rec(Side::kR, static_cast<KeyId>(i % 3)))];
+  }
+  for (const auto& [_, c] : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(Dispatcher, ContRandGroupClamped) {
+  // Subgroup larger than the group degenerates to broadcast-to-all.
+  Dispatcher d(PartitionStrategy::kContRand, 4, 100);
+  std::vector<InstanceId> probes;
+  d.route_probe(Side::kR, rec(Side::kS, 9), probes);
+  EXPECT_EQ(probes.size(), 4u);
+}
+
+TEST(Dispatcher, StrategyNames) {
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kHash), "hash");
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kContRand), "contrand");
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kRandomBroadcast),
+               "random-broadcast");
+}
+
+}  // namespace
+}  // namespace fastjoin

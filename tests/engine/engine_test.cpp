@@ -1,0 +1,204 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/trace.hpp"
+
+namespace fastjoin {
+namespace {
+
+/// Replays a prepared vector of records.
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Record> records)
+      : records_(std::move(records)) {}
+  std::optional<Record> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Record> tiny_trace(int n, int num_keys, SimTime gap) {
+  std::vector<Record> out;
+  std::uint64_t r_seq = 0, s_seq = 0;
+  for (int i = 0; i < n; ++i) {
+    Record rec;
+    rec.side = (i % 2 == 0) ? Side::kR : Side::kS;
+    rec.key = static_cast<KeyId>(i % num_keys);
+    rec.seq = rec.side == Side::kR ? r_seq++ : s_seq++;
+    rec.ts = i * gap;
+    rec.payload = i;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+EngineConfig small_config() {
+  EngineConfig cfg;
+  cfg.instances = 4;
+  cfg.balancer.enabled = false;
+  cfg.drain = true;
+  return cfg;
+}
+
+TEST(Engine, ProcessesEveryRecordOnce) {
+  VectorSource src(tiny_trace(1000, 10, 1000));
+  SimJoinEngine engine(small_config());
+  const auto rep = engine.run(src, from_seconds(100));
+  EXPECT_EQ(rep.records_in, 1000u);
+  // Each record is stored once and probed once (hash routing).
+  EXPECT_EQ(rep.stores, 1000u);
+  EXPECT_EQ(rep.probes, 1000u);
+}
+
+TEST(Engine, ResultCountMatchesSelfJoinFormula) {
+  // With alternating R/S on one key, after n pairs the total number of
+  // matches is the number of (r, s) pairs where r precedes s or
+  // vice versa with the same key = for each S tuple i, the count of R
+  // tuples before it, plus symmetric for R probing S.
+  const int n = 100;  // 50 R + 50 S alternating, single key
+  VectorSource src(tiny_trace(n, 1, 1000));
+  SimJoinEngine engine(small_config());
+  const auto rep = engine.run(src, from_seconds(100));
+  // R_i arrives at 2i, S_i at 2i+1.
+  // S_i (probe on R-side) matches R_0..R_i -> i+1 matches.
+  // R_i (probe on S-side) matches S_0..S_{i-1} -> i matches.
+  std::uint64_t expected = 0;
+  for (int i = 0; i < n / 2; ++i) expected += (i + 1) + i;
+  EXPECT_EQ(rep.results, expected);
+}
+
+TEST(Engine, FeedStopsAtHorizon) {
+  VectorSource src(tiny_trace(1000, 10, kNanosPerSec));  // 1 rec/sec
+  SimJoinEngine engine(small_config());
+  const auto rep = engine.run(src, from_seconds(10));
+  EXPECT_LE(rep.records_in, 11u);
+  EXPECT_GT(rep.records_in, 5u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    KeyStreamSpec r;
+    r.num_keys = 100;
+    r.zipf_s = 1.0;
+    r.seed = 1;
+    KeyStreamSpec s = r;
+    s.seed = 2;
+    TraceConfig tc;
+    tc.total_records = 5000;
+    tc.r_rate = 100'000;
+    tc.s_rate = 100'000;
+    TraceGenerator gen(r, s, tc);
+    SimJoinEngine engine(small_config());
+    return engine.run(gen, from_seconds(100));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.sim_end, b.sim_end);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+}
+
+TEST(Engine, SkewProducesImbalanceWithoutBalancer) {
+  KeyStreamSpec r;
+  r.num_keys = 1000;
+  r.zipf_s = 1.4;
+  r.seed = 3;
+  KeyStreamSpec s = r;
+  s.seed = 4;
+  TraceConfig tc;
+  tc.total_records = 60'000;
+  tc.r_rate = 400'000;
+  tc.s_rate = 400'000;
+
+  auto cfg = small_config();
+  cfg.instances = 8;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;
+  TraceGenerator gen(r, s, tc);
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(gen, from_seconds(100));
+  // Heavily skewed keys on 8 instances: LI must be clearly above 1.
+  EXPECT_GT(rep.mean_li, 1.5);
+  EXPECT_EQ(rep.migrations, 0u);  // balancer off
+}
+
+TEST(Engine, BalancerTriggersMigrationsUnderSkew) {
+  KeyStreamSpec r;
+  r.num_keys = 1000;
+  r.zipf_s = 1.4;
+  r.seed = 3;
+  KeyStreamSpec s = r;
+  s.seed = 4;
+  TraceConfig tc;
+  tc.total_records = 60'000;
+  tc.r_rate = 400'000;
+  tc.s_rate = 400'000;
+
+  auto cfg = small_config();
+  cfg.instances = 8;
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 2.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;
+  cfg.balancer.min_heaviest_load = 100.0;
+  TraceGenerator gen(r, s, tc);
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(gen, from_seconds(100));
+  EXPECT_GT(rep.migrations, 0u);
+  EXPECT_GT(rep.tuples_migrated, 0u);
+  EXPECT_FALSE(rep.migration_log.empty());
+  EXPECT_GE(rep.migration_log[0].li_before, 2.0);
+}
+
+TEST(Engine, SystemPresetsConfigure) {
+  EngineConfig cfg;
+  apply_system(cfg, SystemKind::kBiStream);
+  EXPECT_EQ(cfg.strategy, PartitionStrategy::kHash);
+  EXPECT_FALSE(cfg.balancer.enabled);
+  apply_system(cfg, SystemKind::kBiStreamContRand);
+  EXPECT_EQ(cfg.strategy, PartitionStrategy::kContRand);
+  apply_system(cfg, SystemKind::kFastJoin);
+  EXPECT_TRUE(cfg.balancer.enabled);
+  EXPECT_EQ(cfg.balancer.planner.selector, KeySelectorKind::kGreedyFit);
+  apply_system(cfg, SystemKind::kFastJoinSA);
+  EXPECT_EQ(cfg.balancer.planner.selector, KeySelectorKind::kSAFit);
+}
+
+TEST(Engine, ContRandProcessesWithBroadcastFanout) {
+  VectorSource src(tiny_trace(1000, 10, 1000));
+  auto cfg = small_config();
+  cfg.strategy = PartitionStrategy::kContRand;
+  cfg.contrand_group = 2;
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(src, from_seconds(100));
+  EXPECT_EQ(rep.stores, 1000u);
+  // Probes fan out to the whole subgroup.
+  EXPECT_EQ(rep.probes, 2000u);
+}
+
+TEST(Engine, ThroughputSeriesIsPopulated) {
+  KeyStreamSpec r;
+  r.num_keys = 50;
+  KeyStreamSpec s = r;
+  s.seed = 9;
+  TraceConfig tc;
+  tc.total_records = 40'000;
+  tc.r_rate = 10'000;
+  tc.s_rate = 10'000;
+  TraceGenerator gen(r, s, tc);
+  SimJoinEngine engine(small_config());
+  const auto rep = engine.run(gen, from_seconds(100));
+  EXPECT_GT(rep.throughput_ts.size(), 1u);
+  EXPECT_GT(rep.mean_throughput, 0.0);
+  EXPECT_GT(rep.mean_latency_ms, 0.0);
+  EXPECT_GE(rep.p99_latency_ms, rep.p50_latency_ms);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,306 @@
+#include "engine/join_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+Record rec(Side side, KeyId key, std::uint64_t seq, SimTime ts) {
+  Record r;
+  r.side = side;
+  r.key = key;
+  r.seq = seq;
+  r.ts = ts;
+  r.payload = seq;
+  return r;
+}
+
+struct Fixture {
+  Simulator sim;
+  CostModel cost;
+  std::vector<std::pair<std::uint64_t, SimTime>> probe_results;
+  std::vector<MatchPair> matches;
+
+  std::unique_ptr<JoinInstance> make(Side store_side,
+                                     bool record_matches = false,
+                                     std::uint32_t subwindows = 0) {
+    JoinInstance::Hooks hooks;
+    hooks.on_probe_done = [this](SimTime, std::uint64_t m, SimTime lat) {
+      probe_results.push_back({m, lat});
+    };
+    if (record_matches) {
+      hooks.on_match = [this](const MatchPair& p) { matches.push_back(p); };
+    }
+    return std::make_unique<JoinInstance>(sim, 0, store_side, cost,
+                                          subwindows, hooks);
+  }
+};
+
+TEST(JoinInstance, StoreThenProbeMatches) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));   // store
+    inst->enqueue(rec(Side::kS, 1, 0, 10));  // probe, same key
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].first, 1u);  // one match
+  EXPECT_EQ(inst->results_emitted(), 1u);
+  EXPECT_EQ(inst->stores_done(), 1u);
+  EXPECT_EQ(inst->probes_done(), 1u);
+}
+
+TEST(JoinInstance, ProbeMissesDifferentKey) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 2, 0, 10));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].first, 0u);
+}
+
+TEST(JoinInstance, ProbeBeforeStoreDoesNotMatch) {
+  // FIFO: a probe enqueued before the store of the same key sees an
+  // empty bucket — the pair will instead join on the other biclique side.
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kS, 1, 0, 0));
+    inst->enqueue(rec(Side::kR, 1, 0, 10));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].first, 0u);
+}
+
+TEST(JoinInstance, OrderingRuleExcludesNonPreceding) {
+  // A stored tuple with identical (ts) but "later" total order must not
+  // match: stored S at ts=5 vs probing R at ts=5 -> R precedes S, so the
+  // S-side instance must not join them (the R-side will).
+  Fixture f;
+  auto inst = f.make(Side::kS, /*record_matches=*/true);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kS, 1, 0, 5));  // store S
+    inst->enqueue(rec(Side::kR, 1, 0, 5));  // probe with equal ts
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].first, 0u);
+  EXPECT_TRUE(f.matches.empty());
+}
+
+TEST(JoinInstance, FastPathAndCheckedPathAgree) {
+  // The suffix-scan fast path must count exactly what the full
+  // pair-recording path counts.
+  Fixture fast, checked;
+  auto a = fast.make(Side::kR, false);
+  auto b = checked.make(Side::kR, true);
+  auto feed = [](Simulator& sim, JoinInstance& inst) {
+    sim.schedule_at(0, [&] {
+      for (int i = 0; i < 20; ++i) {
+        inst.enqueue(rec(Side::kR, i % 3, i, i));
+      }
+      for (int i = 0; i < 10; ++i) {
+        inst.enqueue(rec(Side::kS, i % 3, i, 100 + i));
+      }
+    });
+    sim.run();
+  };
+  feed(fast.sim, *a);
+  feed(checked.sim, *b);
+  EXPECT_EQ(a->results_emitted(), b->results_emitted());
+  EXPECT_EQ(b->results_emitted(), checked.matches.size());
+}
+
+TEST(JoinInstance, LatencyIncludesQueueing) {
+  Fixture f;
+  f.cost.store_cost = 100;
+  f.cost.probe_base = 100;
+  f.cost.probe_per_match = 0;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));   // served 0..100
+    inst->enqueue(rec(Side::kS, 1, 0, 0));   // waits 100, served 100..200
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].second, 200);
+}
+
+TEST(JoinInstance, AggregateLoadTracksStoreAndQueue) {
+  Fixture f;
+  f.cost.store_cost = 1000;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 2, 1, 0));
+    // Store in service; both probes pending.
+    const auto load = inst->aggregate_load();
+    EXPECT_EQ(load.stored, 0u);  // store not yet complete
+    EXPECT_EQ(load.queued, 2u);  // phi counts pending probes
+  });
+  f.sim.run();
+  // After draining, phi is the decayed recently-served probe count.
+  const auto load = inst->aggregate_load();
+  EXPECT_EQ(load.stored, 1u);
+  EXPECT_EQ(load.queued, 2u);
+  // Integer halving: two singleton key counters vanish in one decay.
+  inst->decay_probe_window();
+  EXPECT_EQ(inst->aggregate_load().queued, 0u);
+}
+
+TEST(JoinInstance, KeyLoadsMergeStoredAndPending) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));  // will be stored
+  });
+  f.sim.schedule_at(10'000, [&] {
+    inst->pause();
+    inst->enqueue(rec(Side::kS, 2, 0, 10'000));  // stays pending
+    inst->enqueue(rec(Side::kS, 1, 1, 10'001));  // pending on stored key
+    const auto kl = inst->key_loads();
+    ASSERT_EQ(kl.size(), 2u);  // sorted by key
+    EXPECT_EQ(kl[0].key, 1u);
+    EXPECT_EQ(kl[0].stored, 1u);
+    EXPECT_EQ(kl[0].queued, 1u);
+    EXPECT_EQ(kl[1].key, 2u);
+    EXPECT_EQ(kl[1].stored, 0u);
+    EXPECT_EQ(kl[1].queued, 1u);
+    inst->resume();
+  });
+  f.sim.run();
+}
+
+TEST(JoinInstance, PauseResumeDrains) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->pause();
+    inst->enqueue(rec(Side::kR, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 1, 0, 1));
+  });
+  f.sim.schedule_at(1000, [&] {
+    EXPECT_EQ(inst->stores_done(), 0u);
+    inst->resume();
+  });
+  f.sim.run();
+  EXPECT_EQ(inst->stores_done(), 1u);
+  EXPECT_EQ(inst->probes_done(), 1u);
+  EXPECT_EQ(inst->results_emitted(), 1u);
+}
+
+TEST(JoinInstance, WhenIdleFiresAfterInServiceJob) {
+  Fixture f;
+  f.cost.store_cost = 500;
+  auto inst = f.make(Side::kR);
+  SimTime fired_at = -1;
+  f.sim.schedule_at(0, [&] { inst->enqueue(rec(Side::kR, 1, 0, 0)); });
+  f.sim.schedule_at(100, [&] {
+    inst->pause();
+    EXPECT_TRUE(inst->busy());
+    inst->when_idle([&] { fired_at = f.sim.now(); });
+  });
+  f.sim.run();
+  EXPECT_EQ(fired_at, 500);  // after the in-service store completed
+}
+
+TEST(JoinInstance, WhenIdleImmediateIfNotBusy) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  bool fired = false;
+  inst->when_idle([&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(JoinInstance, ExtractPullsStoredAndPending) {
+  Fixture f;
+  auto inst = f.make(Side::kR);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kR, 1, 0, 0));
+    inst->enqueue(rec(Side::kR, 2, 1, 1));
+  });
+  f.sim.schedule_at(10'000, [&] {
+    inst->pause();
+    // Pending traffic for key 1 arrives while paused.
+    inst->enqueue(rec(Side::kS, 1, 0, 10'000));
+    inst->enqueue(rec(Side::kR, 1, 2, 10'001));
+    inst->enqueue(rec(Side::kS, 2, 1, 10'002));
+
+    std::vector<KeyLoad> sel{{.key = 1, .stored = 1, .queued = 1}};
+    const auto batch = inst->extract(sel);
+    EXPECT_EQ(batch.keys, (std::vector<KeyId>{1}));
+    EXPECT_EQ(batch.stored.size(), 1u);   // the stored tuple of key 1
+    EXPECT_EQ(batch.pending.size(), 2u);  // queued S-probe + R-store
+    EXPECT_EQ(inst->aggregate_load().stored, 1u);  // key 2 remains
+    EXPECT_EQ(inst->aggregate_load().queued, 1u);  // key-2 probe remains
+
+    // New arrivals for the migrating key divert to the forward buffer.
+    inst->enqueue(rec(Side::kS, 1, 1, 10'100));
+    const auto fwd = inst->take_forward_buffer();
+    ASSERT_EQ(fwd.size(), 1u);
+    EXPECT_EQ(fwd[0].key, 1u);
+    inst->resume();
+  });
+  f.sim.run();
+}
+
+TEST(JoinInstance, HoldAndReleasePreservePerKeyOrder) {
+  Fixture f;
+  auto inst = f.make(Side::kR, /*record_matches=*/true);
+  f.sim.schedule_at(0, [&] {
+    const std::vector<KeyId> keys{1};
+    inst->hold_keys(keys);
+    // These arrive from the dispatcher after rerouting; must be buffered.
+    inst->enqueue(rec(Side::kS, 1, 5, 200));
+
+    // The migrated batch: one stored tuple and one pending probe.
+    MigrationBatch batch;
+    batch.keys = keys;
+    StoredTuple st;
+    st.seq = 0;
+    st.ts = 0;
+    batch.stored.emplace_back(1, st);
+    batch.pending.push_back(rec(Side::kS, 1, 3, 100));
+    inst->absorb_stored(batch);
+
+    // Forwarded records from the source (arrived there mid-migration).
+    std::vector<Record> fwd{rec(Side::kS, 1, 4, 150)};
+    inst->release_held(fwd);
+  });
+  f.sim.run();
+  // All three probes must match the single stored tuple.
+  EXPECT_EQ(inst->results_emitted(), 3u);
+  ASSERT_EQ(f.probe_results.size(), 3u);
+  // And they were processed in stream order: seq 3, 4, then 5.
+  ASSERT_EQ(f.matches.size(), 3u);
+  EXPECT_EQ(f.matches[0].s_seq, 3u);
+  EXPECT_EQ(f.matches[1].s_seq, 4u);
+  EXPECT_EQ(f.matches[2].s_seq, 5u);
+}
+
+TEST(JoinInstance, WindowedInstanceEvictsAndStopsMatching) {
+  Fixture f;
+  auto inst = f.make(Side::kR, false, /*subwindows=*/2);
+  f.sim.schedule_at(0, [&] { inst->enqueue(rec(Side::kR, 1, 0, 0)); });
+  f.sim.schedule_at(10'000, [&] { inst->advance_subwindow(); });
+  f.sim.schedule_at(20'000, [&] {
+    EXPECT_EQ(inst->advance_subwindow(), 1u);  // tuple expired
+  });
+  f.sim.schedule_at(30'000, [&] {
+    inst->enqueue(rec(Side::kS, 1, 0, 30'000));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.probe_results.size(), 1u);
+  EXPECT_EQ(f.probe_results[0].first, 0u);  // expired: no match
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,139 @@
+#include "engine/join_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+StoredTuple tuple(std::uint64_t seq, SimTime ts = 0) {
+  StoredTuple st;
+  st.seq = seq;
+  st.ts = ts;
+  st.payload = seq * 10;
+  return st;
+}
+
+TEST(JoinStore, InsertAndFind) {
+  JoinStore store;
+  store.insert(5, tuple(1));
+  store.insert(5, tuple(2));
+  store.insert(7, tuple(3));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.count_for(5), 2u);
+  EXPECT_EQ(store.count_for(7), 1u);
+  EXPECT_EQ(store.count_for(99), 0u);
+  ASSERT_NE(store.find(5), nullptr);
+  EXPECT_EQ(store.find(5)->size(), 2u);
+  EXPECT_EQ(store.find(99), nullptr);
+}
+
+TEST(JoinStore, PreservesInsertionOrderPerKey) {
+  JoinStore store;
+  for (std::uint64_t i = 0; i < 10; ++i) store.insert(1, tuple(i, i));
+  const auto* bucket = store.find(1);
+  ASSERT_NE(bucket, nullptr);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ((*bucket)[i].seq, i);
+}
+
+TEST(JoinStore, KeysSnapshot) {
+  JoinStore store;
+  store.insert(1, tuple(1));
+  store.insert(2, tuple(2));
+  store.insert(1, tuple(3));
+  auto keys = store.keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<KeyId>{1, 2}));
+  EXPECT_EQ(store.num_keys(), 2u);
+}
+
+TEST(JoinStore, ExtractKeyRemovesAll) {
+  JoinStore store;
+  store.insert(1, tuple(1));
+  store.insert(1, tuple(2));
+  store.insert(2, tuple(3));
+  const auto extracted = store.extract_key(1);
+  EXPECT_EQ(extracted.size(), 2u);
+  EXPECT_EQ(extracted[0].seq, 1u);
+  EXPECT_EQ(extracted[1].seq, 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_TRUE(store.extract_key(1).empty());  // second extract is empty
+}
+
+TEST(JoinStore, FullHistoryNeverEvicts) {
+  JoinStore store(0);
+  for (int i = 0; i < 100; ++i) {
+    store.insert(static_cast<KeyId>(i % 3), tuple(i));
+    if (i % 10 == 0) EXPECT_EQ(store.advance_subwindow(), 0u);
+  }
+  EXPECT_EQ(store.size(), 100u);
+}
+
+TEST(JoinStore, WindowEvictsOldestSubwindow) {
+  JoinStore store(/*max_subwindows=*/3);
+  // Sub-window 0: 2 tuples; 1: 3 tuples; 2: 1 tuple.
+  store.insert(1, tuple(0));
+  store.insert(2, tuple(1));
+  EXPECT_EQ(store.advance_subwindow(), 0u);  // ring not yet full
+  store.insert(1, tuple(2));
+  store.insert(1, tuple(3));
+  store.insert(3, tuple(4));
+  EXPECT_EQ(store.advance_subwindow(), 0u);
+  store.insert(2, tuple(5));
+  EXPECT_EQ(store.size(), 6u);
+  // Advancing now evicts sub-window 0 (2 tuples).
+  EXPECT_EQ(store.advance_subwindow(), 2u);
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.count_for(1), 2u);  // seqs 2, 3 remain
+  EXPECT_EQ(store.count_for(2), 1u);  // seq 5 remains
+  EXPECT_EQ(store.count_for(3), 1u);
+}
+
+TEST(JoinStore, WindowEvictionEmptiesEventually) {
+  JoinStore store(2);
+  store.insert(1, tuple(0));
+  store.advance_subwindow();
+  store.advance_subwindow();  // evicts sw 0
+  store.advance_subwindow();  // evicts sw 1 (empty)
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+TEST(JoinStore, EvictionToleratesMigratedKeys) {
+  JoinStore store(2);
+  store.insert(1, tuple(0));
+  store.insert(2, tuple(1));
+  store.extract_key(1);  // migrated away before expiry
+  store.advance_subwindow();
+  EXPECT_EQ(store.advance_subwindow(), 1u);  // only key 2 evicted
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(JoinStore, SubwindowTagging) {
+  JoinStore store(4);
+  store.insert(1, tuple(0));
+  store.advance_subwindow();
+  store.insert(1, tuple(1));
+  const auto* bucket = store.find(1);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ((*bucket)[0].subwindow, 0u);
+  EXPECT_EQ((*bucket)[1].subwindow, 1u);
+}
+
+TEST(JoinStore, LargeChurnStaysConsistent) {
+  JoinStore store(5);
+  std::uint64_t inserted = 0, evicted = 0;
+  for (int sw = 0; sw < 50; ++sw) {
+    for (int i = 0; i < 20; ++i) {
+      store.insert(static_cast<KeyId>(i % 7), tuple(inserted++));
+    }
+    evicted += store.advance_subwindow();
+  }
+  EXPECT_EQ(store.size(), inserted - evicted);
+  // Steady state: 4 closed sub-windows x 20 tuples survive (the 5th live
+  // sub-window was just opened by the final advance and is still empty).
+  EXPECT_EQ(store.size(), 80u);
+}
+
+}  // namespace
+}  // namespace fastjoin

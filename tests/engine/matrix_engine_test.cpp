@@ -1,0 +1,146 @@
+#include "engine/matrix_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/keygen.hpp"
+
+namespace fastjoin {
+namespace {
+
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Record> records)
+      : records_(std::move(records)) {}
+  std::optional<Record> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Record> make_trace(std::uint64_t seed, int total,
+                               int num_keys, double zipf) {
+  KeyStreamSpec spec;
+  spec.num_keys = num_keys;
+  spec.zipf_s = zipf;
+  spec.seed = seed;
+  KeyGenerator gen(spec);
+  Xoshiro256 rng(seed ^ 0x77);
+  std::vector<Record> out;
+  std::uint64_t r_seq = 0, s_seq = 0;
+  for (int i = 0; i < total; ++i) {
+    Record rec;
+    rec.side = rng.next_below(2) ? Side::kS : Side::kR;
+    rec.key = gen();
+    rec.seq = rec.side == Side::kR ? r_seq++ : s_seq++;
+    rec.ts = i * 1000;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::uint64_t expected_pairs(const std::vector<Record>& trace) {
+  std::map<KeyId, std::pair<std::uint64_t, std::uint64_t>> counts;
+  for (const auto& rec : trace) {
+    auto& [r, s] = counts[rec.key];
+    (rec.side == Side::kR ? r : s)++;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [_, rs] : counts) total += rs.first * rs.second;
+  return total;
+}
+
+MatrixConfig small_config(std::uint32_t rows, std::uint32_t cols) {
+  MatrixConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.drain = true;
+  return cfg;
+}
+
+TEST(MatrixEngine, ExactlyOnceJoining) {
+  const auto trace = make_trace(1, 4000, 50, 1.2);
+  VectorSource src(trace);
+  MatrixJoinEngine engine(small_config(3, 4));
+
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  std::size_t dups = 0;
+  engine.set_on_match([&](const MatchPair& p) {
+    if (!seen.insert({p.key, p.r_seq, p.s_seq}).second) ++dups;
+  });
+
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_EQ(dups, 0u);
+  EXPECT_EQ(seen.size(), expected_pairs(trace));
+  EXPECT_EQ(rep.results, expected_pairs(trace));
+}
+
+TEST(MatrixEngine, ReplicationFactorMatchesGeometry) {
+  // R tuples are stored `cols` times, S tuples `rows` times.
+  const int n = 2000;
+  const auto trace = make_trace(2, n, 20, 1.0);
+  std::uint64_t r_count = 0, s_count = 0;
+  for (const auto& rec : trace) {
+    (rec.side == Side::kR ? r_count : s_count)++;
+  }
+  VectorSource src(trace);
+  MatrixJoinEngine engine(small_config(4, 2));
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_EQ(rep.tuples_stored, r_count * 2 + s_count * 4);
+  EXPECT_GT(rep.replication_factor, 1.9);
+}
+
+TEST(MatrixEngine, BalancedRegardlessOfSkew) {
+  // The matrix's selling point: single-key skew does not concentrate on
+  // one cell, because rows/columns are chosen randomly per tuple.
+  auto trace = make_trace(3, 6000, 5, 2.0);  // brutal skew
+  VectorSource src(trace);
+  MatrixJoinEngine engine(small_config(4, 4));
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_EQ(rep.results, expected_pairs(trace));
+  EXPECT_GT(rep.results, 0u);
+}
+
+TEST(MatrixEngine, SingleCellDegenerate) {
+  const auto trace = make_trace(4, 1000, 10, 1.0);
+  VectorSource src(trace);
+  MatrixJoinEngine engine(small_config(1, 1));
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_EQ(rep.results, expected_pairs(trace));
+  EXPECT_EQ(rep.tuples_stored, trace.size());  // no replication at 1x1
+}
+
+TEST(MatrixEngine, CellOpsCountReplicatedDeliveries) {
+  const int n = 500;
+  const auto trace = make_trace(5, n, 10, 0.5);
+  std::uint64_t r_count = 0, s_count = 0;
+  for (const auto& rec : trace) {
+    (rec.side == Side::kR ? r_count : s_count)++;
+  }
+  VectorSource src(trace);
+  MatrixJoinEngine engine(small_config(2, 3));
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_EQ(rep.cell_ops, r_count * 3 + s_count * 2);
+  EXPECT_EQ(rep.records_in, static_cast<std::uint64_t>(n));
+}
+
+TEST(MatrixEngine, ThroughputAndLatencyPopulated) {
+  auto cfg = small_config(2, 2);
+  cfg.cost.probe_base = 10'000;
+  const auto trace = make_trace(6, 5000, 30, 1.0);
+  VectorSource src(trace);
+  MatrixJoinEngine engine(cfg);
+  const auto rep = engine.run(src, from_seconds(1000));
+  EXPECT_GT(rep.mean_throughput, 0.0);
+  EXPECT_GT(rep.mean_latency_ms, 0.0);
+  EXPECT_GE(rep.p99_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,109 @@
+#include "engine/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastjoin {
+namespace {
+
+TEST(Metrics, ThroughputPerSecond) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 4);
+  hub.on_results(0, 100);
+  hub.on_results(kNanosPerSec / 2, 200);
+  hub.on_results(kNanosPerSec + 1, 50);
+  hub.finish();
+  const auto pts = hub.throughput().series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 300.0);
+  EXPECT_DOUBLE_EQ(pts[1].v, 50.0);
+}
+
+TEST(Metrics, LatencySeriesAveragesPerWindow) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 4);
+  hub.on_probe_latency(0, 1 * kNanosPerMilli);
+  hub.on_probe_latency(100, 3 * kNanosPerMilli);
+  hub.on_probe_latency(kNanosPerSec + 1, 10 * kNanosPerMilli);
+  hub.finish();
+  const auto pts = hub.latency_series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 2.0);   // mean of 1ms and 3ms, in ms
+  EXPECT_DOUBLE_EQ(pts[1].v, 10.0);
+}
+
+TEST(Metrics, WarmupExcludedFromMeans) {
+  MetricsConfig cfg;
+  cfg.warmup = 2 * kNanosPerSec;
+  MetricsHub hub(cfg, 4);
+  hub.on_results(0, 1'000'000);            // warmup window, huge
+  hub.on_results(2 * kNanosPerSec + 1, 100);
+  hub.on_results(3 * kNanosPerSec + 1, 100);
+  hub.finish();
+  EXPECT_NEAR(hub.mean_throughput(), 100.0, 35.0);
+}
+
+TEST(Metrics, PairsOnlyWhenEnabled) {
+  MetricsConfig off;
+  MetricsHub hub_off(off, 2);
+  hub_off.on_match_pair({1, 2, 3});
+  EXPECT_TRUE(hub_off.pairs().empty());
+
+  MetricsConfig on;
+  on.record_pairs = true;
+  MetricsHub hub_on(on, 2);
+  hub_on.on_match_pair({1, 2, 3});
+  ASSERT_EQ(hub_on.pairs().size(), 1u);
+  EXPECT_EQ(hub_on.pairs()[0].key, 1u);
+}
+
+TEST(Metrics, InstanceLoadsOnlyWhenEnabled) {
+  MetricsConfig off;
+  MetricsHub hub_off(off, 2);
+  hub_off.record_instance_load(0, Side::kR, 0, 5.0);
+  EXPECT_TRUE(hub_off.instance_load_series(Side::kR).empty());
+
+  MetricsConfig on;
+  on.record_instance_loads = true;
+  MetricsHub hub_on(on, 2);
+  hub_on.record_instance_load(0, Side::kR, 0, 5.0);
+  hub_on.record_instance_load(0, Side::kR, 1, 7.0);
+  const auto& series = hub_on.instance_load_series(Side::kR);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].last(), 5.0);
+  EXPECT_DOUBLE_EQ(series[1].last(), 7.0);
+}
+
+TEST(Metrics, LiSeriesPerGroup) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 2);
+  hub.record_li(0, Side::kR, 2.5);
+  hub.record_li(0, Side::kS, 1.5);
+  EXPECT_DOUBLE_EQ(hub.li_series(Side::kR).last(), 2.5);
+  EXPECT_DOUBLE_EQ(hub.li_series(Side::kS).last(), 1.5);
+}
+
+TEST(Metrics, MigrationLog) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 2);
+  MigrationEvent ev;
+  ev.src = 1;
+  ev.dst = 0;
+  ev.keys_moved = 3;
+  hub.log_migration(ev);
+  ASSERT_EQ(hub.migrations().size(), 1u);
+  EXPECT_EQ(hub.migrations()[0].keys_moved, 3u);
+}
+
+TEST(Metrics, LatencyHistogramPercentiles) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 2);
+  for (int i = 1; i <= 1000; ++i) {
+    hub.on_probe_latency(0, i * 1000);
+  }
+  hub.finish();
+  const double p50 = hub.latency_hist().value_at_percentile(50);
+  EXPECT_NEAR(p50, 500'000, 50'000);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,95 @@
+// PhiSignal variants: the load model's phi can be queue length (the
+// paper's literal definition), the decayed incoming-rate counter, or
+// the hybrid of both (default).
+#include <gtest/gtest.h>
+
+#include "engine/join_instance.hpp"
+
+namespace fastjoin {
+namespace {
+
+Record rec(Side side, KeyId key, std::uint64_t seq, SimTime ts) {
+  Record r;
+  r.side = side;
+  r.key = key;
+  r.seq = seq;
+  r.ts = ts;
+  return r;
+}
+
+struct Fixture {
+  Simulator sim;
+  CostModel cost;
+
+  std::unique_ptr<JoinInstance> make(PhiSignal phi) {
+    return std::make_unique<JoinInstance>(sim, 0, Side::kR, cost, 0,
+                                          JoinInstance::Hooks{}, phi);
+  }
+};
+
+TEST(PhiSignal, QueueOnlyCountsBacklogOnly) {
+  Fixture f;
+  auto inst = f.make(PhiSignal::kQueueOnly);
+  f.sim.schedule_at(0, [&] {
+    inst->pause();
+    inst->enqueue(rec(Side::kS, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 1, 1, 1));
+    EXPECT_EQ(inst->aggregate_load().queued, 2u);
+    inst->resume();
+  });
+  f.sim.run();
+  // Drained: queue empty, and the rate window is invisible to this mode.
+  EXPECT_EQ(inst->aggregate_load().queued, 0u);
+}
+
+TEST(PhiSignal, RateOnlyCountsServedProbes) {
+  Fixture f;
+  auto inst = f.make(PhiSignal::kRateOnly);
+  f.sim.schedule_at(0, [&] {
+    inst->pause();
+    inst->enqueue(rec(Side::kS, 1, 0, 0));
+    inst->enqueue(rec(Side::kS, 1, 1, 1));
+    // Backlog is invisible to this mode.
+    EXPECT_EQ(inst->aggregate_load().queued, 0u);
+    inst->resume();
+  });
+  f.sim.run();
+  EXPECT_EQ(inst->aggregate_load().queued, 2u);
+  inst->decay_probe_window();
+  EXPECT_EQ(inst->aggregate_load().queued, 1u);
+}
+
+TEST(PhiSignal, HybridIsSum) {
+  Fixture f;
+  auto inst = f.make(PhiSignal::kHybrid);
+  f.sim.schedule_at(0, [&] {
+    inst->enqueue(rec(Side::kS, 1, 0, 0));  // will be served
+  });
+  f.sim.schedule_at(10'000, [&] {
+    inst->pause();
+    inst->enqueue(rec(Side::kS, 1, 1, 10'000));  // stays queued
+    EXPECT_EQ(inst->aggregate_load().queued, 2u);  // 1 served + 1 pending
+    inst->resume();
+  });
+  f.sim.run();
+}
+
+TEST(PhiSignal, KeyLoadsRespectMode) {
+  Fixture f;
+  auto queue_only = f.make(PhiSignal::kQueueOnly);
+  auto rate_only = f.make(PhiSignal::kRateOnly);
+  f.sim.schedule_at(0, [&] {
+    queue_only->enqueue(rec(Side::kS, 7, 0, 0));
+    rate_only->enqueue(rec(Side::kS, 7, 0, 0));
+  });
+  f.sim.run();
+  // Both served. QueueOnly sees nothing; RateOnly sees the window.
+  EXPECT_TRUE(queue_only->key_loads().empty());
+  const auto kl = rate_only->key_loads();
+  ASSERT_EQ(kl.size(), 1u);
+  EXPECT_EQ(kl[0].key, 7u);
+  EXPECT_EQ(kl[0].queued, 1u);
+}
+
+}  // namespace
+}  // namespace fastjoin

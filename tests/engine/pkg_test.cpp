@@ -1,0 +1,118 @@
+// Partial-key-grouping strategy and elastic dispatcher growth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin {
+namespace {
+
+Record rec(Side side, KeyId key) {
+  Record r;
+  r.side = side;
+  r.key = key;
+  return r;
+}
+
+TEST(PartialKey, ProbesCoverBothCandidates) {
+  Dispatcher d(PartitionStrategy::kPartialKey, 16);
+  for (KeyId k = 0; k < 500; ++k) {
+    const auto [a, b] = d.pkg_candidates(k);
+    for (int i = 0; i < 4; ++i) {
+      const auto dst = d.route_store(rec(Side::kR, k));
+      EXPECT_TRUE(dst == a || dst == b);
+      std::vector<InstanceId> probes;
+      d.route_probe(Side::kR, rec(Side::kS, k), probes);
+      EXPECT_NE(std::find(probes.begin(), probes.end(), dst),
+                probes.end());
+    }
+  }
+}
+
+TEST(PartialKey, HotKeySplitsAcrossCandidates) {
+  Dispatcher d(PartitionStrategy::kPartialKey, 16);
+  std::map<InstanceId, int> counts;
+  for (int i = 0; i < 1000; ++i) {
+    ++counts[d.route_store(rec(Side::kR, 42))];
+  }
+  const auto [a, b] = d.pkg_candidates(42);
+  if (a != b) {
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_NEAR(counts[a], 500, 1);
+    EXPECT_NEAR(counts[b], 500, 1);
+  }
+}
+
+TEST(PartialKey, StoresBalanceBetterThanHash) {
+  Dispatcher pkg(PartitionStrategy::kPartialKey, 8);
+  Dispatcher hash(PartitionStrategy::kHash, 8);
+  // Skewed key stream: key 0 dominates.
+  std::vector<int> pkg_counts(8, 0), hash_counts(8, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const KeyId k = (i % 10 == 0) ? 1 + (i % 50) : 0;
+    ++pkg_counts[pkg.route_store(rec(Side::kR, k))];
+    ++hash_counts[hash.route_store(rec(Side::kR, k))];
+  }
+  const int pkg_max = *std::max_element(pkg_counts.begin(), pkg_counts.end());
+  const int hash_max =
+      *std::max_element(hash_counts.begin(), hash_counts.end());
+  EXPECT_LT(pkg_max, hash_max);
+}
+
+TEST(PartialKey, ExactlyOnceEndToEnd) {
+  KeyStreamSpec r;
+  r.num_keys = 60;
+  r.zipf_s = 1.3;
+  r.seed = 4;
+  KeyStreamSpec s = r;
+  s.seed = 1004;
+  TraceConfig tc;
+  tc.total_records = 5000;
+  tc.r_rate = 200'000;
+  tc.s_rate = 200'000;
+
+  std::map<KeyId, std::pair<std::uint64_t, std::uint64_t>> counts;
+  {
+    TraceGenerator gen(r, s, tc);
+    while (auto x = gen.next()) {
+      auto& [cr, cs] = counts[x->key];
+      (x->side == Side::kR ? cr : cs)++;
+    }
+  }
+  std::uint64_t expected = 0;
+  for (const auto& [_, rs] : counts) expected += rs.first * rs.second;
+
+  EngineConfig cfg;
+  cfg.instances = 6;
+  cfg.strategy = PartitionStrategy::kPartialKey;
+  cfg.balancer.enabled = false;
+  cfg.metrics.record_pairs = true;
+  cfg.drain = true;
+  TraceGenerator gen(r, s, tc);
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(gen, from_seconds(100));
+  EXPECT_EQ(rep.results, expected);
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  for (const auto& p : rep.pairs) {
+    EXPECT_TRUE(seen.insert({p.key, p.r_seq, p.s_seq}).second);
+  }
+}
+
+TEST(DispatcherGrow, NewInstancesOnlyViaOverrides) {
+  Dispatcher d(PartitionStrategy::kHash, 4);
+  d.grow(2);
+  EXPECT_EQ(d.group_size(), 6u);
+  // Hash routing still targets the original 4.
+  for (KeyId k = 0; k < 1000; ++k) {
+    EXPECT_LT(d.hash_route(Side::kR, k), 4u);
+  }
+  // Overrides may now point at the new instances.
+  d.apply_override(Side::kR, 7, 5);
+  EXPECT_EQ(d.hash_route(Side::kR, 7), 5u);
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,129 @@
+// Elastic scale-out (paper Section IV-C): new instances join empty and
+// are populated by key migrations, with no global rehash.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin {
+namespace {
+
+TraceConfig trace_config(std::uint64_t total) {
+  TraceConfig tc;
+  tc.total_records = total;
+  tc.r_rate = 300'000;
+  tc.s_rate = 300'000;
+  return tc;
+}
+
+KeyStreamSpec spec(std::uint64_t seed) {
+  KeyStreamSpec s;
+  s.num_keys = 2000;
+  s.zipf_s = 1.1;
+  s.seed = seed;
+  return s;
+}
+
+EngineConfig base_config() {
+  EngineConfig cfg;
+  cfg.instances = 4;
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.5;
+  cfg.balancer.min_heaviest_load = 50.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;
+  cfg.drain = true;
+  return cfg;
+}
+
+TEST(ScaleOut, NewInstancesReceiveKeysViaMigration) {
+  auto cfg = base_config();
+  TraceGenerator gen(spec(1), spec(1001), trace_config(80'000));
+  SimJoinEngine engine(cfg);
+  engine.schedule_scale_out(from_seconds(0.05), 2);
+  const auto rep = engine.run(gen, from_seconds(100));
+
+  EXPECT_GT(rep.migrations, 0u);
+  // At least one of the added instances (ids 4, 5) holds tuples now.
+  std::uint64_t added_stored = 0;
+  for (int g = 0; g < 2; ++g) {
+    for (InstanceId i = 4; i < 6; ++i) {
+      added_stored +=
+          engine.instance(static_cast<Side>(g), i).store().size();
+    }
+  }
+  EXPECT_GT(added_stored, 0u);
+  // And the dispatcher routes migrated keys there via overrides only.
+  EXPECT_GT(engine.dispatcher().overrides(Side::kR) +
+                engine.dispatcher().overrides(Side::kS),
+            0u);
+  EXPECT_EQ(engine.dispatcher().group_size(), 6u);
+}
+
+TEST(ScaleOut, ExactlyOnceAcrossScaleOut) {
+  auto cfg = base_config();
+  cfg.metrics.record_pairs = true;
+  TraceConfig tc = trace_config(20'000);
+  KeyStreamSpec r = spec(2), s = spec(1002);
+  // Ground truth.
+  std::map<KeyId, std::pair<std::uint64_t, std::uint64_t>> counts;
+  {
+    TraceGenerator gen(r, s, tc);
+    while (auto rec = gen.next()) {
+      auto& [cr, cs] = counts[rec->key];
+      (rec->side == Side::kR ? cr : cs)++;
+    }
+  }
+  std::uint64_t expected = 0;
+  for (const auto& [_, rs] : counts) expected += rs.first * rs.second;
+
+  TraceGenerator gen(r, s, tc);
+  SimJoinEngine engine(cfg);
+  engine.schedule_scale_out(from_seconds(0.01), 3);
+  const auto rep = engine.run(gen, from_seconds(100));
+  EXPECT_EQ(rep.results, expected);
+
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  for (const auto& p : rep.pairs) {
+    EXPECT_TRUE(seen.insert({p.key, p.r_seq, p.s_seq}).second);
+  }
+  EXPECT_EQ(seen.size(), expected);
+}
+
+TEST(ScaleOut, WithoutBalancerAddedInstancesStayEmpty) {
+  auto cfg = base_config();
+  cfg.balancer.enabled = false;
+  TraceGenerator gen(spec(3), spec(1003), trace_config(20'000));
+  SimJoinEngine engine(cfg);
+  engine.schedule_scale_out(from_seconds(0.01), 1);
+  engine.run(gen, from_seconds(100));
+  for (int g = 0; g < 2; ++g) {
+    EXPECT_EQ(engine.instance(static_cast<Side>(g), 4).store().size(), 0u);
+  }
+}
+
+TEST(ScaleOut, ReducesHotInstanceShare) {
+  // After scaling 4 -> 8, the heaviest instance's share of stored
+  // tuples should drop relative to a run without scale-out.
+  auto run = [&](bool scale) {
+    auto cfg = base_config();
+    TraceGenerator gen(spec(4), spec(1004), trace_config(80'000));
+    SimJoinEngine engine(cfg);
+    if (scale) engine.schedule_scale_out(from_seconds(0.02), 4);
+    engine.run(gen, from_seconds(100));
+    std::uint64_t max_stored = 0, total = 0;
+    const std::uint32_t n = scale ? 8 : 4;
+    for (InstanceId i = 0; i < n; ++i) {
+      const auto sz = engine.instance(Side::kR, i).store().size();
+      max_stored = std::max(max_stored, sz);
+      total += sz;
+    }
+    return static_cast<double>(max_stored) / static_cast<double>(total);
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace fastjoin

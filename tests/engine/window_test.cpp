@@ -1,0 +1,153 @@
+// Window-based join semantics (paper Section III-E).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/trace.hpp"
+#include "engine/engine.hpp"
+
+namespace fastjoin {
+namespace {
+
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Record> records)
+      : records_(std::move(records)) {}
+  std::optional<Record> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Record> steady_trace(int total, int num_keys, SimTime gap) {
+  std::vector<Record> out;
+  std::uint64_t r_seq = 0, s_seq = 0;
+  for (int i = 0; i < total; ++i) {
+    Record rec;
+    rec.side = (i % 2 == 0) ? Side::kR : Side::kS;
+    rec.key = static_cast<KeyId>(i / 2 % num_keys);
+    rec.seq = rec.side == Side::kR ? r_seq++ : s_seq++;
+    rec.ts = i * gap;
+    rec.payload = i;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+EngineConfig window_config(std::uint32_t subwindows, SimTime len) {
+  EngineConfig cfg;
+  cfg.instances = 2;
+  cfg.balancer.enabled = false;
+  cfg.window_subwindows = subwindows;
+  cfg.subwindow_len = len;
+  cfg.drain = true;
+  return cfg;
+}
+
+TEST(WindowJoin, EvictsExpiredTuples) {
+  // 1 record per ms; sub-window 100 ms, 3 sub-windows -> ~300 ms window.
+  auto trace = steady_trace(4000, 8, kNanosPerMilli);
+  VectorSource src(trace);
+  SimJoinEngine engine(window_config(3, 100 * kNanosPerMilli));
+  // Cut the run with the feed (last record at ~4.0 s) so window ticks
+  // stop with it; otherwise eviction keeps draining the idle store.
+  const auto rep = engine.run(src, from_seconds(4.05));
+  EXPECT_GT(rep.evicted, 0u);
+  // Store occupancy at the end is bounded by the window, not the trace.
+  std::uint64_t stored_now = 0;
+  for (InstanceId i = 0; i < 2; ++i) {
+    stored_now += engine.instance(Side::kR, i).store().size();
+    stored_now += engine.instance(Side::kS, i).store().size();
+  }
+  // Full history would be 4000; ~3 sub-windows of 100 records/side fit.
+  EXPECT_LT(stored_now, 1000u);
+  EXPECT_GT(stored_now, 100u);
+}
+
+TEST(WindowJoin, FullHistoryNeverEvicts) {
+  auto trace = steady_trace(2000, 8, kNanosPerMilli);
+  VectorSource src(trace);
+  SimJoinEngine engine(window_config(0, 0));
+  const auto rep = engine.run(src, from_seconds(100));
+  EXPECT_EQ(rep.evicted, 0u);
+  EXPECT_EQ(rep.stores, 2000u);
+}
+
+TEST(WindowJoin, FewerResultsThanFullHistory) {
+  auto trace = steady_trace(4000, 4, kNanosPerMilli);
+  auto run = [&](std::uint32_t subwindows) {
+    VectorSource src(trace);
+    SimJoinEngine engine(
+        window_config(subwindows, 50 * kNanosPerMilli));
+    return engine.run(src, from_seconds(100));
+  };
+  const auto windowed = run(4);
+  const auto full = run(0);
+  EXPECT_GT(full.results, windowed.results);
+  EXPECT_GT(windowed.results, 0u);
+}
+
+TEST(WindowJoin, WiderWindowMoreResults) {
+  auto trace = steady_trace(4000, 4, kNanosPerMilli);
+  auto run = [&](std::uint32_t subwindows) {
+    VectorSource src(trace);
+    SimJoinEngine engine(
+        window_config(subwindows, 50 * kNanosPerMilli));
+    return engine.run(src, from_seconds(100));
+  };
+  const auto narrow = run(2);
+  const auto wide = run(8);
+  EXPECT_GT(wide.results, narrow.results);
+}
+
+TEST(WindowJoin, MonitorSeesWindowedLoad) {
+  // The load statistics |R_i| must shrink when tuples expire, so the
+  // instance's aggregate matches its store exactly.
+  auto trace = steady_trace(3000, 8, kNanosPerMilli);
+  VectorSource src(trace);
+  SimJoinEngine engine(window_config(2, 100 * kNanosPerMilli));
+  engine.run(src, from_seconds(100));
+  for (InstanceId i = 0; i < 2; ++i) {
+    const auto& inst = engine.instance(Side::kR, i);
+    EXPECT_EQ(inst.aggregate_load().stored, inst.store().size());
+  }
+}
+
+TEST(WindowJoin, WorksTogetherWithMigrations) {
+  KeyStreamSpec r;
+  r.num_keys = 200;
+  r.zipf_s = 1.5;
+  r.seed = 11;
+  KeyStreamSpec s = r;
+  s.seed = 12;
+  TraceConfig tc;
+  tc.total_records = 50'000;
+  tc.r_rate = 300'000;
+  tc.s_rate = 300'000;
+  TraceGenerator gen(r, s, tc);
+
+  auto cfg = window_config(4, 20 * kNanosPerMilli);
+  cfg.instances = 4;
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.5;
+  cfg.balancer.min_heaviest_load = 50.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;
+  SimJoinEngine engine(cfg);
+  const auto rep = engine.run(gen, from_seconds(100));
+  EXPECT_GT(rep.results, 0u);
+  EXPECT_GT(rep.evicted, 0u);
+  // Exactly-once cannot be asserted against the naive full-history
+  // ground truth under windows; the engine-level invariant checked here
+  // is that processing completes and loads stay consistent.
+  for (InstanceId i = 0; i < 4; ++i) {
+    const auto& inst = engine.instance(Side::kR, i);
+    EXPECT_EQ(inst.aggregate_load().stored, inst.store().size());
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

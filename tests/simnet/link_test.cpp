@@ -1,0 +1,72 @@
+#include "simnet/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(Link, LatencyOnlyDelivery) {
+  Simulator sim;
+  Link link(sim, /*latency=*/1000, /*bytes_per_sec=*/0);
+  SimTime delivered = -1;
+  sim.schedule_at(0, [&] {
+    link.send(1'000'000, [&] { delivered = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 1000);  // infinite bandwidth: latency only
+}
+
+TEST(Link, SerializationDelayScalesWithBytes) {
+  Simulator sim;
+  Link link(sim, /*latency=*/0, /*bytes_per_sec=*/1e9);  // 1 GB/s
+  SimTime delivered = -1;
+  sim.schedule_at(0, [&] {
+    link.send(1'000'000, [&] { delivered = sim.now(); });  // 1 MB
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 1'000'000);  // 1 MB / 1 GB/s = 1 ms = 1e6 ns
+}
+
+TEST(Link, BackToBackTransfersSerialize) {
+  Simulator sim;
+  Link link(sim, /*latency=*/100, /*bytes_per_sec=*/1e9);
+  std::vector<SimTime> deliveries;
+  sim.schedule_at(0, [&] {
+    link.send(1000, [&] { deliveries.push_back(sim.now()); });  // 1 us tx
+    link.send(1000, [&] { deliveries.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 1000 + 100);
+  // Second transfer waits for the first to clear the link head.
+  EXPECT_EQ(deliveries[1], 2000 + 100);
+}
+
+TEST(Link, IdleLinkTransmitsImmediately) {
+  Simulator sim;
+  Link link(sim, 10, 1e9);
+  SimTime d1 = -1, d2 = -1;
+  sim.schedule_at(0, [&] { link.send(1000, [&] { d1 = sim.now(); }); });
+  // Sent long after the first transfer finished: no queueing.
+  sim.schedule_at(50'000, [&] { link.send(1000, [&] { d2 = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(d1, 1010);
+  EXPECT_EQ(d2, 50'000 + 1010);
+}
+
+TEST(Link, CountsTraffic) {
+  Simulator sim;
+  Link link(sim, 0, 0);
+  sim.schedule_at(0, [&] {
+    link.send(100, [] {});
+    link.send(200, [] {});
+  });
+  sim.run();
+  EXPECT_EQ(link.bytes_sent(), 300u);
+  EXPECT_EQ(link.messages_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace fastjoin

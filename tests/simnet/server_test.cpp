@@ -1,0 +1,92 @@
+#include "simnet/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(Server, ServesJobsFifoOneAtATime) {
+  Simulator sim;
+  Server server(sim, "s0");
+  std::vector<std::pair<int, SimTime>> done;
+  sim.schedule_at(0, [&] {
+    server.submit(10, [&] { done.push_back({1, sim.now()}); });
+    server.submit(5, [&] { done.push_back({2, sim.now()}); });
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_EQ(done[0].second, 10);
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[1].second, 15);  // serialized, not parallel
+}
+
+TEST(Server, QueueLengthExcludesInService) {
+  Simulator sim;
+  Server server(sim);
+  sim.schedule_at(0, [&] {
+    server.submit(100, nullptr);
+    server.submit(100, nullptr);
+    server.submit(100, nullptr);
+    EXPECT_TRUE(server.busy());
+    EXPECT_EQ(server.queue_length(), 2u);
+  });
+  sim.run();
+  EXPECT_EQ(server.jobs_completed(), 3u);
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+TEST(Server, PauseHoldsQueueButFinishesInService) {
+  Simulator sim;
+  Server server(sim);
+  int completed = 0;
+  sim.schedule_at(0, [&] {
+    server.submit(10, [&] { ++completed; });
+    server.submit(10, [&] { ++completed; });
+  });
+  sim.schedule_at(5, [&] { server.pause(); });
+  sim.schedule_at(50, [&] {
+    EXPECT_EQ(completed, 1);  // in-service job finished, queued held
+    server.resume();
+  });
+  sim.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(sim.now(), 60);  // resumed at 50, second job takes 10
+}
+
+TEST(Server, SubmitWhilePausedDefersService) {
+  Simulator sim;
+  Server server(sim);
+  int completed = 0;
+  sim.schedule_at(0, [&] {
+    server.pause();
+    server.submit(10, [&] { ++completed; });
+  });
+  sim.schedule_at(100, [&] { server.resume(); });
+  sim.run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(sim.now(), 110);
+}
+
+TEST(Server, BusyTimeAccumulates) {
+  Simulator sim;
+  Server server(sim);
+  sim.schedule_at(0, [&] {
+    server.submit(30, nullptr);
+    server.submit(20, nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(server.busy_time(), 50);
+}
+
+TEST(Server, ResumeWithoutPauseIsNoop) {
+  Simulator sim;
+  Server server(sim);
+  server.resume();
+  EXPECT_FALSE(server.paused());
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,104 @@
+#include "simnet/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastjoin {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesNow) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(20, [&] { ++ran; });
+  sim.schedule_at(30, [&] { ++ran; });
+  const auto n = sim.run(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, CancelSkipsEvent) {
+  Simulator sim;
+  int ran = 0;
+  const auto h = sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(20, [&] { ++ran; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator sim;
+  int ran = 0;
+  const auto h = sim.schedule_at(10, [&] { ++ran; });
+  sim.run();
+  sim.cancel(h);  // already executed
+  sim.schedule_at(20, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 99);
+  EXPECT_EQ(sim.executed(), 100u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, TimeDoesNotAdvancePastLastEvent) {
+  Simulator sim;
+  sim.schedule_at(42, [] {});
+  sim.run(1'000'000);
+  EXPECT_EQ(sim.now(), 42);
+}
+
+}  // namespace
+}  // namespace fastjoin
