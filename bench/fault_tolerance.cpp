@@ -5,11 +5,19 @@
 // mid-run and sweeps the checkpoint interval: results lost shrink as
 // checkpoints tighten, at the cost of periodic snapshot work.
 //
+// A second section exercises the LIVE runtime: a worker is crashed
+// mid-feed and the supervisor's recovery time (crash -> respawned with
+// the checkpointed store) is measured against the checkpoint interval.
+//
 // Usage: fault_tolerance [scale=1.0]
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "common/config.hpp"
+#include "datagen/keygen.hpp"
 #include "datagen/ride_hailing.hpp"
+#include "runtime/live_engine.hpp"
 #include "support/harness.hpp"
 #include "support/workloads.hpp"
 
@@ -75,6 +83,90 @@ int run(int argc, char** argv) {
                "fewer joins are lost; exactly-once still holds for the "
                "surviving state — crashes lose results, never duplicate "
                "them)\n";
+
+  banner("Extension", "live runtime: supervised crash recovery");
+
+  const int live_records =
+      static_cast<int>(60'000 * std::max(scale, 0.05));
+  auto live_once = [&](std::chrono::milliseconds checkpoint_period,
+                       bool crash) {
+    LiveConfig cfg;
+    cfg.instances = 4;
+    cfg.balancer = true;
+    cfg.planner.theta = 1.2;
+    cfg.min_heaviest_load = 100.0;
+    cfg.monitor_period = std::chrono::milliseconds(2);
+    cfg.checkpoint_period = checkpoint_period;
+    LiveEngine engine(cfg);
+    engine.start();
+
+    KeyStreamSpec spec;
+    spec.num_keys = 2'000;
+    spec.zipf_s = 1.1;
+    spec.seed = 42;
+    KeyGenerator gen(spec);
+    Xoshiro256 rng(7);
+    std::uint64_t r_seq = 0, s_seq = 0;
+    for (int i = 0; i < live_records; ++i) {
+      Record rec;
+      rec.side = rng.next_below(2) ? Side::kS : Side::kR;
+      rec.key = gen();
+      rec.seq = rec.side == Side::kR ? r_seq++ : s_seq++;
+      rec.ts = static_cast<std::uint64_t>(i);
+      rec.payload = static_cast<std::uint64_t>(i);
+      engine.push(rec);
+      if (crash && i == live_records / 2) {
+        // Let at least one snapshot land before the crash, so the
+        // sweep isolates the checkpoint interval rather than the race
+        // between feed start and the first checkpoint.
+        if (checkpoint_period.count() > 0) {
+          std::this_thread::sleep_for(2 * checkpoint_period);
+        }
+        engine.crash(Side::kS, 0);
+      }
+      if (i % 10'000 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    // Leave room for the supervisor to finish the respawn.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return engine.finish();
+  };
+
+  const auto live_clean = live_once(std::chrono::milliseconds(10), false);
+
+  Table lt({"checkpoint interval", "results", "lost vs clean (%)",
+            "restored", "dropped", "recovery (ms)"});
+  lt.add_row({std::string("(no crash)"),
+              static_cast<std::int64_t>(live_clean.results), 0.0,
+              std::int64_t{0}, std::int64_t{0}, 0.0});
+  const struct {
+    const char* label;
+    std::chrono::milliseconds period;
+  } live_sweeps[] = {
+      {"no checkpoints", std::chrono::milliseconds(0)},
+      {"every 50 ms", std::chrono::milliseconds(50)},
+      {"every 10 ms", std::chrono::milliseconds(10)},
+      {"every 5 ms", std::chrono::milliseconds(5)},
+  };
+  for (const auto& sw : live_sweeps) {
+    const auto st = live_once(sw.period, true);
+    const double lost =
+        100.0 *
+        (static_cast<double>(live_clean.results) -
+         static_cast<double>(st.results)) /
+        static_cast<double>(live_clean.results);
+    lt.add_row({std::string(sw.label),
+                static_cast<std::int64_t>(st.results), lost,
+                static_cast<std::int64_t>(st.tuples_restored),
+                static_cast<std::int64_t>(st.records_dropped),
+                st.mean_recovery_ms});
+  }
+  lt.print(std::cout);
+  std::cout << "(recovery time is dominated by the supervisor's tick "
+               "cadence plus the checkpoint reload; records pushed to "
+               "the dead worker before its respawn are dropped and "
+               "counted, never silently lost)\n";
   return 0;
 }
 

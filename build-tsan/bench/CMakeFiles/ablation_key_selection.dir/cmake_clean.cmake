@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_key_selection.dir/ablation_key_selection.cpp.o"
+  "CMakeFiles/ablation_key_selection.dir/ablation_key_selection.cpp.o.d"
+  "ablation_key_selection"
+  "ablation_key_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_key_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phi_signal.dir/ablation_phi_signal.cpp.o"
+  "CMakeFiles/ablation_phi_signal.dir/ablation_phi_signal.cpp.o.d"
+  "ablation_phi_signal"
+  "ablation_phi_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_overall.dir/fig03_04_overall.cpp.o"
+  "CMakeFiles/fig03_04_overall.dir/fig03_04_overall.cpp.o.d"
+  "fig03_04_overall"
+  "fig03_04_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_instances.dir/fig05_06_instances.cpp.o"
+  "CMakeFiles/fig05_06_instances.dir/fig05_06_instances.cpp.o.d"
+  "fig05_06_instances"
+  "fig05_06_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

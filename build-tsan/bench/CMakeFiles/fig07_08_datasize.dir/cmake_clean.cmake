@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_datasize.dir/fig07_08_datasize.cpp.o"
+  "CMakeFiles/fig07_08_datasize.dir/fig07_08_datasize.cpp.o.d"
+  "fig07_08_datasize"
+  "fig07_08_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_threshold.dir/fig09_10_threshold.cpp.o"
+  "CMakeFiles/fig09_10_threshold.dir/fig09_10_threshold.cpp.o.d"
+  "fig09_10_threshold"
+  "fig09_10_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

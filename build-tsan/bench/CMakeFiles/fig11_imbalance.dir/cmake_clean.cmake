@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_imbalance.dir/fig11_imbalance.cpp.o"
+  "CMakeFiles/fig11_imbalance.dir/fig11_imbalance.cpp.o.d"
+  "fig11_imbalance"
+  "fig11_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_synthetic.dir/fig12_13_synthetic.cpp.o"
+  "CMakeFiles/fig12_13_synthetic.dir/fig12_13_synthetic.cpp.o.d"
+  "fig12_13_synthetic"
+  "fig12_13_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_greedy_vs_sa.dir/fig14_greedy_vs_sa.cpp.o"
+  "CMakeFiles/fig14_greedy_vs_sa.dir/fig14_greedy_vs_sa.cpp.o.d"
+  "fig14_greedy_vs_sa"
+  "fig14_greedy_vs_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_greedy_vs_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

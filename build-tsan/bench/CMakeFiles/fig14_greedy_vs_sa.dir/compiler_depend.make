@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_greedy_vs_sa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_key_selection.cpp" "bench/CMakeFiles/micro_key_selection.dir/micro_key_selection.cpp.o" "gcc" "bench/CMakeFiles/micro_key_selection.dir/micro_key_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/fastjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fastjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

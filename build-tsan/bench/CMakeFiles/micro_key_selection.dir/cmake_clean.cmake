@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_key_selection.dir/micro_key_selection.cpp.o"
+  "CMakeFiles/micro_key_selection.dir/micro_key_selection.cpp.o.d"
+  "micro_key_selection"
+  "micro_key_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_key_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_baselines.dir/related_work_baselines.cpp.o"
+  "CMakeFiles/related_work_baselines.dir/related_work_baselines.cpp.o.d"
+  "related_work_baselines"
+  "related_work_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgr_analysis.dir/sgr_analysis.cpp.o"
+  "CMakeFiles/sgr_analysis.dir/sgr_analysis.cpp.o.d"
+  "sgr_analysis"
+  "sgr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

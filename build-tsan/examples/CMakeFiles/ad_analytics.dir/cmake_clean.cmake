@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_analytics.dir/ad_analytics.cpp.o"
+  "CMakeFiles/ad_analytics.dir/ad_analytics.cpp.o.d"
+  "ad_analytics"
+  "ad_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_cli.dir/fastjoin_cli.cpp.o"
+  "CMakeFiles/fastjoin_cli.dir/fastjoin_cli.cpp.o.d"
+  "fastjoin_cli"
+  "fastjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

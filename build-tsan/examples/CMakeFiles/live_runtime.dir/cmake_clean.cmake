@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_runtime.dir/live_runtime.cpp.o"
+  "CMakeFiles/live_runtime.dir/live_runtime.cpp.o.d"
+  "live_runtime"
+  "live_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

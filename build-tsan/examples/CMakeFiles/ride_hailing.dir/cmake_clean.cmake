@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ride_hailing.dir/ride_hailing.cpp.o"
+  "CMakeFiles/ride_hailing.dir/ride_hailing.cpp.o.d"
+  "ride_hailing"
+  "ride_hailing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ride_hailing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

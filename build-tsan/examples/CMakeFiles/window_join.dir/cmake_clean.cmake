@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_join.dir/window_join.cpp.o"
+  "CMakeFiles/window_join.dir/window_join.cpp.o.d"
+  "window_join"
+  "window_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_common.dir/config.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/config.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/hash.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/hash.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/histogram.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/logging.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/rng.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/spacesaving.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/spacesaving.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/stats.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/table.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/table.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/fastjoin_common.dir/timeseries.cpp.o"
+  "CMakeFiles/fastjoin_common.dir/timeseries.cpp.o.d"
+  "libfastjoin_common.a"
+  "libfastjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/greedy_fit.cpp" "src/core/CMakeFiles/fastjoin_core.dir/greedy_fit.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/greedy_fit.cpp.o.d"
+  "/root/repo/src/core/load_model.cpp" "src/core/CMakeFiles/fastjoin_core.dir/load_model.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/load_model.cpp.o.d"
+  "/root/repo/src/core/optimal_fit.cpp" "src/core/CMakeFiles/fastjoin_core.dir/optimal_fit.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/optimal_fit.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/fastjoin_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/random_fit.cpp" "src/core/CMakeFiles/fastjoin_core.dir/random_fit.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/random_fit.cpp.o.d"
+  "/root/repo/src/core/sa_fit.cpp" "src/core/CMakeFiles/fastjoin_core.dir/sa_fit.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/sa_fit.cpp.o.d"
+  "/root/repo/src/core/sgr.cpp" "src/core/CMakeFiles/fastjoin_core.dir/sgr.cpp.o" "gcc" "src/core/CMakeFiles/fastjoin_core.dir/sgr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

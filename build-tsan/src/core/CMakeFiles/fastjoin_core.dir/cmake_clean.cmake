@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_core.dir/greedy_fit.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/greedy_fit.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/load_model.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/load_model.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/optimal_fit.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/optimal_fit.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/planner.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/planner.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/random_fit.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/random_fit.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/sa_fit.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/sa_fit.cpp.o.d"
+  "CMakeFiles/fastjoin_core.dir/sgr.cpp.o"
+  "CMakeFiles/fastjoin_core.dir/sgr.cpp.o.d"
+  "libfastjoin_core.a"
+  "libfastjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/adclick.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/adclick.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/adclick.cpp.o.d"
+  "/root/repo/src/datagen/keygen.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/keygen.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/keygen.cpp.o.d"
+  "/root/repo/src/datagen/ride_hailing.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/ride_hailing.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/ride_hailing.cpp.o.d"
+  "/root/repo/src/datagen/stock.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/stock.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/stock.cpp.o.d"
+  "/root/repo/src/datagen/trace.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/trace.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/trace.cpp.o.d"
+  "/root/repo/src/datagen/trace_io.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/trace_io.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/trace_io.cpp.o.d"
+  "/root/repo/src/datagen/zipf.cpp" "src/datagen/CMakeFiles/fastjoin_datagen.dir/zipf.cpp.o" "gcc" "src/datagen/CMakeFiles/fastjoin_datagen.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

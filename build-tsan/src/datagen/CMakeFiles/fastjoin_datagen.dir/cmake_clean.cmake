@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_datagen.dir/adclick.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/adclick.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/keygen.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/keygen.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/ride_hailing.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/ride_hailing.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/stock.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/stock.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/trace.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/trace.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/trace_io.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/trace_io.cpp.o.d"
+  "CMakeFiles/fastjoin_datagen.dir/zipf.cpp.o"
+  "CMakeFiles/fastjoin_datagen.dir/zipf.cpp.o.d"
+  "libfastjoin_datagen.a"
+  "libfastjoin_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_model.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/cost_model.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/cost_model.cpp.o.d"
+  "/root/repo/src/engine/dispatcher.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/dispatcher.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/join_instance.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/join_instance.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/join_instance.cpp.o.d"
+  "/root/repo/src/engine/join_store.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/join_store.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/join_store.cpp.o.d"
+  "/root/repo/src/engine/matrix_engine.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/matrix_engine.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/matrix_engine.cpp.o.d"
+  "/root/repo/src/engine/metrics.cpp" "src/engine/CMakeFiles/fastjoin_engine.dir/metrics.cpp.o" "gcc" "src/engine/CMakeFiles/fastjoin_engine.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fastjoin_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

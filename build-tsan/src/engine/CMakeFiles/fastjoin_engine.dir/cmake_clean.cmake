@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_engine.dir/cost_model.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/dispatcher.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/engine.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/join_instance.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/join_instance.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/join_store.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/join_store.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/matrix_engine.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/matrix_engine.cpp.o.d"
+  "CMakeFiles/fastjoin_engine.dir/metrics.cpp.o"
+  "CMakeFiles/fastjoin_engine.dir/metrics.cpp.o.d"
+  "libfastjoin_engine.a"
+  "libfastjoin_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

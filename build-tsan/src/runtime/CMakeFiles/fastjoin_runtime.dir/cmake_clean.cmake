@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_runtime.dir/live_engine.cpp.o"
+  "CMakeFiles/fastjoin_runtime.dir/live_engine.cpp.o.d"
+  "libfastjoin_runtime.a"
+  "libfastjoin_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

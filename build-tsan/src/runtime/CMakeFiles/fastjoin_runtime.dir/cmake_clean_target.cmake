@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastjoin_runtime.a"
+)

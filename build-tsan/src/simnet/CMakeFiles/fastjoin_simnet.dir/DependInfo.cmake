@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/link.cpp" "src/simnet/CMakeFiles/fastjoin_simnet.dir/link.cpp.o" "gcc" "src/simnet/CMakeFiles/fastjoin_simnet.dir/link.cpp.o.d"
+  "/root/repo/src/simnet/server.cpp" "src/simnet/CMakeFiles/fastjoin_simnet.dir/server.cpp.o" "gcc" "src/simnet/CMakeFiles/fastjoin_simnet.dir/server.cpp.o.d"
+  "/root/repo/src/simnet/simulator.cpp" "src/simnet/CMakeFiles/fastjoin_simnet.dir/simulator.cpp.o" "gcc" "src/simnet/CMakeFiles/fastjoin_simnet.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastjoin_simnet.dir/link.cpp.o"
+  "CMakeFiles/fastjoin_simnet.dir/link.cpp.o.d"
+  "CMakeFiles/fastjoin_simnet.dir/server.cpp.o"
+  "CMakeFiles/fastjoin_simnet.dir/server.cpp.o.d"
+  "CMakeFiles/fastjoin_simnet.dir/simulator.cpp.o"
+  "CMakeFiles/fastjoin_simnet.dir/simulator.cpp.o.d"
+  "libfastjoin_simnet.a"
+  "libfastjoin_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastjoin_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

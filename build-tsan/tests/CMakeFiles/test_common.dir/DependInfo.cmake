@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/test_common.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/queues_test.cpp" "tests/CMakeFiles/test_common.dir/common/queues_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/queues_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/spacesaving_test.cpp" "tests/CMakeFiles/test_common.dir/common/spacesaving_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/spacesaving_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/timeseries_test.cpp" "tests/CMakeFiles/test_common.dir/common/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fastjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/fastjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/fastjoin_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

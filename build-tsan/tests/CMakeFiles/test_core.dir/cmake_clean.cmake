@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/greedy_fit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/greedy_fit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/load_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/load_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multi_pair_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multi_pair_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimal_fit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimal_fit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/random_fit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/random_fit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sa_fit_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sa_fit_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sgr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sgr_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen/adclick_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/adclick_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/adclick_test.cpp.o.d"
+  "/root/repo/tests/datagen/keygen_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/keygen_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/keygen_test.cpp.o.d"
+  "/root/repo/tests/datagen/ride_hailing_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/ride_hailing_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/ride_hailing_test.cpp.o.d"
+  "/root/repo/tests/datagen/stock_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/stock_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/stock_test.cpp.o.d"
+  "/root/repo/tests/datagen/trace_io_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/trace_io_test.cpp.o.d"
+  "/root/repo/tests/datagen/trace_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/trace_test.cpp.o.d"
+  "/root/repo/tests/datagen/zipf_test.cpp" "tests/CMakeFiles/test_datagen.dir/datagen/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_datagen.dir/datagen/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fastjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/fastjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/fastjoin_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datagen.dir/datagen/adclick_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/adclick_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/keygen_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/keygen_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/ride_hailing_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/ride_hailing_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/stock_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/stock_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/trace_io_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/trace_io_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/trace_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/trace_test.cpp.o.d"
+  "CMakeFiles/test_datagen.dir/datagen/zipf_test.cpp.o"
+  "CMakeFiles/test_datagen.dir/datagen/zipf_test.cpp.o.d"
+  "test_datagen"
+  "test_datagen.pdb"
+  "test_datagen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/chaos_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/chaos_test.cpp.o.d"
+  "/root/repo/tests/engine/completeness_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/completeness_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/completeness_test.cpp.o.d"
+  "/root/repo/tests/engine/cost_model_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/cost_model_test.cpp.o.d"
+  "/root/repo/tests/engine/dispatcher_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/dispatcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/dispatcher_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/engine_test.cpp.o.d"
+  "/root/repo/tests/engine/fault_tolerance_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/fault_tolerance_test.cpp.o.d"
+  "/root/repo/tests/engine/join_instance_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/join_instance_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/join_instance_test.cpp.o.d"
+  "/root/repo/tests/engine/join_store_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/join_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/join_store_test.cpp.o.d"
+  "/root/repo/tests/engine/matrix_engine_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/matrix_engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/matrix_engine_test.cpp.o.d"
+  "/root/repo/tests/engine/metrics_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/metrics_test.cpp.o.d"
+  "/root/repo/tests/engine/migration_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/migration_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/migration_test.cpp.o.d"
+  "/root/repo/tests/engine/phi_signal_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/phi_signal_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/phi_signal_test.cpp.o.d"
+  "/root/repo/tests/engine/pkg_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/pkg_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/pkg_test.cpp.o.d"
+  "/root/repo/tests/engine/preprocess_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/preprocess_test.cpp.o.d"
+  "/root/repo/tests/engine/scale_out_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/scale_out_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/scale_out_test.cpp.o.d"
+  "/root/repo/tests/engine/sketch_stats_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/sketch_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/sketch_stats_test.cpp.o.d"
+  "/root/repo/tests/engine/window_test.cpp" "tests/CMakeFiles/test_engine.dir/engine/window_test.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fastjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fastjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/fastjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/fastjoin_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

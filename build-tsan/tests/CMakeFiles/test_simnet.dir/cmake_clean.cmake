@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/link_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/link_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/server_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/server_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/simulator_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/simulator_test.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fastjoin_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/engine/CMakeFiles/fastjoin_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/datagen/CMakeFiles/fastjoin_datagen.dir/DependInfo.cmake"
   "/root/repo/build/src/simnet/CMakeFiles/fastjoin_simnet.dir/DependInfo.cmake"

@@ -217,21 +217,21 @@ bench/CMakeFiles/fig05_06_instances.dir/fig05_06_instances.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/planner.hpp \
- /root/repo/src/core/greedy_fit.hpp /root/repo/src/core/key_selection.hpp \
- /root/repo/src/core/load_model.hpp /root/repo/src/core/random_fit.hpp \
- /root/repo/src/core/sa_fit.hpp /root/repo/src/datagen/trace.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/datagen/keygen.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/datagen/zipf.hpp /root/repo/src/datagen/record.hpp \
- /root/repo/src/engine/cost_model.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/planner.hpp /root/repo/src/core/greedy_fit.hpp \
+ /root/repo/src/core/key_selection.hpp /root/repo/src/core/load_model.hpp \
+ /root/repo/src/core/random_fit.hpp /root/repo/src/core/sa_fit.hpp \
+ /root/repo/src/datagen/trace.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/datagen/keygen.hpp \
+ /root/repo/src/common/hash.hpp /root/repo/src/datagen/zipf.hpp \
+ /root/repo/src/datagen/record.hpp /root/repo/src/engine/cost_model.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/engine/dispatcher.hpp \
  /root/repo/src/engine/join_instance.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/engine/join_store.hpp /root/repo/src/engine/tuple.hpp \
  /root/repo/src/common/spacesaving.hpp \
  /root/repo/src/simnet/simulator.hpp /usr/include/c++/12/queue \

@@ -221,17 +221,17 @@ examples/CMakeFiles/ad_analytics.dir/ad_analytics.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/planner.hpp \
- /usr/include/c++/12/span /root/repo/src/core/greedy_fit.hpp \
- /root/repo/src/core/key_selection.hpp /root/repo/src/core/load_model.hpp \
- /root/repo/src/core/random_fit.hpp /root/repo/src/core/sa_fit.hpp \
- /root/repo/src/engine/cost_model.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/planner.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/greedy_fit.hpp /root/repo/src/core/key_selection.hpp \
+ /root/repo/src/core/load_model.hpp /root/repo/src/core/random_fit.hpp \
+ /root/repo/src/core/sa_fit.hpp /root/repo/src/engine/cost_model.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/engine/dispatcher.hpp \
  /root/repo/src/engine/join_instance.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/engine/join_store.hpp /root/repo/src/engine/tuple.hpp \
  /root/repo/src/common/spacesaving.hpp \
  /root/repo/src/simnet/simulator.hpp /usr/include/c++/12/queue \

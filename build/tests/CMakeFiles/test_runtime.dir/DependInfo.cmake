@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/live_chaos_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/live_chaos_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/live_chaos_test.cpp.o.d"
   "/root/repo/tests/runtime/live_runtime_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/live_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/live_runtime_test.cpp.o.d"
   )
 

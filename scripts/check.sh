@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a ThreadSanitizer pass over the concurrent runtime.
+#
+#   scripts/check.sh            # full: tier-1 build+tests, then TSan runtime
+#   scripts/check.sh --tier1    # tier-1 only
+#   scripts/check.sh --tsan     # TSan runtime tests only
+#
+# The TSan pass rebuilds into build-tsan/ (separate cache) and runs the
+# test_runtime binary, which covers the worker/monitor/supervisor
+# threading including the chaos tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tier1) run_tsan=0 ;;
+  --tsan) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tier1|--tsan]" >&2; exit 2 ;;
+esac
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ $run_tier1 -eq 1 ]]; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== TSan: runtime tests under -fsanitize=thread =="
+  cmake -B build-tsan -S . -DFASTJOIN_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target test_runtime
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+fi
+
+echo "check.sh: all requested passes green"

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -112,6 +113,25 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocks up to `timeout` for an item. Returns nullopt on timeout or
+  /// once closed and drained; callers that need to distinguish the two
+  /// check closed(). Supervised consumers use this instead of pop() so
+  /// they can notice out-of-band state (a crash flag, a deadline)
+  /// even when no producer ever wakes them.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;  // timed out
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
     T value = std::move(items_.front());
     items_.pop_front();
     not_full_.notify_one();

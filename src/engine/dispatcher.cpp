@@ -107,6 +107,18 @@ void Dispatcher::route_probe(Side group_side, const Record& rec,
   }
 }
 
+void Dispatcher::clear_override(Side group_side, KeyId k) {
+  overrides_[static_cast<int>(group_side)].erase(k);
+}
+
+std::optional<InstanceId> Dispatcher::override_for(Side group_side,
+                                                   KeyId k) const {
+  const auto& ov = overrides_[static_cast<int>(group_side)];
+  const auto it = ov.find(k);
+  if (it == ov.end()) return std::nullopt;
+  return it->second;
+}
+
 void Dispatcher::apply_override(Side group_side, KeyId k, InstanceId dst) {
   assert(strategy_ == PartitionStrategy::kHash &&
          "routing overrides require key-based routing");

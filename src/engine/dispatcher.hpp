@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,14 @@ class Dispatcher {
   /// `group_side`'s stream and probes against it) now go to `dst`.
   /// Only meaningful for kHash.
   void apply_override(Side group_side, KeyId k, InstanceId dst);
+
+  /// Remove key `k`'s override so it routes to its hash home again
+  /// (migration-abort rollback). No-op when no override is installed.
+  void clear_override(Side group_side, KeyId k);
+
+  /// The override currently installed for `k`, if any (abort bookkeeping:
+  /// recorded before a migration installs its own, restored on rollback).
+  std::optional<InstanceId> override_for(Side group_side, KeyId k) const;
 
   /// Current routing of key `k` in `group_side`'s group under kHash.
   InstanceId hash_route(Side group_side, KeyId k) const;

@@ -90,11 +90,14 @@ void SimJoinEngine::schedule_failure(SimTime at, Side group,
                                      InstanceId id) {
   sim_.schedule_at(at, [this, group, id]() {
     const int g = static_cast<int>(group);
-    if (id >= groups_[g].size()) return;
-    if (migrating_[g].count(id)) {
-      FJ_WARN("engine") << "skipping crash of " << side_name(group) << "-"
-                        << id << ": instance is mid-migration";
+    if (id >= groups_[g].size()) {
+      ++failures_skipped_;
+      FJ_WARN("engine") << "skipping crash of unknown instance "
+                        << side_name(group) << "-" << id;
       return;
+    }
+    if (const auto it = migrating_[g].find(id); it != migrating_[g].end()) {
+      abort_migration(group, it->second, id);
     }
     JoinInstance* inst = groups_[g][id].get();
     inst->crash();
@@ -215,10 +218,93 @@ void SimJoinEngine::monitor_tick(Side group, SimTime duration) {
   }
 }
 
+void SimJoinEngine::end_migration(Side group, const ActiveMigration& am) {
+  const int g = static_cast<int>(group);
+  migrating_[g].erase(am.pair.src);
+  migrating_[g].erase(am.pair.dst);
+}
+
+/// Unwind an in-flight migration after `crashed` (src or dst) died.
+/// The rules, per phase reached (see docs/migration_protocol.md):
+///  * Nothing extracted yet: resume the source, stop holding.
+///  * Batch extracted, target never absorbed it: the surviving source
+///    re-merges the batch and replays pending + forward buffer locally;
+///    routing was never changed.
+///  * Target absorbed the batch and then died: roll routing back to the
+///    source and re-insert the batch's *stored* tuples there. Pending
+///    records are NOT replayed — the target may have served some of
+///    them before dying, and replaying would double-count matches.
+///    Re-inserting stored tuples is always safe: a stored tuple emits
+///    nothing by itself, and each probe is routed to exactly one
+///    instance.
+///  * Source died after the routing update: roll forward — the batch
+///    already lives at the target; only the source's forward buffer is
+///    lost (bounded by the migration window).
+void SimJoinEngine::abort_migration(
+    Side group, const std::shared_ptr<ActiveMigration>& am,
+    InstanceId crashed) {
+  const int g = static_cast<int>(group);
+  am->aborted = true;
+  JoinInstance* src = groups_[g][am->pair.src].get();
+  JoinInstance* dst = groups_[g][am->pair.dst].get();
+  const bool src_crashed = crashed == am->pair.src;
+  const bool dst_crashed = crashed == am->pair.dst;
+
+  switch (am->phase) {
+    case MigPhase::kSelecting:
+      if (!src_crashed) src->resume();
+      break;
+    case MigPhase::kExtracted:
+      if (!dst_crashed && am->hold_installed) dst->release_held({});
+      if (!src_crashed) {
+        src->abort_migration(am->batch->stored, /*replay_pending=*/true,
+                             am->batch->pending);
+      }
+      break;
+    case MigPhase::kAbsorbed:
+      if (dst_crashed) {
+        // Routing still points at the source; restore the stored half.
+        src->abort_migration(am->batch->stored, /*replay_pending=*/false,
+                             {});
+      } else {
+        // Source died with the batch already delivered: roll forward.
+        for (KeyId k : am->batch->keys) {
+          dispatcher_.apply_override(group, k, am->pair.dst);
+        }
+        dst->release_held({});
+      }
+      break;
+    case MigPhase::kRoutingUpdated:
+      if (dst_crashed) {
+        for (const auto& [k, prev] : am->prev_overrides) {
+          if (prev) {
+            dispatcher_.apply_override(group, k, *prev);
+          } else {
+            dispatcher_.clear_override(group, k);
+          }
+        }
+        src->abort_migration(am->batch->stored, /*replay_pending=*/false,
+                             {});
+      } else {
+        // Forward buffer died with the source; keys stay at the target.
+        dst->release_held({});
+      }
+      break;
+  }
+  end_migration(group, *am);
+  ++migrations_aborted_;
+  FJ_WARN("migrate") << "aborted " << side_name(group) << "-group migration "
+                     << am->pair.src << "->" << am->pair.dst << " at phase "
+                     << static_cast<int>(am->phase) << ": "
+                     << side_name(group) << "-" << crashed << " crashed";
+}
+
 void SimJoinEngine::start_migration(Side group, const MigrationPair& pair) {
   const int g = static_cast<int>(group);
-  migrating_[g].insert(pair.src);
-  migrating_[g].insert(pair.dst);
+  auto am = std::make_shared<ActiveMigration>();
+  am->pair = pair;
+  migrating_[g][pair.src] = am;
+  migrating_[g][pair.dst] = am;
 
   JoinInstance* src = groups_[g][pair.src].get();
   JoinInstance* dst = groups_[g][pair.dst].get();
@@ -228,11 +314,16 @@ void SimJoinEngine::start_migration(Side group, const MigrationPair& pair) {
   FJ_DEBUG("migrate") << side_name(group) << "-group LI=" << pair.li
                       << " src=" << pair.src << " dst=" << pair.dst;
 
-  // Monitor -> source: migration signal (Algorithm 2 entry).
-  sim_.schedule_after(ctrl, [this, g, group, src, dst, pair,
-                             triggered_at]() {
+  // Monitor -> source: migration signal (Algorithm 2 entry). Every
+  // scheduled step re-checks am->aborted: a crash of either endpoint
+  // aborts the migration synchronously (abort_migration) and the rest
+  // of the chain must become a no-op.
+  sim_.schedule_after(ctrl, [this, g, group, src, dst, pair, triggered_at,
+                             am]() {
+    if (am->aborted) return;
     src->pause();
-    src->when_idle([this, g, group, src, dst, pair, triggered_at]() {
+    src->when_idle([this, g, group, src, dst, pair, triggered_at, am]() {
+      if (am->aborted) return;
       // Key selection runs while the instance is quiesced; its cost is
       // charged as wall time (the paper's motivation for GreedyFit's
       // O(K log K) bound).
@@ -245,25 +336,29 @@ void SimJoinEngine::start_migration(Side group, const MigrationPair& pair) {
           cfg_.migration.selection_time(in.keys.size());
 
       sim_.schedule_after(select_time, [this, g, group, src, dst, pair,
-                                        triggered_at,
+                                        triggered_at, am,
                                         in = std::move(in)]() {
+        if (am->aborted) return;
         const KeySelectionResult sel =
             select_keys(in, cfg_.balancer.planner);
         if (sel.selection.empty()) {
           src->resume();
-          migrating_[g].erase(pair.src);
-          migrating_[g].erase(pair.dst);
+          end_migration(group, *am);
           return;
         }
 
-        auto batch = std::make_shared<MigrationBatch>(
+        am->batch = std::make_shared<MigrationBatch>(
             src->extract(sel.selection));
+        am->phase = MigPhase::kExtracted;
+        const auto batch = am->batch;
         const SimTime ctrl = cfg_.migration.control_latency;
 
         // Source -> target: migration start signal; target begins
         // holding dispatcher traffic for the migrating keys.
-        sim_.schedule_after(ctrl, [dst, batch]() {
+        sim_.schedule_after(ctrl, [dst, batch, am]() {
+          if (am->aborted) return;
           dst->hold_keys(batch->keys);
+          am->hold_installed = true;
         });
 
         // Bulk tuple transfer.
@@ -271,19 +366,26 @@ void SimJoinEngine::start_migration(Side group, const MigrationPair& pair) {
             batch->stored.size() + batch->pending.size());
         sim_.schedule_after(ctrl + transfer, [this, g, group, src, dst,
                                               pair, batch, triggered_at,
-                                              ctrl]() {
+                                              ctrl, am]() {
+          if (am->aborted) return;
           dst->absorb_stored(*batch);
+          am->phase = MigPhase::kAbsorbed;
 
           // Source -> dispatcher: routing-table update.
           sim_.schedule_after(ctrl, [this, g, group, src, dst, pair,
-                                     batch, triggered_at, ctrl]() {
+                                     batch, triggered_at, ctrl, am]() {
+            if (am->aborted) return;
             for (KeyId k : batch->keys) {
+              am->prev_overrides.emplace_back(
+                  k, dispatcher_.override_for(group, k));
               dispatcher_.apply_override(group, k, pair.dst);
             }
+            am->phase = MigPhase::kRoutingUpdated;
             // Dispatcher -> source: ack; source forwards what it
             // buffered during the migration and resumes.
             sim_.schedule_after(ctrl, [this, g, group, src, dst, pair,
-                                       batch, triggered_at, ctrl]() {
+                                       batch, triggered_at, ctrl, am]() {
+              if (am->aborted) return;
               auto fwd = std::make_shared<std::vector<Record>>(
                   src->take_forward_buffer());
               const SimTime fwd_transfer =
@@ -292,8 +394,7 @@ void SimJoinEngine::start_migration(Side group, const MigrationPair& pair) {
                 dst->release_held(*fwd);
               });
               src->resume();
-              migrating_[g].erase(pair.src);
-              migrating_[g].erase(pair.dst);
+              end_migration(group, *am);
 
               MigrationEvent ev;
               ev.triggered_at = triggered_at;
@@ -384,7 +485,9 @@ RunReport SimJoinEngine::run(RecordSource& source, SimTime duration) {
   }
   rep.migrations = metrics_->migrations().size();
   rep.tuples_migrated = tuples_migrated_;
+  rep.migrations_aborted = migrations_aborted_;
   rep.failures = failures_;
+  rep.failures_skipped = failures_skipped_;
   rep.tuples_recovered = tuples_recovered_;
   rep.sim_end = sim_.now();
   rep.feed_end = feed_end_;

@@ -14,7 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "core/planner.hpp"
@@ -91,7 +91,9 @@ struct RunReport {
   double mean_li = 1.0;           ///< mean of max(LI_R, LI_S) post-warmup
   std::size_t migrations = 0;
   std::uint64_t tuples_migrated = 0;
+  std::size_t migrations_aborted = 0;  ///< unwound by a mid-flight crash
   std::size_t failures = 0;        ///< injected instance crashes
+  std::size_t failures_skipped = 0;    ///< crash requests for unknown ids
   std::uint64_t tuples_recovered = 0;  ///< restored from checkpoints
   SimTime sim_end = 0;
   SimTime feed_end = 0;  ///< when the source ran dry (0 = never did)
@@ -122,8 +124,12 @@ class SimJoinEngine {
 
   /// Fault injection: crash instance `id` of `group` at time `at`. The
   /// instance loses its store and queue, then restores from its latest
-  /// checkpoint (nothing, if checkpointing is off). Crashes are skipped
-  /// with a warning if the instance is part of an active migration.
+  /// checkpoint (nothing, if checkpointing is off). If the instance is
+  /// part of an active migration, the migration is aborted first:
+  /// routing overrides roll back, the target releases its held keys,
+  /// and the surviving endpoint re-absorbs whatever protocol state can
+  /// still be replayed without double-processing (see
+  /// docs/migration_protocol.md, "Failure interactions").
   void schedule_failure(SimTime at, Side group, InstanceId id);
 
   // --- test hooks ------------------------------------------------------
@@ -136,10 +142,33 @@ class SimJoinEngine {
   MetricsHub& metrics() { return *metrics_; }
 
  private:
+  /// How far an in-flight migration has progressed, for abort unwinding.
+  enum class MigPhase : std::uint8_t {
+    kSelecting,       ///< source quiescing / selecting keys
+    kExtracted,       ///< batch extracted from the source
+    kAbsorbed,        ///< target merged the batch (pending enqueued there)
+    kRoutingUpdated,  ///< dispatcher overrides installed
+  };
+  /// One in-flight migration; both endpoints map to the same record so
+  /// a crash of either can find and abort it.
+  struct ActiveMigration {
+    MigrationPair pair;
+    MigPhase phase = MigPhase::kSelecting;
+    bool aborted = false;
+    bool hold_installed = false;
+    std::shared_ptr<MigrationBatch> batch;
+    /// Override state per key before this migration installed its own,
+    /// for rollback (nullopt = no override, key was at its hash home).
+    std::vector<std::pair<KeyId, std::optional<InstanceId>>> prev_overrides;
+  };
+
   void feed_next(RecordSource& source, SimTime duration);
   void dispatch(const Record& rec);
   void monitor_tick(Side group, SimTime duration);
   void start_migration(Side group, const MigrationPair& pair);
+  void abort_migration(Side group, const std::shared_ptr<ActiveMigration>& am,
+                       InstanceId crashed);
+  void end_migration(Side group, const ActiveMigration& am);
   void window_tick(SimTime duration);
   void checkpoint_tick(SimTime duration);
 
@@ -148,13 +177,17 @@ class SimJoinEngine {
   Dispatcher dispatcher_;
   std::unique_ptr<MetricsHub> metrics_;
   std::vector<std::unique_ptr<JoinInstance>> groups_[2];
-  std::unordered_set<InstanceId> migrating_[2];  ///< busy src/dst ids
+  /// Busy src/dst ids -> their in-flight migration.
+  std::unordered_map<InstanceId, std::shared_ptr<ActiveMigration>>
+      migrating_[2];
   std::uint64_t records_in_ = 0;
   std::uint64_t evicted_ = 0;
   SimTime feed_end_ = 0;
   JoinInstance::Hooks instance_hooks_;
   std::uint64_t tuples_migrated_ = 0;
+  std::size_t migrations_aborted_ = 0;
   std::size_t failures_ = 0;
+  std::size_t failures_skipped_ = 0;
   std::uint64_t tuples_recovered_ = 0;
   std::vector<std::vector<std::pair<KeyId, StoredTuple>>> checkpoints_[2];
   std::vector<InstanceId> probe_dsts_;  // scratch

@@ -293,6 +293,22 @@ std::vector<Record> JoinInstance::take_forward_buffer() {
   return out;
 }
 
+void JoinInstance::abort_migration(
+    std::span<const std::pair<KeyId, StoredTuple>> stored,
+    bool replay_pending, std::span<const Record> pending) {
+  for (const auto& [key, st] : stored) {
+    store_.insert(key, st);
+  }
+  forwarding_keys_.clear();
+  if (replay_pending) {
+    for (const auto& rec : pending) enqueue_internal(rec);
+  }
+  std::vector<Record> fwd;
+  fwd.swap(forward_buffer_);
+  for (const auto& rec : fwd) enqueue_internal(rec);
+  resume();
+}
+
 void JoinInstance::hold_keys(std::span<const KeyId> keys) {
   held_keys_.insert(keys.begin(), keys.end());
 }

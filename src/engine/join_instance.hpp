@@ -97,6 +97,17 @@ class JoinInstance {
   /// the buffer and stops diverting.
   std::vector<Record> take_forward_buffer();
 
+  /// Abort a migration at the source: re-merge the extracted stored
+  /// tuples, optionally re-enqueue the batch's pending records (only
+  /// safe when the target never received the batch — it may have served
+  /// some of them otherwise), replay the forward buffer locally, stop
+  /// diverting, and resume. Per-key order is preserved: pending records
+  /// precede forward-buffer records, which precede anything routed here
+  /// after the abort.
+  void abort_migration(
+      std::span<const std::pair<KeyId, StoredTuple>> stored,
+      bool replay_pending, std::span<const Record> pending);
+
   // --- Migration: target side --------------------------------------
   /// Buffer (do not process) incoming records for these keys until
   /// release_held().

@@ -1,7 +1,7 @@
 #include "runtime/live_engine.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.hpp"
@@ -19,9 +19,21 @@ void spin_for(std::uint64_t ns) {
 }
 }  // namespace
 
+const char* migration_phase_name(MigrationPhase p) {
+  switch (p) {
+    case MigrationPhase::kSelected: return "selected";
+    case MigrationPhase::kHeld: return "held";
+    case MigrationPhase::kRouted: return "routed";
+    case MigrationPhase::kForwarded: return "forwarded";
+  }
+  return "?";
+}
+
 /// One join instance on its own thread.
 class LiveEngine::Worker {
  public:
+  using Checkpoint = std::vector<std::pair<KeyId, StoredTuple>>;
+
   Worker(const LiveEngine& engine, InstanceId id, Side store_side,
          std::size_t queue_capacity, std::uint32_t max_subwindows)
       : engine_(engine),
@@ -40,6 +52,40 @@ class LiveEngine::Worker {
   }
 
   bool send(Msg msg) { return queue_.push(std::move(msg)); }
+
+  /// Kill this worker: the thread exits at the next message boundary,
+  /// discarding its queue; the store is lost. Thread-safe.
+  void crash() {
+    crashed_at_ = std::chrono::steady_clock::now();
+    crashed_.store(true, std::memory_order_release);
+    queue_.close();
+  }
+
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+  /// Only meaningful after crashed() returned true.
+  std::chrono::steady_clock::time_point crashed_at() const {
+    return crashed_at_;
+  }
+
+  /// Latest queue-order-consistent snapshot (null if none was taken).
+  std::shared_ptr<const Checkpoint> latest_checkpoint() const {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    return checkpoint_;
+  }
+  /// Carry a predecessor's snapshot into a respawned worker so a second
+  /// crash before the next checkpoint round still has a restore point.
+  void seed_checkpoint(std::shared_ptr<const Checkpoint> ckpt) {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    checkpoint_ = std::move(ckpt);
+  }
+  /// Pre-start restore of one checkpointed tuple (respawn path only;
+  /// the worker thread must not be running).
+  void restore_tuple(KeyId key, const StoredTuple& st) {
+    store_.insert(key, st);
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+  }
 
   // --- monitor-visible statistics (atomics) -------------------------
   std::uint64_t stored_count() const {
@@ -67,8 +113,12 @@ class LiveEngine::Worker {
  private:
   void loop() {
     for (;;) {
-      auto msg = queue_.pop();
-      if (!msg) return;  // closed and drained
+      auto msg = queue_.pop_for(std::chrono::milliseconds(250));
+      if (crashed_.load(std::memory_order_acquire)) return;  // discard all
+      if (!msg) {
+        if (queue_.closed()) return;  // closed and drained
+        continue;                     // idle tick; re-check liveness
+      }
       std::visit([this](auto&& m) { handle(std::move(m)); },
                  std::move(*msg));
     }
@@ -200,18 +250,53 @@ class LiveEngine::Worker {
     for (const auto& rec : req.batch->pending) process(rec);
   }
 
-  void handle(AdvanceWindowReq) {
-    evicted_.fetch_add(store_.advance_subwindow(),
-                       std::memory_order_relaxed);
-    stored_count_.store(store_.size(), std::memory_order_relaxed);
-  }
-
   void handle(ReleaseReq req) {
     held_keys_.clear();
     for (const auto& rec : *req.forwarded) process(rec);
     std::vector<Record> held;
     held.swap(held_buffer_);
     for (const auto& rec : held) process(rec);
+  }
+
+  /// Source-side migration abort. Per-key order is preserved: batch
+  /// pending (oldest, only when the target never received the batch) ->
+  /// collected-forwarded -> local forward buffer -> records routed back
+  /// here after the rollback (they queue behind this message).
+  void handle(AbortMigrationReq req) {
+    for (const auto& [key, st] : req.batch->stored) {
+      store_.insert(key, st);
+    }
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+    forwarding_keys_.clear();
+    if (req.replay_pending) {
+      for (const auto& rec : req.batch->pending) process(rec);
+    }
+    if (req.forwarded) {
+      for (const auto& rec : *req.forwarded) process(rec);
+    }
+    std::vector<Record> fwd;
+    fwd.swap(forward_buffer_);
+    for (const auto& rec : fwd) process(rec);
+  }
+
+  void handle(CheckpointReq) {
+    auto snap = std::make_shared<Checkpoint>();
+    snap->reserve(store_.size());
+    std::vector<KeyId> keys = store_.keys();
+    std::sort(keys.begin(), keys.end());  // deterministic snapshot order
+    for (KeyId k : keys) {
+      if (const auto* bucket = store_.find(k)) {
+        for (const auto& st : *bucket) snap->emplace_back(k, st);
+      }
+    }
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    checkpoint_ = std::move(snap);
+  }
+
+  void handle(AdvanceWindowReq) {
+    evicted_.fetch_add(store_.advance_subwindow(),
+                       std::memory_order_relaxed);
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
   }
 
   const LiveEngine& engine_;
@@ -227,6 +312,11 @@ class LiveEngine::Worker {
   std::unordered_set<KeyId> held_keys_;
   std::vector<Record> held_buffer_;
   LogHistogram latency_{1.0, 1e12, 16};
+
+  std::atomic<bool> crashed_{false};
+  std::chrono::steady_clock::time_point crashed_at_{};
+  mutable std::mutex ckpt_mutex_;
+  std::shared_ptr<const Checkpoint> checkpoint_;
 
   std::atomic<std::uint64_t> stored_count_{0};
   std::atomic<std::uint64_t> probes_done_{0};
@@ -247,7 +337,7 @@ LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
 }
 
 LiveEngine::~LiveEngine() {
-  if (started_ && !finished_) finish();
+  if (running()) finish();
 }
 
 LiveEngine::Worker& LiveEngine::worker(Side group, InstanceId id) {
@@ -255,14 +345,17 @@ LiveEngine::Worker& LiveEngine::worker(Side group, InstanceId id) {
 }
 
 void LiveEngine::start() {
-  assert(!started_);
-  started_ = true;
+  if (finished_.load(std::memory_order_acquire) ||
+      started_.exchange(true, std::memory_order_acq_rel)) {
+    FJ_ERROR("live") << "start() on an already-started or finished engine";
+    return;
+  }
   for (int g = 0; g < 2; ++g) {
     for (auto& w : workers_[g]) w->start();
   }
-  if (cfg_.balancer) {
-    monitor_thread_ = std::thread([this] { monitor_loop(); });
-  }
+  // The monitor doubles as the supervisor and the window/checkpoint
+  // driver, so it runs even when the balancer is off.
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
 }
 
 InstanceId LiveEngine::route(Side group, KeyId key) const {
@@ -272,7 +365,20 @@ InstanceId LiveEngine::route(Side group, KeyId key) const {
   return instance_of(key, cfg_.instances);
 }
 
-void LiveEngine::push(const Record& rec) {
+void LiveEngine::note_drop(std::uint64_t n) {
+  records_dropped_.fetch_add(n, std::memory_order_relaxed);
+  if (!drop_warned_.exchange(true, std::memory_order_relaxed)) {
+    FJ_WARN("live") << "dropping records (engine not running, or worker "
+                       "crashed and not yet respawned); see "
+                       "LiveStats::records_dropped for the total";
+  }
+}
+
+bool LiveEngine::push(const Record& rec) {
+  if (!running()) {
+    note_drop(1);
+    return false;
+  }
   records_in_.fetch_add(1, std::memory_order_relaxed);
   // The enqueue must happen under the same lock as the route lookup:
   // otherwise a record routed before a migration's routing-table update
@@ -282,26 +388,87 @@ void LiveEngine::push(const Record& rec) {
   const InstanceId store_dst = route(rec.side, rec.key);
   const InstanceId probe_dst = route(other_side(rec.side), rec.key);
   const auto now = std::chrono::steady_clock::now();
-  worker(rec.side, store_dst).send(DataMsg{rec, now});
-  worker(other_side(rec.side), probe_dst).send(DataMsg{rec, now});
+  bool ok = true;
+  if (!worker(rec.side, store_dst).send(DataMsg{rec, now})) {
+    note_drop(1);
+    ok = false;
+  }
+  if (!worker(other_side(rec.side), probe_dst).send(DataMsg{rec, now})) {
+    note_drop(1);
+    ok = false;
+  }
+  return ok;
+}
+
+void LiveEngine::crash(Side group, InstanceId id) {
+  if (!running()) return;
+  const int g = static_cast<int>(group);
+  // The routing lock pins the worker slot against a concurrent respawn.
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (id >= workers_[g].size()) return;
+  Worker& w = *workers_[g][id];
+  if (w.crashed()) return;
+  w.crash();
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  FJ_WARN("live") << side_name(group) << "-" << id << " crashed";
+}
+
+void LiveEngine::chaos_hook(Side group, InstanceId src, InstanceId dst,
+                            MigrationPhase phase) {
+  if (cfg_.chaos) cfg_.chaos(group, src, dst, phase);
+}
+
+template <typename T>
+std::shared_ptr<T> LiveEngine::await_reply(
+    std::future<std::shared_ptr<T>>& fut, Side group, InstanceId id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + cfg_.migration_timeout;
+  auto slice = std::chrono::milliseconds(1);
+  for (;;) {
+    if (fut.wait_for(slice) == std::future_status::ready) {
+      try {
+        return fut.get();
+      } catch (const std::future_error&) {
+        return nullptr;  // promise died unfulfilled with the worker
+      }
+    }
+    // Keep supervising while blocked: a backlogged worker can take
+    // seconds to reach our request, and crashed workers elsewhere must
+    // not wait for it. If the awaited worker itself crashed, respawning
+    // it destroys its queue — and with it our request's promise — so
+    // the future becomes ready with future_error above and the caller
+    // runs its abort path (against the already-respawned worker, which
+    // accepts the abort batch).
+    supervise();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      FJ_WARN("live") << side_name(group) << "-" << id
+                      << " unresponsive for migration reply after "
+                      << cfg_.migration_timeout.count()
+                      << " ms; declaring it dead";
+      crash(group, id);
+      return nullptr;
+    }
+    slice = std::min(slice * 2, std::chrono::milliseconds(64));
+  }
 }
 
 bool LiveEngine::try_migrate(Side group) {
   const int g = static_cast<int>(group);
   std::vector<InstanceLoad> loads;
-  loads.reserve(cfg_.instances);
+  loads.reserve(workers_[g].size());
   double heaviest = 0.0;
   for (auto& w : workers_[g]) {
     InstanceLoad l;
     l.stored = w->stored_count();
     l.queued = w->queue_length();
     // The "incoming rate" half of the paper's phi: probes processed
-    // since the previous monitor tick.
+    // since the previous monitor tick. A respawned worker restarts its
+    // counter from zero, hence the clamp.
     const std::uint64_t done = w->probes_done();
     const std::uint64_t prev = probe_marks_[g].size() > w->id()
                                    ? probe_marks_[g][w->id()]
                                    : 0;
-    l.queued += done - prev;
+    l.queued += done >= prev ? done - prev : done;
     loads.push_back(l);
     heaviest = std::max(heaviest, l.load());
   }
@@ -314,30 +481,67 @@ bool LiveEngine::try_migrate(Side group) {
   const auto pair = pick_migration_pair(loads, cfg_.planner);
   if (!pair || heaviest < cfg_.min_heaviest_load) return false;
 
-  Worker& src = worker(group, pair->src);
-  Worker& dst = worker(group, pair->dst);
-
-  // 1. Select + extract at the source.
-  SelectExtractReq sel;
-  sel.dst_load = loads[pair->dst];
-  auto sel_future = sel.reply.get_future();
-  src.send(std::move(sel));
-  auto batch = sel_future.get();
-  if (batch->keys.empty()) {
-    TakeForwardReq tf;  // clears the (empty) forwarding set
-    auto f = tf.reply.get_future();
-    src.send(std::move(tf));
-    f.get();
+  // No Worker references are held across the supervised waits below: a
+  // respawn (inside await_reply) replaces the slot's unique_ptr, so
+  // every access re-reads the slot. The monitor is the only slot
+  // mutator, making lock-free re-reads safe on this thread.
+  if (worker(group, pair->src).crashed() ||
+      worker(group, pair->dst).crashed()) {
     return false;
   }
 
-  // 2. Target starts holding the migrating keys.
-  dst.send(HoldReq{batch->keys});
+  // 1. Select + extract at the source (supervised wait).
+  SelectExtractReq sel;
+  sel.dst_load = loads[pair->dst];
+  auto sel_future = sel.reply.get_future();
+  if (!worker(group, pair->src).send(std::move(sel))) {
+    return false;  // crashed; nothing started
+  }
+  auto batch = await_reply(sel_future, group, pair->src);
+  if (!batch) {
+    // Source died before/during extraction. Nothing was installed at
+    // the target and routing is untouched; the extracted tuples (if
+    // any) died with the source and restore from its checkpoint.
+    ++migrations_aborted_;
+    return false;
+  }
+  if (batch->keys.empty()) {
+    TakeForwardReq tf;  // clears the (empty) forwarding set
+    auto f = tf.reply.get_future();
+    if (worker(group, pair->src).send(std::move(tf))) {
+      await_reply(f, group, pair->src);
+    }
+    return false;
+  }
 
-  // 3. Routing-table update: from here on push() routes to the target.
+  chaos_hook(group, pair->src, pair->dst, MigrationPhase::kSelected);
+
+  // 2. Target starts holding the migrating keys.
+  if (!worker(group, pair->dst).send(HoldReq{batch->keys})) {
+    // Target crashed before receiving anything: full rollback at the
+    // source. Routing was never changed, so the source re-merges the
+    // batch and replays pending plus its forward buffer locally.
+    worker(group, pair->src)
+        .send(AbortMigrationReq{batch, /*replay_pending=*/true, nullptr});
+    ++migrations_aborted_;
+    FJ_WARN("live") << "aborted migration " << pair->src << "->"
+                    << pair->dst << " (target died before Hold)";
+    return false;
+  }
+
+  chaos_hook(group, pair->src, pair->dst, MigrationPhase::kHeld);
+
+  // 3. Routing-table update (under the same lock push() takes),
+  // remembering the prior override state for rollback.
+  std::vector<std::pair<KeyId, std::optional<InstanceId>>> prev;
+  prev.reserve(batch->keys.size());
   {
     std::lock_guard<std::mutex> lock(route_mutex_);
     for (KeyId k : batch->keys) {
+      const auto it = overrides_[g].find(k);
+      prev.emplace_back(k, it == overrides_[g].end()
+                               ? std::nullopt
+                               : std::optional<InstanceId>(it->second));
       if (instance_of(k, cfg_.instances) == pair->dst) {
         overrides_[g].erase(k);
       } else {
@@ -346,46 +550,166 @@ bool LiveEngine::try_migrate(Side group) {
     }
   }
 
-  // 4. Collect what the source diverted meanwhile.
+  chaos_hook(group, pair->src, pair->dst, MigrationPhase::kRouted);
+
+  // 4. Collect what the source diverted meanwhile (supervised wait).
   TakeForwardReq tf;
   auto fwd_future = tf.reply.get_future();
-  src.send(std::move(tf));
-  auto forwarded = fwd_future.get();
+  std::shared_ptr<std::vector<Record>> forwarded;
+  if (worker(group, pair->src).send(std::move(tf))) {
+    forwarded = await_reply(fwd_future, group, pair->src);
+  }
+  if (!forwarded) {
+    // Source died after the routing update: roll forward. The batch is
+    // safe in monitor memory; only the forward buffer died with the
+    // source (loss bounded by the migration window).
+    forwarded = std::make_shared<std::vector<Record>>();
+    FJ_WARN("live") << "migration " << pair->src << "->" << pair->dst
+                    << ": source died before TakeForward; rolling "
+                       "forward with an empty forward buffer";
+  }
+
+  chaos_hook(group, pair->src, pair->dst, MigrationPhase::kForwarded);
 
   // 5. Target merges and replays, preserving per-key order.
+  const bool absorb_ok = worker(group, pair->dst).send(AbsorbReq{batch});
+  const bool release_ok =
+      absorb_ok && worker(group, pair->dst).send(ReleaseReq{forwarded});
+  if (!absorb_ok || !release_ok) {
+    // Target crashed mid-absorb: roll back. The abort message is
+    // enqueued at the source BEFORE the routing rollback so records
+    // re-routed to the source queue behind the replay. When the absorb
+    // was already enqueued the target may have served some pending
+    // records, so they are not replayed (re-inserting *stored* tuples
+    // is always safe: they emit nothing by themselves and each probe
+    // routes to exactly one instance).
+    worker(group, pair->src)
+        .send(AbortMigrationReq{batch, /*replay_pending=*/!absorb_ok,
+                                forwarded});
+    {
+      std::lock_guard<std::mutex> lock(route_mutex_);
+      for (const auto& [k, p] : prev) {
+        if (p) {
+          overrides_[g][k] = *p;
+        } else {
+          overrides_[g].erase(k);
+        }
+      }
+    }
+    ++migrations_aborted_;
+    FJ_WARN("live") << "aborted migration " << pair->src << "->"
+                    << pair->dst << " (target died during Absorb); "
+                       "routing rolled back";
+    return false;
+  }
   tuples_migrated_.fetch_add(batch->stored.size() + forwarded->size(),
                              std::memory_order_relaxed);
-  dst.send(AbsorbReq{std::move(batch)});
-  dst.send(ReleaseReq{std::move(forwarded)});
   ++migrations_;
   return true;
 }
 
+void LiveEngine::broadcast_checkpoint() {
+  for (int g = 0; g < 2; ++g) {
+    for (auto& w : workers_[g]) w->send(CheckpointReq{});
+  }
+  ++checkpoints_;
+}
+
+void LiveEngine::supervise() {
+  for (int g = 0; g < 2; ++g) {
+    for (InstanceId i = 0; i < workers_[g].size(); ++i) {
+      if (workers_[g][i]->crashed()) respawn(static_cast<Side>(g), i);
+    }
+  }
+}
+
+void LiveEngine::respawn(Side group, InstanceId id) {
+  const int g = static_cast<int>(group);
+  Worker* old = workers_[g][id].get();
+  old->stop_and_join();
+  // Fold the dead worker's counters into the retired aggregate so the
+  // final stats still cover its lifetime.
+  retired_.results += old->results();
+  retired_.probes += old->probes_done();
+  retired_.stores += old->stores_done();
+  retired_.evicted += old->evicted();
+  retired_.latency.merge(old->latency_hist());
+  const auto crashed_at = old->crashed_at();
+  const auto ckpt = old->latest_checkpoint();
+
+  auto fresh = std::make_unique<Worker>(*this, id, group,
+                                        cfg_.queue_capacity,
+                                        cfg_.window_subwindows);
+  std::uint64_t restored = 0;
+  {
+    // The routing lock both gives a stable routing view for the restore
+    // filter and pins the slot against concurrent push()/crash().
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (ckpt) {
+      for (const auto& [key, st] : *ckpt) {
+        // Keys that migrated away since the snapshot belong to another
+        // instance now; resurrecting them here would leave unreachable
+        // stale copies.
+        if (route(group, key) != id) continue;
+        fresh->restore_tuple(key, st);
+        ++restored;
+      }
+      fresh->seed_checkpoint(ckpt);
+    }
+    workers_[g][id] = std::move(fresh);  // destroys the old worker
+  }
+  workers_[g][id]->start();
+  if (probe_marks_[g].size() > id) probe_marks_[g][id] = 0;
+  ++recoveries_;
+  tuples_restored_ += restored;
+  recovery_time_total_ += std::chrono::steady_clock::now() - crashed_at;
+  FJ_INFO("live") << side_name(group) << "-" << id << " respawned, "
+                  << restored << " tuples restored from checkpoint";
+}
+
 void LiveEngine::monitor_loop() {
   auto next_window = std::chrono::steady_clock::now() + cfg_.subwindow_len;
+  auto next_checkpoint =
+      std::chrono::steady_clock::now() + cfg_.checkpoint_period;
   while (!stopping_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(cfg_.monitor_period);
     if (stopping_.load(std::memory_order_relaxed)) break;
-    try_migrate(Side::kR);
-    try_migrate(Side::kS);
-    if (cfg_.window_subwindows > 0 &&
-        std::chrono::steady_clock::now() >= next_window) {
+    supervise();
+    if (cfg_.balancer) {
+      try_migrate(Side::kR);
+      try_migrate(Side::kS);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (cfg_.window_subwindows > 0 && now >= next_window) {
       next_window += cfg_.subwindow_len;
       for (int g = 0; g < 2; ++g) {
         for (auto& w : workers_[g]) w->send(AdvanceWindowReq{});
       }
     }
+    if (cfg_.checkpoint_period.count() > 0 && now >= next_checkpoint) {
+      next_checkpoint += cfg_.checkpoint_period;
+      broadcast_checkpoint();
+    }
   }
 }
 
 LiveStats LiveEngine::finish() {
-  assert(started_ && !finished_);
-  finished_ = true;
+  if (!started_.load(std::memory_order_acquire) ||
+      finished_.exchange(true, std::memory_order_acq_rel)) {
+    FJ_ERROR("live") << "finish() without a running engine (call start() "
+                        "first; finish() only once)";
+    return {};
+  }
   stopping_.store(true);
   if (monitor_thread_.joinable()) monitor_thread_.join();
 
   LiveStats stats;
   LogHistogram merged(1.0, 1e12, 16);
+  stats.results = retired_.results;
+  stats.probes = retired_.probes;
+  stats.stores = retired_.stores;
+  stats.evicted = retired_.evicted;
+  merged.merge(retired_.latency);
   for (int g = 0; g < 2; ++g) {
     for (auto& w : workers_[g]) {
       w->stop_and_join();
@@ -397,8 +721,20 @@ LiveStats LiveEngine::finish() {
     }
   }
   stats.records_in = records_in_.load();
+  stats.records_dropped = records_dropped_.load();
   stats.migrations = migrations_;
+  stats.migrations_aborted = migrations_aborted_;
   stats.tuples_migrated = tuples_migrated_.load();
+  stats.crashes = crashes_.load();
+  stats.recoveries = recoveries_;
+  stats.tuples_restored = tuples_restored_;
+  stats.checkpoints = checkpoints_;
+  stats.mean_recovery_ms =
+      recoveries_ > 0
+          ? std::chrono::duration<double, std::milli>(recovery_time_total_)
+                    .count() /
+                static_cast<double>(recoveries_)
+          : 0.0;
   stats.mean_latency_us = merged.mean() / 1e3;
   stats.p99_latency_us = merged.value_at_percentile(99) / 1e3;
   stats.final_li = last_li_;

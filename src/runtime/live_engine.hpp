@@ -26,6 +26,23 @@
 //      5. Absorb(batch) then Release(forwarded) at the target; records
 //         routed to the target after step 3 were held since step 2 and
 //         replay after the forwarded ones, preserving per-key order.
+//
+// Fault tolerance (see docs/migration_protocol.md, "Failure
+// interactions"):
+//  * crash(side, id) kills a worker: its queue closes, its thread exits
+//    discarding queued records, its store is lost. Subsequent pushes to
+//    it are dropped and counted in LiveStats::records_dropped.
+//  * The monitor doubles as a supervisor: each tick it respawns crashed
+//    workers, restoring their store from the latest checkpoint (taken
+//    every checkpoint_period via a CheckpointReq control message, so
+//    snapshots are consistent with queue order). Checkpointed tuples of
+//    keys that have since migrated away are filtered out on restore.
+//  * Migrations are supervised: every wait on a worker reply uses
+//    bounded exponential backoff up to migration_timeout; an
+//    unresponsive worker is declared dead (force-crashed) and the
+//    migration aborts — routing overrides roll back, the target
+//    releases held keys, and the surviving source replays its forward
+//    buffer locally, so the exactly-once argument survives every abort.
 #pragma once
 
 #include <atomic>
@@ -49,6 +66,18 @@
 
 namespace fastjoin {
 
+/// Points in the live migration protocol where the chaos hook fires
+/// (monitor thread). Tests crash workers here to exercise every abort
+/// path.
+enum class MigrationPhase : std::uint8_t {
+  kSelected,   ///< batch extracted at the source, before Hold
+  kHeld,       ///< Hold installed at the target, before routing update
+  kRouted,     ///< routing table updated, before TakeForward
+  kForwarded,  ///< forward buffer collected, before Absorb/Release
+};
+
+const char* migration_phase_name(MigrationPhase p);
+
 struct LiveConfig {
   std::uint32_t instances = 4;  ///< join instances per biclique side
   bool balancer = true;         ///< FastJoin on, BiStream off
@@ -61,20 +90,46 @@ struct LiveConfig {
   std::uint64_t work_per_match_ns = 0;
   /// Sliding-window join: number of sub-windows kept (0 = full history)
   /// and the wall-clock length of one sub-window. The monitor thread
-  /// drives window advancement, so the balancer must be enabled for
-  /// windows to expire.
+  /// drives window advancement (it always runs, even with the balancer
+  /// disabled).
   std::uint32_t window_subwindows = 0;
   std::chrono::milliseconds subwindow_len{100};
+  /// Fault tolerance: period between store snapshots (0 = off). The
+  /// monitor broadcasts a CheckpointReq control message each period, so
+  /// every snapshot is consistent with that worker's queue order.
+  std::chrono::milliseconds checkpoint_period{0};
+  /// Supervised migrations: total time the monitor waits for one worker
+  /// reply (select/extract or take-forward) before declaring the worker
+  /// dead and aborting the migration. Waiting uses bounded exponential
+  /// backoff slices so a concurrent crash is noticed early. This is a
+  /// deadlock-breaker, not a latency bound: control replies queue behind
+  /// the worker's data backlog, so keep it well above the worst queue
+  /// drain time or a saturated-but-healthy worker gets force-crashed.
+  std::chrono::milliseconds migration_timeout{30'000};
+  /// Chaos hook: called from the monitor thread at each migration phase
+  /// transition. Tests use it to crash() workers at precise protocol
+  /// points. Must be thread-compatible with calls into this engine's
+  /// crash() only.
+  std::function<void(Side group, InstanceId src, InstanceId dst,
+                     MigrationPhase phase)>
+      chaos;
 };
 
 struct LiveStats {
   std::uint64_t records_in = 0;
+  std::uint64_t records_dropped = 0;  ///< deliveries lost to dead workers
   std::uint64_t evicted = 0;     ///< window-expired tuples
   std::uint64_t results = 0;
   std::uint64_t probes = 0;
   std::uint64_t stores = 0;
   std::size_t migrations = 0;
   std::uint64_t tuples_migrated = 0;
+  std::size_t migrations_aborted = 0;
+  std::size_t crashes = 0;           ///< crash() calls that hit a live worker
+  std::size_t recoveries = 0;        ///< supervisor respawns
+  std::uint64_t tuples_restored = 0; ///< restored from checkpoints
+  std::size_t checkpoints = 0;       ///< snapshot rounds broadcast
+  double mean_recovery_ms = 0.0;     ///< crash -> respawned, mean
   double mean_latency_us = 0.0;  ///< queue+service latency per probe
   double p99_latency_us = 0.0;
   double final_li = 1.0;         ///< last LI the monitor observed
@@ -88,16 +143,27 @@ class LiveEngine {
   LiveEngine(const LiveEngine&) = delete;
   LiveEngine& operator=(const LiveEngine&) = delete;
 
-  /// Start worker and monitor threads.
+  /// Start worker and monitor threads. Calling twice (or after
+  /// finish()) is an error: logged, ignored.
   void start();
 
   /// Route one record (thread-safe; callers may share). Blocks on a
-  /// full worker queue (backpressure).
-  void push(const Record& rec);
+  /// full worker queue (backpressure). Returns false — and counts the
+  /// record in LiveStats::records_dropped — when the engine is not
+  /// running or a destination worker is crashed.
+  bool push(const Record& rec);
 
   /// Close the feed, drain every queue, stop all threads, and return
-  /// the final statistics.
+  /// the final statistics. Calling before start() or twice is an
+  /// error: logged, returns empty stats.
   LiveStats finish();
+
+  /// Kill worker `id` of `group`: its store and queued records are
+  /// lost. The supervisor (monitor thread) respawns it on the next tick
+  /// and restores its store from the latest checkpoint. Thread-safe;
+  /// callable from tests and from the chaos hook. No-op on an unknown
+  /// or already-crashed worker.
+  void crash(Side group, InstanceId id);
 
   /// Install a match callback (before start()); called from worker
   /// threads, must be thread-safe. Used by the completeness tests.
@@ -106,6 +172,10 @@ class LiveEngine {
   }
 
   std::uint32_t instances() const { return cfg_.instances; }
+  bool running() const {
+    return started_.load(std::memory_order_acquire) &&
+           !finished_.load(std::memory_order_acquire);
+  }
 
  private:
   struct SelectExtractReq {
@@ -124,6 +194,18 @@ class LiveEngine {
   struct ReleaseReq {
     std::shared_ptr<std::vector<Record>> forwarded;
   };
+  /// Migration abort at the source: re-merge the batch's stored tuples,
+  /// optionally replay its pending records (only when the target never
+  /// received the batch), then replay `forwarded` (when TakeForward
+  /// already collected the forward buffer) and whatever is still in the
+  /// local forward buffer, and stop diverting.
+  struct AbortMigrationReq {
+    std::shared_ptr<MigrationBatch> batch;
+    bool replay_pending = false;
+    std::shared_ptr<std::vector<Record>> forwarded;  ///< may be null
+  };
+  /// Snapshot the store for crash recovery (queue-order consistent).
+  struct CheckpointReq {};
   struct AdvanceWindowReq {};
   /// A data record with its push() timestamp, so probe latency covers
   /// queueing as well as service.
@@ -133,12 +215,26 @@ class LiveEngine {
   };
   using Msg = std::variant<DataMsg, SelectExtractReq, TakeForwardReq,
                            HoldReq, AbsorbReq, ReleaseReq,
+                           AbortMigrationReq, CheckpointReq,
                            AdvanceWindowReq>;
 
   class Worker;
 
   void monitor_loop();
+  void supervise();
+  void respawn(Side group, InstanceId id);
+  void broadcast_checkpoint();
   bool try_migrate(Side group);
+  /// Wait for a worker reply with bounded exponential backoff; returns
+  /// nullptr when the worker crashed or the wait hit
+  /// cfg_.migration_timeout (in which case the worker is declared dead
+  /// and force-crashed).
+  template <typename T>
+  std::shared_ptr<T> await_reply(std::future<std::shared_ptr<T>>& fut,
+                                 Side group, InstanceId id);
+  void chaos_hook(Side group, InstanceId src, InstanceId dst,
+                  MigrationPhase phase);
+  void note_drop(std::uint64_t n);
   Worker& worker(Side group, InstanceId id);
   InstanceId route(Side group, KeyId key) const;
 
@@ -152,12 +248,29 @@ class LiveEngine {
   std::thread monitor_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> records_in_{0};
+  std::atomic<std::uint64_t> records_dropped_{0};
+  std::atomic<bool> drop_warned_{false};
   std::atomic<std::uint64_t> tuples_migrated_{0};
-  std::size_t migrations_ = 0;
+  std::atomic<std::size_t> crashes_{0};
+  std::size_t migrations_ = 0;          // monitor thread only
+  std::size_t migrations_aborted_ = 0;  // monitor thread only
+  std::size_t recoveries_ = 0;          // monitor thread only
+  std::uint64_t tuples_restored_ = 0;   // monitor thread only
+  std::size_t checkpoints_ = 0;         // monitor thread only
+  std::chrono::nanoseconds recovery_time_total_{0};  // monitor only
+  /// Counters of workers that crashed and were replaced, folded into
+  /// the final stats (monitor thread writes, finish() reads after join).
+  struct RetiredCounters {
+    std::uint64_t results = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evicted = 0;
+    LogHistogram latency{1.0, 1e12, 16};
+  } retired_;
   std::vector<std::uint64_t> probe_marks_[2];
   double last_li_ = 1.0;
-  bool started_ = false;
-  bool finished_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace fastjoin

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -147,6 +148,61 @@ TEST(BoundedQueue, MoveOnlyPayload) {
   auto v = q.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 5);
+}
+
+TEST(BoundedQueue, PopForReturnsItemImmediately) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  const auto v = q.pop_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BoundedQueue, PopForTimesOutOnEmptyOpenQueue) {
+  BoundedQueue<int> q(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto v = q.pop_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(v.has_value());
+  EXPECT_FALSE(q.closed());  // distinguishes timeout from shutdown
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+}
+
+TEST(BoundedQueue, PopForDrainsThenSignalsClosed) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10)), 1);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10)), 2);
+  const auto v = q.pop_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, PopForWakesOnConcurrentPush) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(42);
+  });
+  // Far longer than the push delay: the wait must wake early.
+  const auto v = q.pop_for(std::chrono::seconds(10));
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BoundedQueue, PopForWakesOnClose) {
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+  });
+  const auto v = q.pop_for(std::chrono::seconds(10));
+  closer.join();
+  EXPECT_FALSE(v.has_value());
+  EXPECT_TRUE(q.closed());
 }
 
 }  // namespace

@@ -139,6 +139,7 @@ TEST(FaultTolerance, CrashOfUnknownInstanceIsIgnored) {
   engine.schedule_failure(from_seconds(0.001), Side::kR, 99);
   const auto rep = engine.run(gen, from_seconds(100));
   EXPECT_EQ(rep.failures, 0u);
+  EXPECT_EQ(rep.failures_skipped, 1u);
 }
 
 TEST(FaultTolerance, WorksTogetherWithMigrations) {
@@ -153,7 +154,46 @@ TEST(FaultTolerance, WorksTogetherWithMigrations) {
   engine.schedule_failure(from_seconds(0.03), Side::kS, 1);
   const auto rep = engine.run(gen, from_seconds(100));
   EXPECT_GT(rep.results, 0u);
-  EXPECT_LE(rep.failures, 1u);  // may be skipped if mid-migration
+  // Crashes are never skipped anymore: a crash that lands mid-migration
+  // aborts the migration first, then proceeds.
+  EXPECT_EQ(rep.failures, 1u);
+  EXPECT_EQ(rep.failures_skipped, 0u);
+}
+
+TEST(FaultTolerance, CrashDuringMigrationAborts) {
+  const auto r = spec(7);
+  const auto s = spec(1007);
+  const auto tc = trace_cfg(30'000);
+  const auto expected = expected_pairs(r, s, tc);
+
+  TraceGenerator gen(r, s, tc);
+  auto cfg = base_config();
+  cfg.balancer.enabled = true;
+  cfg.balancer.planner.theta = 1.1;
+  cfg.balancer.min_heaviest_load = 10.0;
+  cfg.balancer.monitor_period = kNanosPerSec / 100;  // ticks at 10 ms
+  // Stretch the protocol so a crash reliably lands mid-migration: each
+  // control hop takes 5 ms, so one migration spans tens of ms.
+  cfg.migration.control_latency = 5 * kNanosPerMilli;
+  cfg.checkpoint_period = from_seconds(0.01);
+  cfg.metrics.record_pairs = true;
+  SimJoinEngine engine(cfg);
+  // Carpet-bomb both sides shortly after a monitor tick: whichever
+  // instances are mid-migration abort it, the rest just crash.
+  for (InstanceId id = 0; id < 4; ++id) {
+    engine.schedule_failure(from_seconds(0.012), Side::kR, id);
+    engine.schedule_failure(from_seconds(0.022), Side::kS, id);
+  }
+  const auto rep = engine.run(gen, from_seconds(100));
+
+  EXPECT_EQ(rep.failures, 8u);
+  EXPECT_GE(rep.migrations_aborted, 1u);
+  EXPECT_LE(rep.results, expected);
+  std::set<std::tuple<KeyId, std::uint64_t, std::uint64_t>> seen;
+  for (const auto& p : rep.pairs) {
+    EXPECT_TRUE(seen.insert({p.key, p.r_seq, p.s_seq}).second)
+        << "duplicated join after migration abort";
+  }
 }
 
 }  // namespace
