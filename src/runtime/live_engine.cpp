@@ -17,6 +17,37 @@ void spin_for(std::uint64_t ns) {
   while (std::chrono::steady_clock::now() < end) {
   }
 }
+
+constexpr std::chrono::steady_clock::time_point kUnsampled{};
+
+/// Adaptive idle backoff for the laned worker loop: a few cheap spins,
+/// then yields, then exponentially growing sleeps capped at 1 ms. Resets
+/// on any progress so a busy worker never sleeps.
+class Backoff {
+ public:
+  void pause() {
+    ++idles_;
+    if (idles_ <= 4) return;  // spin: the producer may be mid-batch
+    if (idles_ <= 20) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_);
+    sleep_ = std::min(sleep_ * 2, std::chrono::microseconds(1000));
+  }
+  void reset() {
+    idles_ = 0;
+    sleep_ = std::chrono::microseconds(50);
+  }
+
+ private:
+  std::uint32_t idles_ = 0;
+  std::chrono::microseconds sleep_{50};
+};
+
+/// Records popped from one lane per drain pass: large enough to amortize
+/// the ring index update, small enough to keep control latency bounded.
+constexpr std::size_t kDrainBatch = 128;
 }  // namespace
 
 const char* migration_phase_name(MigrationPhase p) {
@@ -35,11 +66,13 @@ class LiveEngine::Worker {
   using Checkpoint = std::vector<std::pair<KeyId, StoredTuple>>;
 
   Worker(const LiveEngine& engine, InstanceId id, Side store_side,
-         std::size_t queue_capacity, std::uint32_t max_subwindows)
+         std::size_t queue_capacity, std::uint32_t max_subwindows,
+         LaneSet* lanes)
       : engine_(engine),
         id_(id),
         store_side_(store_side),
         queue_(queue_capacity),
+        lanes_(lanes),
         store_(max_subwindows) {}
 
   void start() {
@@ -51,10 +84,12 @@ class LiveEngine::Worker {
     if (thread_.joinable()) thread_.join();
   }
 
-  bool send(Msg msg) { return queue_.push(std::move(msg)); }
+  bool send(Msg msg, std::vector<std::uint64_t> barrier = {}) {
+    return queue_.push(Envelope{std::move(msg), std::move(barrier)});
+  }
 
   /// Kill this worker: the thread exits at the next message boundary,
-  /// discarding its queue; the store is lost. Thread-safe.
+  /// discarding its queues; the store is lost. Thread-safe.
   void crash() {
     crashed_at_ = std::chrono::steady_clock::now();
     crashed_.store(true, std::memory_order_release);
@@ -103,7 +138,21 @@ class LiveEngine::Worker {
   std::uint64_t evicted() const {
     return evicted_.load(std::memory_order_relaxed);
   }
-  std::size_t queue_length() const { return queue_.size(); }
+  /// Pending work: control-queue depth plus the data backlog across
+  /// every lane feeding this worker. This is the paper's φ input.
+  std::size_t queue_length() const {
+    std::size_t n = queue_.size();
+    if (lanes_ != nullptr) {
+      for (const auto& lane : lanes_->lanes) {
+        const auto pushed =
+            lane->pushed.load(std::memory_order_acquire);
+        const auto popped =
+            lane->popped.load(std::memory_order_relaxed);
+        n += pushed >= popped ? pushed - popped : 0;
+      }
+    }
+    return n;
+  }
 
   /// Only valid after stop_and_join().
   const LogHistogram& latency_hist() const { return latency_; }
@@ -112,16 +161,108 @@ class LiveEngine::Worker {
 
  private:
   void loop() {
+    if (lanes_ != nullptr) {
+      loop_laned();
+    } else {
+      loop_legacy();
+    }
+  }
+
+  /// Legacy data plane: data and control share the mutex+condvar queue,
+  /// one condvar wakeup per message. Kept as the measured baseline.
+  void loop_legacy() {
     for (;;) {
-      auto msg = queue_.pop_for(std::chrono::milliseconds(250));
-      if (crashed_.load(std::memory_order_acquire)) return;  // discard all
-      if (!msg) {
+      auto env = queue_.pop_for(std::chrono::milliseconds(250));
+      if (crashed_.load(std::memory_order_acquire)) return;  // discard
+      if (!env) {
         if (queue_.closed()) return;  // closed and drained
         continue;                     // idle tick; re-check liveness
       }
       std::visit([this](auto&& m) { handle(std::move(m)); },
-                 std::move(*msg));
+                 std::move(env->msg));
     }
+  }
+
+  /// Laned data plane: micro-batch drains over the SPSC lanes, control
+  /// envelopes polled between batches, watermark barriers honored, and
+  /// adaptive backoff instead of per-record condvar wakeups.
+  void loop_laned() {
+    Backoff backoff;
+    std::vector<DataMsg> scratch(kDrainBatch);
+    for (;;) {
+      if (crashed_.load(std::memory_order_acquire)) return;
+      std::size_t progress = drain_lanes(scratch.data());
+      while (auto env = queue_.try_pop()) {
+        if (!env->barrier.empty()) {
+          drain_past(env->barrier, scratch.data());
+          if (crashed_.load(std::memory_order_acquire)) return;
+        }
+        std::visit([this](auto&& m) { handle(std::move(m)); },
+                   std::move(env->msg));
+        ++progress;
+      }
+      if (crashed_.load(std::memory_order_acquire)) return;
+      if (progress > 0) {
+        backoff.reset();
+        continue;
+      }
+      if (queue_.closed() && lanes_drained()) return;
+      backoff.pause();
+    }
+  }
+
+  /// One micro-batch pass over every lane. Returns records processed.
+  std::size_t drain_lanes(DataMsg* scratch) {
+    std::size_t total = 0;
+    for (auto& lane : lanes_->lanes) {
+      const std::size_t n =
+          lane->ring.try_pop_batch(scratch, kDrainBatch);
+      for (std::size_t i = 0; i < n; ++i) handle(std::move(scratch[i]));
+      if (n > 0) {
+        lane->popped.fetch_add(n, std::memory_order_release);
+        total += n;
+      }
+    }
+    return total;
+  }
+
+  /// Consume each lane up to its stamped watermark before a control
+  /// action: everything routed to this worker before the watermark was
+  /// captured is processed (or diverted to the forward/held buffers)
+  /// first — the laned replacement for the old single-queue FIFO.
+  void drain_past(const std::vector<std::uint64_t>& barrier,
+                  DataMsg* scratch) {
+    const std::size_t n_lanes =
+        std::min(barrier.size(), lanes_->lanes.size());
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      DataLane& lane = *lanes_->lanes[i];
+      while (lane.popped.load(std::memory_order_relaxed) < barrier[i]) {
+        if (crashed_.load(std::memory_order_acquire)) return;
+        const std::uint64_t want =
+            barrier[i] - lane.popped.load(std::memory_order_relaxed);
+        const std::size_t k = lane.ring.try_pop_batch(
+            scratch, std::min<std::uint64_t>(want, kDrainBatch));
+        if (k == 0) {
+          // The record is published to the ring before `pushed` is
+          // bumped, so a short wait suffices; never indefinite.
+          std::this_thread::yield();
+          continue;
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+          handle(std::move(scratch[j]));
+        }
+        lane.popped.fetch_add(k, std::memory_order_release);
+      }
+    }
+  }
+
+  bool lanes_drained() const {
+    for (const auto& lane : lanes_->lanes) {
+      if (!lane->ring.closed() || !lane->ring.empty_approx()) {
+        return false;
+      }
+    }
+    return true;
   }
 
   void handle(DataMsg msg) {
@@ -137,10 +278,12 @@ class LiveEngine::Worker {
     process(rec, msg.pushed_at);
   }
 
+  /// `pushed_at` == epoch means the record was not sampled for latency
+  /// measurement (replays and non-sampled records); the clock is read
+  /// only for sampled probes.
   void process(const Record& rec,
                std::chrono::steady_clock::time_point pushed_at =
-                   std::chrono::steady_clock::now()) {
-    const auto t0 = pushed_at;
+                   kUnsampled) {
     if (rec.side == store_side_) {
       StoredTuple st;
       st.seq = rec.seq;
@@ -183,10 +326,13 @@ class LiveEngine::Worker {
     ++probe_window_[rec.key];
     results_.fetch_add(matches, std::memory_order_relaxed);
     probes_done_.fetch_add(1, std::memory_order_relaxed);
-    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    latency_.add(static_cast<double>(std::max<std::int64_t>(dt, 1)));
+    if (pushed_at != kUnsampled) {
+      const auto dt =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - pushed_at)
+              .count();
+      latency_.add(static_cast<double>(std::max<std::int64_t>(dt, 1)));
+    }
   }
 
   void handle(SelectExtractReq req) {
@@ -240,6 +386,9 @@ class LiveEngine::Worker {
 
   void handle(HoldReq req) {
     held_keys_.insert(req.keys.begin(), req.keys.end());
+    // Acknowledge: the monitor must see the hold installed before it
+    // publishes the routing table that diverts records this way.
+    req.reply.set_value(std::make_shared<HoldAck>());
   }
 
   void handle(AbsorbReq req) {
@@ -261,7 +410,7 @@ class LiveEngine::Worker {
   /// Source-side migration abort. Per-key order is preserved: batch
   /// pending (oldest, only when the target never received the batch) ->
   /// collected-forwarded -> local forward buffer -> records routed back
-  /// here after the rollback (they queue behind this message).
+  /// here after the rollback (they drain behind this message's barrier).
   void handle(AbortMigrationReq req) {
     for (const auto& [key, st] : req.batch->stored) {
       store_.insert(key, st);
@@ -302,7 +451,8 @@ class LiveEngine::Worker {
   const LiveEngine& engine_;
   InstanceId id_;
   Side store_side_;
-  BoundedQueue<Msg> queue_;
+  BoundedQueue<Envelope> queue_;  ///< control (and legacy-mode data)
+  LaneSet* lanes_;                ///< engine-owned; null in legacy mode
   std::thread thread_;
 
   JoinStore store_;
@@ -326,18 +476,34 @@ class LiveEngine::Worker {
 };
 
 LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
+  route_table_.store(new RouteTable{}, std::memory_order_release);
+  const std::size_t n_slots = cfg_.max_producers + 1;  // +1 fallback
+  producer_slots_ = std::vector<ProducerSlot>(n_slots);
   for (int g = 0; g < 2; ++g) {
     workers_[g].reserve(cfg_.instances);
+    if (laned()) lane_sets_[g].reserve(cfg_.instances);
     for (InstanceId i = 0; i < cfg_.instances; ++i) {
+      LaneSet* ls = nullptr;
+      if (laned()) {
+        auto set = std::make_unique<LaneSet>();
+        set->lanes.reserve(n_slots);
+        for (std::size_t p = 0; p < n_slots; ++p) {
+          set->lanes.push_back(
+              std::make_unique<DataLane>(cfg_.lane_capacity));
+        }
+        ls = set.get();
+        lane_sets_[g].push_back(std::move(set));
+      }
       workers_[g].push_back(std::make_unique<Worker>(
           *this, i, static_cast<Side>(g), cfg_.queue_capacity,
-          cfg_.window_subwindows));
+          cfg_.window_subwindows, ls));
     }
   }
 }
 
 LiveEngine::~LiveEngine() {
   if (running()) finish();
+  delete route_table_.load(std::memory_order_acquire);
 }
 
 LiveEngine::Worker& LiveEngine::worker(Side group, InstanceId id) {
@@ -358,11 +524,23 @@ void LiveEngine::start() {
   monitor_thread_ = std::thread([this] { monitor_loop(); });
 }
 
-InstanceId LiveEngine::route(Side group, KeyId key) const {
-  const auto& ov = overrides_[static_cast<int>(group)];
+int LiveEngine::register_producer() {
+  const std::uint32_t i =
+      producers_registered_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= cfg_.max_producers) return kUnregistered;  // slots exhausted
+  return static_cast<int>(i);
+}
+
+InstanceId LiveEngine::route(const RouteTable& table, Side group,
+                             KeyId key) const {
+  const auto& ov = table.overrides[static_cast<int>(group)];
   const auto it = ov.find(key);
   if (it != ov.end()) return it->second;
   return instance_of(key, cfg_.instances);
+}
+
+InstanceId LiveEngine::route_current(Side group, KeyId key) const {
+  return route(*route_table_.load(std::memory_order_acquire), group, key);
 }
 
 void LiveEngine::note_drop(std::uint64_t n) {
@@ -374,30 +552,186 @@ void LiveEngine::note_drop(std::uint64_t n) {
   }
 }
 
-bool LiveEngine::push(const Record& rec) {
+bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
+                           DataMsg msg) {
+  LaneSet& ls = *lane_sets_[static_cast<int>(group)][id];
+  DataLane& lane = *ls.lanes[lane_idx];
+  std::uint32_t tries = 0;
+  for (;;) {
+    // The open flag is cleared while the slot's worker is crashed:
+    // checked every retry so backpressure on a dead worker fails fast
+    // instead of spinning until respawn.
+    if (!ls.open.load(std::memory_order_acquire)) {
+      note_drop(1);
+      return false;
+    }
+    if (lane.ring.try_push(msg)) {
+      // Bumped only after the record is visible in the ring, so a
+      // watermark captured from `pushed` is always drainable.
+      lane.pushed.fetch_add(1, std::memory_order_release);
+      return true;
+    }
+    if (lane.ring.closed()) {  // engine finishing
+      note_drop(1);
+      return false;
+    }
+    // Full: backpressure. The consumer always makes progress (barrier
+    // drains consume data; control handlers are finite), so this wait
+    // is bounded.
+    if (++tries < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
+                                   int producer) {
+  if (n == 0) return 0;
   if (!running()) {
-    note_drop(1);
-    return false;
+    note_drop(n);
+    return 0;
   }
-  records_in_.fetch_add(1, std::memory_order_relaxed);
-  // The enqueue must happen under the same lock as the route lookup:
-  // otherwise a record routed before a migration's routing-table update
-  // could be enqueued at the source after its TakeForward drained the
-  // forward buffer, stranding the record at the wrong instance.
+  records_in_.fetch_add(n, std::memory_order_relaxed);
+  if (!laned()) return push_batch_legacy(recs, n);
+
+  std::size_t lane_idx;
+  std::unique_lock<std::mutex> fallback_lock;
+  if (producer < 0 ||
+      producer >= static_cast<int>(cfg_.max_producers)) {
+    // Unregistered callers share the last lane, serialized by a mutex
+    // (the SPSC contract needs one producer at a time per lane).
+    fallback_lock = std::unique_lock<std::mutex>(fallback_mutex_);
+    lane_idx = cfg_.max_producers;
+  } else {
+    lane_idx = static_cast<std::size_t>(producer);
+  }
+  ProducerSlot& slot = producer_slots_[lane_idx];
+
+  // Seqlock critical section (odd = inside): brackets the routing-table
+  // read and every lane push for this batch, so the monitor's grace
+  // period after a routing publish knows when all old-table routing
+  // decisions have fully landed in the lanes. seq_cst on the bracket
+  // and the table load pairs with publish_routes(); see
+  // wait_for_producers() for the ordering argument.
+  slot.cs.fetch_add(1, std::memory_order_seq_cst);
+  const RouteTable* rt = route_table_.load(std::memory_order_seq_cst);
+  const std::uint32_t every = cfg_.latency_sample_every;
+  std::size_t delivered = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const Record& rec = recs[r];
+    auto stamp = kUnsampled;
+    if (every != 0 && slot.sample_tick++ % every == 0) {
+      stamp = std::chrono::steady_clock::now();
+    }
+    const InstanceId store_dst = route(*rt, rec.side, rec.key);
+    const InstanceId probe_dst =
+        route(*rt, other_side(rec.side), rec.key);
+    bool ok = lane_push(rec.side, store_dst, lane_idx,
+                        DataMsg{rec, stamp});
+    // Note: & not && — the probe delivery is attempted regardless.
+    ok &= lane_push(other_side(rec.side), probe_dst, lane_idx,
+                    DataMsg{rec, stamp});
+    if (ok) ++delivered;
+  }
+  slot.cs.fetch_add(1, std::memory_order_seq_cst);
+  return delivered;
+}
+
+/// Pre-optimization data plane: route lookup and both enqueues under the
+/// global routing lock, one condvar-waking queue push per delivery, a
+/// clock read per sampled record. Exists so bench/live_throughput can
+/// record an honest before/after in one run.
+std::size_t LiveEngine::push_batch_legacy(const Record* recs,
+                                          std::size_t n) {
   std::lock_guard<std::mutex> lock(route_mutex_);
-  const InstanceId store_dst = route(rec.side, rec.key);
-  const InstanceId probe_dst = route(other_side(rec.side), rec.key);
-  const auto now = std::chrono::steady_clock::now();
-  bool ok = true;
-  if (!worker(rec.side, store_dst).send(DataMsg{rec, now})) {
-    note_drop(1);
-    ok = false;
+  const RouteTable& rt = *route_table_.load(std::memory_order_acquire);
+  // All legacy pushes are serialized by route_mutex_, so the fallback
+  // slot's sampling tick is safe to use here.
+  ProducerSlot& slot = producer_slots_[cfg_.max_producers];
+  const std::uint32_t every = cfg_.latency_sample_every;
+  std::size_t delivered = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const Record& rec = recs[r];
+    auto stamp = kUnsampled;
+    if (every != 0 && slot.sample_tick++ % every == 0) {
+      stamp = std::chrono::steady_clock::now();
+    }
+    const InstanceId store_dst = route(rt, rec.side, rec.key);
+    const InstanceId probe_dst =
+        route(rt, other_side(rec.side), rec.key);
+    bool ok = true;
+    if (!worker(rec.side, store_dst)
+             .send(DataMsg{rec, stamp})) {
+      note_drop(1);
+      ok = false;
+    }
+    if (!worker(other_side(rec.side), probe_dst)
+             .send(DataMsg{rec, stamp})) {
+      note_drop(1);
+      ok = false;
+    }
+    if (ok) ++delivered;
   }
-  if (!worker(other_side(rec.side), probe_dst).send(DataMsg{rec, now})) {
-    note_drop(1);
-    ok = false;
+  return delivered;
+}
+
+template <typename Mutate>
+void LiveEngine::publish_routes(Mutate&& mutate) {
+  // The monitor thread is the sole mutator, so the unsynchronized read
+  // of the current table is safe.
+  const RouteTable* old = route_table_.load(std::memory_order_acquire);
+  auto* next = new RouteTable(*old);
+  mutate(*next);
+  {
+    // route_mutex_ serializes against legacy-mode pushes and pins
+    // worker slots; laned producers never take it.
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    route_table_.store(next, std::memory_order_seq_cst);
   }
-  return ok;
+  wait_for_producers();
+  delete old;
+}
+
+void LiveEngine::wait_for_producers() {
+  if (!laned()) return;  // legacy pushes serialize on route_mutex_
+  // Ordering: a producer enters its critical section (seq_cst RMW),
+  // then loads the table (seq_cst); we stored the new table (seq_cst),
+  // then load each counter (seq_cst). If a producer read the *old*
+  // table, its table-load precedes our store in the single total order
+  // of seq_cst operations, hence its cs-enter precedes our counter
+  // load: we observe it in-section (odd, and wait it out) or already
+  // exited (its exit RMW release-sequences with our acquire re-reads).
+  // Either way every old-table routing decision — including the lane
+  // pushes and `pushed` bumps inside the section — happens-before this
+  // function returns, which is what makes both old-table reclamation
+  // and post-grace watermark capture safe.
+  for (auto& slot : producer_slots_) {
+    const std::uint64_t c0 = slot.cs.load(std::memory_order_seq_cst);
+    if ((c0 & 1) == 0) continue;  // outside a critical section
+    std::uint32_t tries = 0;
+    while (slot.cs.load(std::memory_order_acquire) == c0) {
+      // In-section producers finish quickly unless backpressured on a
+      // full lane; workers keep draining, so this terminates.
+      if (++tries < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> LiveEngine::capture_watermarks(
+    Side group, InstanceId id) const {
+  if (!laned()) return {};  // queue FIFO already orders control vs data
+  const LaneSet& ls = *lane_sets_[static_cast<int>(group)][id];
+  std::vector<std::uint64_t> wm(ls.lanes.size());
+  for (std::size_t i = 0; i < ls.lanes.size(); ++i) {
+    wm[i] = ls.lanes[i]->pushed.load(std::memory_order_acquire);
+  }
+  return wm;
 }
 
 void LiveEngine::crash(Side group, InstanceId id) {
@@ -408,6 +742,11 @@ void LiveEngine::crash(Side group, InstanceId id) {
   if (id >= workers_[g].size()) return;
   Worker& w = *workers_[g][id];
   if (w.crashed()) return;
+  // Close the slot's lanes first so producers backpressured on them
+  // fail fast instead of waiting for a consumer that just died.
+  if (laned()) {
+    lane_sets_[g][id]->open.store(false, std::memory_order_release);
+  }
   w.crash();
   crashes_.fetch_add(1, std::memory_order_relaxed);
   FJ_WARN("live") << side_name(group) << "-" << id << " crashed";
@@ -490,11 +829,14 @@ bool LiveEngine::try_migrate(Side group) {
     return false;
   }
 
-  // 1. Select + extract at the source (supervised wait).
+  // 1. Select + extract at the source (supervised wait). The barrier
+  // makes the selection see every record routed here before this
+  // moment, like the old shared-FIFO enqueue did.
   SelectExtractReq sel;
   sel.dst_load = loads[pair->dst];
   auto sel_future = sel.reply.get_future();
-  if (!worker(group, pair->src).send(std::move(sel))) {
+  if (!worker(group, pair->src)
+           .send(std::move(sel), capture_watermarks(group, pair->src))) {
     return false;  // crashed; nothing started
   }
   auto batch = await_reply(sel_future, group, pair->src);
@@ -516,11 +858,22 @@ bool LiveEngine::try_migrate(Side group) {
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kSelected);
 
-  // 2. Target starts holding the migrating keys.
-  if (!worker(group, pair->dst).send(HoldReq{batch->keys})) {
-    // Target crashed before receiving anything: full rollback at the
-    // source. Routing was never changed, so the source re-merges the
-    // batch and replays pending plus its forward buffer locally.
+  // 2. Target starts holding the migrating keys — *acknowledged*
+  // before the routing publish. Control and data ride different
+  // channels now, so "hold installed before any rerouted record" must
+  // be enforced explicitly rather than by queue order.
+  HoldReq hold;
+  hold.keys = batch->keys;
+  auto hold_future = hold.reply.get_future();
+  const bool hold_sent =
+      worker(group, pair->dst).send(std::move(hold));
+  const auto ack =
+      hold_sent ? await_reply(hold_future, group, pair->dst) : nullptr;
+  if (!ack) {
+    // Target crashed (or went unresponsive and was declared dead)
+    // before the hold was installed: full rollback at the source.
+    // Routing was never changed, so the source re-merges the batch and
+    // replays pending plus its forward buffer locally.
     worker(group, pair->src)
         .send(AbortMigrationReq{batch, /*replay_pending=*/true, nullptr});
     ++migrations_aborted_;
@@ -531,32 +884,37 @@ bool LiveEngine::try_migrate(Side group) {
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kHeld);
 
-  // 3. Routing-table update (under the same lock push() takes),
-  // remembering the prior override state for rollback.
+  // 3. Routing update: copy-on-write publish of a new table, then a
+  // producer grace period, remembering the prior override state for
+  // rollback.
   std::vector<std::pair<KeyId, std::optional<InstanceId>>> prev;
   prev.reserve(batch->keys.size());
-  {
-    std::lock_guard<std::mutex> lock(route_mutex_);
+  publish_routes([&](RouteTable& t) {
+    auto& ov = t.overrides[g];
     for (KeyId k : batch->keys) {
-      const auto it = overrides_[g].find(k);
-      prev.emplace_back(k, it == overrides_[g].end()
+      const auto it = ov.find(k);
+      prev.emplace_back(k, it == ov.end()
                                ? std::nullopt
                                : std::optional<InstanceId>(it->second));
       if (instance_of(k, cfg_.instances) == pair->dst) {
-        overrides_[g].erase(k);
+        ov.erase(k);
       } else {
-        overrides_[g][k] = pair->dst;
+        ov[k] = pair->dst;
       }
     }
-  }
+  });
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kRouted);
 
   // 4. Collect what the source diverted meanwhile (supervised wait).
+  // The watermarks are captured *after* the publish + grace period, so
+  // draining past them forwards every record that was routed to the
+  // source under the old table before the forward buffer is returned.
   TakeForwardReq tf;
   auto fwd_future = tf.reply.get_future();
   std::shared_ptr<std::vector<Record>> forwarded;
-  if (worker(group, pair->src).send(std::move(tf))) {
+  if (worker(group, pair->src)
+          .send(std::move(tf), capture_watermarks(group, pair->src))) {
     forwarded = await_reply(fwd_future, group, pair->src);
   }
   if (!forwarded) {
@@ -578,24 +936,26 @@ bool LiveEngine::try_migrate(Side group) {
   if (!absorb_ok || !release_ok) {
     // Target crashed mid-absorb: roll back. The abort message is
     // enqueued at the source BEFORE the routing rollback so records
-    // re-routed to the source queue behind the replay. When the absorb
-    // was already enqueued the target may have served some pending
-    // records, so they are not replayed (re-inserting *stored* tuples
-    // is always safe: they emit nothing by themselves and each probe
-    // routes to exactly one instance).
+    // re-routed to the source drain behind the replay (the abort
+    // itself needs no barrier: any data ahead of it was routed here
+    // under the current table and is processed first either way). When
+    // the absorb was already enqueued the target may have served some
+    // pending records, so they are not replayed (re-inserting *stored*
+    // tuples is always safe: they emit nothing by themselves and each
+    // probe routes to exactly one instance).
     worker(group, pair->src)
         .send(AbortMigrationReq{batch, /*replay_pending=*/!absorb_ok,
                                 forwarded});
-    {
-      std::lock_guard<std::mutex> lock(route_mutex_);
+    publish_routes([&](RouteTable& t) {
+      auto& ov = t.overrides[g];
       for (const auto& [k, p] : prev) {
         if (p) {
-          overrides_[g][k] = *p;
+          ov[k] = *p;
         } else {
-          overrides_[g].erase(k);
+          ov.erase(k);
         }
       }
-    }
+    });
     ++migrations_aborted_;
     FJ_WARN("live") << "aborted migration " << pair->src << "->"
                     << pair->dst << " (target died during Absorb); "
@@ -637,20 +997,38 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   const auto crashed_at = old->crashed_at();
   const auto ckpt = old->latest_checkpoint();
 
+  LaneSet* ls = laned() ? lane_sets_[g][id].get() : nullptr;
+  if (ls != nullptr) {
+    // Drain the lane residue from the crash window (acting as the
+    // lanes' temporary consumer — the dead worker's thread is joined).
+    // Keeping `popped` in step with the discarded records preserves the
+    // watermark-barrier arithmetic across the respawn.
+    std::uint64_t residue = 0;
+    for (auto& lane : ls->lanes) {
+      std::uint64_t k = 0;
+      while (lane->ring.try_pop()) ++k;
+      if (k > 0) {
+        lane->popped.fetch_add(k, std::memory_order_release);
+        residue += k;
+      }
+    }
+    if (residue > 0) note_drop(residue);
+  }
+
   auto fresh = std::make_unique<Worker>(*this, id, group,
                                         cfg_.queue_capacity,
-                                        cfg_.window_subwindows);
+                                        cfg_.window_subwindows, ls);
   std::uint64_t restored = 0;
   {
     // The routing lock both gives a stable routing view for the restore
-    // filter and pins the slot against concurrent push()/crash().
+    // filter and pins the slot against concurrent crash()/legacy push.
     std::lock_guard<std::mutex> lock(route_mutex_);
     if (ckpt) {
       for (const auto& [key, st] : *ckpt) {
         // Keys that migrated away since the snapshot belong to another
         // instance now; resurrecting them here would leave unreachable
         // stale copies.
-        if (route(group, key) != id) continue;
+        if (route_current(group, key) != id) continue;
         fresh->restore_tuple(key, st);
         ++restored;
       }
@@ -659,6 +1037,7 @@ void LiveEngine::respawn(Side group, InstanceId id) {
     workers_[g][id] = std::move(fresh);  // destroys the old worker
   }
   workers_[g][id]->start();
+  if (ls != nullptr) ls->open.store(true, std::memory_order_release);
   if (probe_marks_[g].size() > id) probe_marks_[g][id] = 0;
   ++recoveries_;
   tuples_restored_ += restored;
@@ -703,6 +1082,14 @@ LiveStats LiveEngine::finish() {
   stopping_.store(true);
   if (monitor_thread_.joinable()) monitor_thread_.join();
 
+  // Poison every data lane: producers fail from here on, workers drain
+  // what is left and then see closed-and-empty.
+  for (int g = 0; g < 2; ++g) {
+    for (auto& ls : lane_sets_[g]) {
+      for (auto& lane : ls->lanes) lane->ring.close();
+    }
+  }
+
   LiveStats stats;
   LogHistogram merged(1.0, 1e12, 16);
   stats.results = retired_.results;
@@ -737,6 +1124,7 @@ LiveStats LiveEngine::finish() {
           : 0.0;
   stats.mean_latency_us = merged.mean() / 1e3;
   stats.p99_latency_us = merged.value_at_percentile(99) / 1e3;
+  stats.latency_samples = merged.count();
   stats.final_li = last_li_;
   return stats;
 }

@@ -3,46 +3,74 @@
 // Where SimJoinEngine executes the system in virtual time for
 // reproducible experiments, LiveEngine runs the same logic — join
 // instances, key-hash routing with a migration routing table, GreedyFit
-// balancing, the hold/forward migration protocol — on OS threads with
-// bounded queues. It is the deployment-shaped embodiment of the library
-// and is what the examples drive.
+// balancing, the hold/forward migration protocol — on OS threads. It is
+// the deployment-shaped embodiment of the library and is what the
+// examples drive.
+//
+// Data plane vs control plane (see docs/architecture.md):
+//  * The hot path is lock-free. Routing reads go through an immutable
+//    RouteTable snapshot published via an atomic pointer (copy-on-write
+//    by the monitor under route_mutex_; producers never lock). Records
+//    travel over per-(producer, worker) SpscRing lanes; producers
+//    register with register_producer() for a private lane set, and a
+//    mutex-serialized fallback lane covers unregistered callers.
+//    push_batch() amortizes the snapshot load and counters over a whole
+//    batch, and latency timestamps are sampled 1-in-N instead of taken
+//    per record.
+//  * Control messages (migration steps, checkpoints, window ticks) use
+//    a per-worker BoundedQueue. Because control no longer shares a FIFO
+//    with data, every control message that needs the old "all data
+//    before signal X" queue-order guarantee carries per-lane sequence
+//    *watermarks*: the worker drains each lane past the stamped
+//    watermark before acting. Producers bracket route-read + enqueue in
+//    a seqlock-style critical section; after publishing a new routing
+//    table the monitor waits for a grace period (every producer's
+//    critical section observed outside or re-entered), so watermarks
+//    captured afterwards cover every record routed with the old table.
+//  * The pre-optimization data plane (route under a global mutex, data
+//    and control in one mutex+condvar queue) is preserved as
+//    DataPlane::kLegacyLocked so bench/live_throughput can measure the
+//    before/after in a single run.
 //
 // Concurrency design (and why migration stays exactly-once):
-//  * All records enter through push(), which routes under the routing
-//    lock and enqueues to per-worker FIFO queues. push() is the single
-//    linearization point for routing decisions.
+//  * push() routes against the current snapshot and enqueues to the
+//    destination lanes inside one producer critical section.
 //  * Workers only ever touch their own state; every cross-worker action
-//    is a control message in the same FIFO queue as data, so "all data
-//    before signal X" is guaranteed by queue order.
+//    is a control message, ordered against data by lane watermarks
+//    (laned mode) or queue FIFO (legacy mode).
 //  * The monitor thread orchestrates migrations:
-//      1. SelectExtract at the source (it quiesces by queue order,
-//         selects keys with GreedyFit, extracts tuples, starts
-//         diverting the selected keys to its forward buffer);
-//      2. Hold at the target;
-//      3. routing-table update (under the same lock push() takes);
-//      4. TakeForward at the source — every record routed to the source
-//         before step 3 is already ahead of this message in its queue,
-//         so the returned buffer is complete;
+//      1. SelectExtract at the source (stamped with the source's lane
+//         watermarks, so selection sees everything routed before it;
+//         the source then starts diverting selected keys to its
+//         forward buffer);
+//      2. Hold at the target — *acknowledged* before step 3, so the
+//         hold is active before any record can be routed to the target
+//         under the new table;
+//      3. routing-table publish (copy-on-write under route_mutex_)
+//         followed by a producer grace period;
+//      4. TakeForward at the source, stamped with watermarks captured
+//         after the grace period — every record routed to the source
+//         under the old table is drained (hence forwarded) before the
+//         forward buffer is returned;
 //      5. Absorb(batch) then Release(forwarded) at the target; records
 //         routed to the target after step 3 were held since step 2 and
 //         replay after the forwarded ones, preserving per-key order.
 //
 // Fault tolerance (see docs/migration_protocol.md, "Failure
 // interactions"):
-//  * crash(side, id) kills a worker: its queue closes, its thread exits
-//    discarding queued records, its store is lost. Subsequent pushes to
-//    it are dropped and counted in LiveStats::records_dropped.
+//  * crash(side, id) kills a worker: its lanes stop accepting records
+//    (subsequent pushes are dropped and counted), its thread exits
+//    discarding whatever was queued, its store is lost.
 //  * The monitor doubles as a supervisor: each tick it respawns crashed
-//    workers, restoring their store from the latest checkpoint (taken
-//    every checkpoint_period via a CheckpointReq control message, so
-//    snapshots are consistent with queue order). Checkpointed tuples of
-//    keys that have since migrated away are filtered out on restore.
+//    workers, restoring their store from the latest checkpoint and
+//    draining (dropping, counting) lane residue left from the crash
+//    window before the fresh worker starts.
 //  * Migrations are supervised: every wait on a worker reply uses
 //    bounded exponential backoff up to migration_timeout; an
 //    unresponsive worker is declared dead (force-crashed) and the
 //    migration aborts — routing overrides roll back, the target
 //    releases held keys, and the surviving source replays its forward
-//    buffer locally, so the exactly-once argument survives every abort.
+//    buffer locally, so joins are never duplicated by an abort.
 #pragma once
 
 #include <atomic>
@@ -71,12 +99,19 @@ namespace fastjoin {
 /// path.
 enum class MigrationPhase : std::uint8_t {
   kSelected,   ///< batch extracted at the source, before Hold
-  kHeld,       ///< Hold installed at the target, before routing update
+  kHeld,       ///< Hold acknowledged by the target, before routing update
   kRouted,     ///< routing table updated, before TakeForward
   kForwarded,  ///< forward buffer collected, before Absorb/Release
 };
 
 const char* migration_phase_name(MigrationPhase p);
+
+/// Which data plane the engine runs. kLaned is the real one; the legacy
+/// plane is kept as the measured baseline for bench/live_throughput.
+enum class DataPlane : std::uint8_t {
+  kLaned,         ///< lock-free routing snapshot + SPSC lanes (default)
+  kLegacyLocked,  ///< global route mutex + mutex/condvar unified queue
+};
 
 struct LiveConfig {
   std::uint32_t instances = 4;  ///< join instances per biclique side
@@ -84,7 +119,23 @@ struct LiveConfig {
   PlannerConfig planner;        ///< theta etc.
   std::chrono::milliseconds monitor_period{20};
   double min_heaviest_load = 1000.0;
+  /// Capacity bound of each per-worker control queue (and of the whole
+  /// per-worker data queue in kLegacyLocked mode).
   std::size_t queue_capacity = 1 << 15;
+  /// Data plane selection; see DataPlane.
+  DataPlane data_plane = DataPlane::kLaned;
+  /// Registered-producer slots (each gets a private SPSC lane per
+  /// worker). Callers beyond this many, and unregistered callers, share
+  /// the mutex-serialized fallback lane.
+  std::uint32_t max_producers = 8;
+  /// Capacity of each data lane (records), rounded up to a power of
+  /// two. Full lanes exert backpressure on the producer.
+  std::size_t lane_capacity = 1 << 12;
+  /// Sample a latency timestamp on every Nth record per producer
+  /// (1 = every record, the pre-optimization behavior; 0 = never).
+  /// LiveStats::mean_latency_us / p99_latency_us are computed from the
+  /// sampled population and stay populated for any N >= 1.
+  std::uint32_t latency_sample_every = 64;
   /// Artificial nanoseconds of work per match (lets small examples
   /// exhibit measurable load without gigantic inputs). 0 = none.
   std::uint64_t work_per_match_ns = 0;
@@ -95,16 +146,18 @@ struct LiveConfig {
   std::uint32_t window_subwindows = 0;
   std::chrono::milliseconds subwindow_len{100};
   /// Fault tolerance: period between store snapshots (0 = off). The
-  /// monitor broadcasts a CheckpointReq control message each period, so
-  /// every snapshot is consistent with that worker's queue order.
+  /// monitor broadcasts a CheckpointReq control message each period;
+  /// each snapshot is a lane-prefix-consistent view of that worker's
+  /// processed stream.
   std::chrono::milliseconds checkpoint_period{0};
   /// Supervised migrations: total time the monitor waits for one worker
-  /// reply (select/extract or take-forward) before declaring the worker
-  /// dead and aborting the migration. Waiting uses bounded exponential
-  /// backoff slices so a concurrent crash is noticed early. This is a
-  /// deadlock-breaker, not a latency bound: control replies queue behind
-  /// the worker's data backlog, so keep it well above the worst queue
-  /// drain time or a saturated-but-healthy worker gets force-crashed.
+  /// reply (select/extract, hold ack, or take-forward) before declaring
+  /// the worker dead and aborting the migration. Waiting uses bounded
+  /// exponential backoff slices so a concurrent crash is noticed early.
+  /// This is a deadlock-breaker, not a latency bound: control replies
+  /// queue behind the worker's data backlog, so keep it well above the
+  /// worst queue drain time or a saturated-but-healthy worker gets
+  /// force-crashed.
   std::chrono::milliseconds migration_timeout{30'000};
   /// Chaos hook: called from the monitor thread at each migration phase
   /// transition. Tests use it to crash() workers at precise protocol
@@ -130,13 +183,20 @@ struct LiveStats {
   std::uint64_t tuples_restored = 0; ///< restored from checkpoints
   std::size_t checkpoints = 0;       ///< snapshot rounds broadcast
   double mean_recovery_ms = 0.0;     ///< crash -> respawned, mean
-  double mean_latency_us = 0.0;  ///< queue+service latency per probe
+  /// Queue+service latency per probe, over the sampled records only
+  /// (LiveConfig::latency_sample_every); 0 when sampling is disabled.
+  double mean_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  std::uint64_t latency_samples = 0;  ///< probes with a sampled timestamp
   double final_li = 1.0;         ///< last LI the monitor observed
 };
 
 class LiveEngine {
  public:
+  /// Producer id of unregistered callers: routes through the shared,
+  /// mutex-serialized fallback lane.
+  static constexpr int kUnregistered = -1;
+
   explicit LiveEngine(const LiveConfig& cfg);
   ~LiveEngine();
 
@@ -147,11 +207,34 @@ class LiveEngine {
   /// finish()) is an error: logged, ignored.
   void start();
 
-  /// Route one record (thread-safe; callers may share). Blocks on a
-  /// full worker queue (backpressure). Returns false — and counts the
-  /// record in LiveStats::records_dropped — when the engine is not
-  /// running or a destination worker is crashed.
-  bool push(const Record& rec);
+  /// Claim a dedicated producer slot (a private SPSC lane to every
+  /// worker, no locks on push). Returns the producer id to pass to
+  /// push()/push_batch(), or kUnregistered once all
+  /// LiveConfig::max_producers slots are taken (such callers fall back
+  /// to the shared lane — correct, just slower). A slot must be used
+  /// by one thread at a time; slots live for the engine's lifetime.
+  int register_producer();
+
+  /// Route one record (thread-safe; unregistered callers may share).
+  /// Blocks (bounded backoff) on a full destination lane
+  /// (backpressure). Returns false — and counts the record in
+  /// LiveStats::records_dropped — when the engine is not running or a
+  /// destination worker is crashed.
+  bool push(const Record& rec) { return push(rec, kUnregistered); }
+  bool push(const Record& rec, int producer) {
+    return push_batch(&rec, 1, producer) == 1;
+  }
+
+  /// Route a batch of records under a single routing snapshot and
+  /// producer critical section. Returns how many records were delivered
+  /// to all of their destinations (partial deliveries are counted in
+  /// records_dropped, as with push()).
+  std::size_t push_batch(const Record* recs, std::size_t n,
+                         int producer = kUnregistered);
+  std::size_t push_batch(const std::vector<Record>& recs,
+                         int producer = kUnregistered) {
+    return push_batch(recs.data(), recs.size(), producer);
+  }
 
   /// Close the feed, drain every queue, stop all threads, and return
   /// the final statistics. Calling before start() or twice is an
@@ -185,8 +268,14 @@ class LiveEngine {
   struct TakeForwardReq {
     std::promise<std::shared_ptr<std::vector<Record>>> reply;
   };
+  struct HoldAck {};
   struct HoldReq {
     std::vector<KeyId> keys;
+    /// Acknowledged once the hold is installed: the monitor must not
+    /// publish the new routing table before this fires (data and
+    /// control travel on different channels, so "hold before rerouted
+    /// records" is no longer implied by queue order).
+    std::promise<std::shared_ptr<HoldAck>> reply;
   };
   struct AbsorbReq {
     std::shared_ptr<MigrationBatch> batch;
@@ -204,19 +293,55 @@ class LiveEngine {
     bool replay_pending = false;
     std::shared_ptr<std::vector<Record>> forwarded;  ///< may be null
   };
-  /// Snapshot the store for crash recovery (queue-order consistent).
+  /// Snapshot the store for crash recovery (lane-prefix consistent).
   struct CheckpointReq {};
   struct AdvanceWindowReq {};
-  /// A data record with its push() timestamp, so probe latency covers
-  /// queueing as well as service.
+  /// A data record with its push() timestamp when it was sampled for
+  /// latency measurement (pushed_at == epoch means unsampled).
   struct DataMsg {
     Record rec;
-    std::chrono::steady_clock::time_point pushed_at;
+    std::chrono::steady_clock::time_point pushed_at{};
   };
   using Msg = std::variant<DataMsg, SelectExtractReq, TakeForwardReq,
                            HoldReq, AbsorbReq, ReleaseReq,
                            AbortMigrationReq, CheckpointReq,
                            AdvanceWindowReq>;
+  /// Control (and, in legacy mode, data) envelope. A non-empty barrier
+  /// holds one watermark per lane: the worker drains each lane until it
+  /// has consumed at least that many records before handling the
+  /// message.
+  struct Envelope {
+    Msg msg;
+    std::vector<std::uint64_t> barrier;
+  };
+
+  /// One SPSC data lane plus the sequence counters backing the
+  /// watermark barrier. `pushed` is bumped by the producer after each
+  /// successful ring push; `popped` by the consumer after processing.
+  struct DataLane {
+    explicit DataLane(std::size_t cap) : ring(cap) {}
+    SpscRing<DataMsg> ring;
+    alignas(64) std::atomic<std::uint64_t> pushed{0};
+    alignas(64) std::atomic<std::uint64_t> popped{0};
+  };
+  /// All lanes feeding one worker slot. Owned by the engine (not the
+  /// Worker) so producers keep stable pointers across respawns; `open`
+  /// is cleared while the slot's worker is down so pushes fail fast.
+  struct LaneSet {
+    std::vector<std::unique_ptr<DataLane>> lanes;  ///< [max_producers]+fallback
+    std::atomic<bool> open{true};
+  };
+  /// Seqlock-style producer critical-section counter (odd = inside
+  /// push). The monitor's grace period waits these out after a routing
+  /// publish; see wait_for_producers().
+  struct ProducerSlot {
+    alignas(64) std::atomic<std::uint64_t> cs{0};
+    std::uint64_t sample_tick = 0;  ///< owner thread only
+  };
+  /// Immutable routing snapshot; replaced wholesale on every change.
+  struct RouteTable {
+    std::unordered_map<KeyId, InstanceId> overrides[2];
+  };
 
   class Worker;
 
@@ -236,14 +361,47 @@ class LiveEngine {
                   MigrationPhase phase);
   void note_drop(std::uint64_t n);
   Worker& worker(Side group, InstanceId id);
-  InstanceId route(Side group, KeyId key) const;
+
+  /// Route against a snapshot (data plane) or the current table
+  /// (monitor thread, which is the sole mutator).
+  InstanceId route(const RouteTable& table, Side group, KeyId key) const;
+  InstanceId route_current(Side group, KeyId key) const;
+  /// Copy-on-write routing update: clone, mutate, publish (under
+  /// route_mutex_), then wait a producer grace period and reclaim the
+  /// old table. Monitor thread only.
+  template <typename Mutate>
+  void publish_routes(Mutate&& mutate);
+  /// Grace period: returns once every producer critical section that
+  /// could have read a routing table older than the current one has
+  /// exited (seqlock counters observed even or advanced).
+  void wait_for_producers();
+  /// Per-lane pushed-counts of one worker slot, for barrier stamping.
+  /// Empty in legacy mode (queue FIFO already orders control vs data).
+  std::vector<std::uint64_t> capture_watermarks(Side group,
+                                                InstanceId id) const;
+  /// Push one record's DataMsg into a destination lane with blocking
+  /// backoff (backpressure); fails when the slot is closed/crashed.
+  bool lane_push(Side group, InstanceId id, std::size_t lane,
+                 DataMsg msg);
+  std::size_t push_batch_legacy(const Record* recs, std::size_t n);
+  bool laned() const { return cfg_.data_plane == DataPlane::kLaned; }
 
   LiveConfig cfg_;
   std::function<void(const MatchPair&)> on_match_;
   std::vector<std::unique_ptr<Worker>> workers_[2];
+  std::vector<std::unique_ptr<LaneSet>> lane_sets_[2];
+  std::vector<ProducerSlot> producer_slots_;  ///< [max_producers]+fallback
+  std::atomic<std::uint32_t> producers_registered_{0};
+  std::mutex fallback_mutex_;  ///< serializes unregistered producers
 
+  /// Current routing table; readers load the pointer (no lock) inside
+  /// their producer critical section, the monitor swaps it under
+  /// route_mutex_ and reclaims after a grace period. route_mutex_ also
+  /// pins worker slots against concurrent crash()/respawn(), and in
+  /// legacy mode serializes the whole push path (the measured
+  /// pre-optimization behavior).
+  std::atomic<const RouteTable*> route_table_;
   mutable std::mutex route_mutex_;
-  std::unordered_map<KeyId, InstanceId> overrides_[2];
 
   std::thread monitor_thread_;
   std::atomic<bool> stopping_{false};

@@ -62,6 +62,134 @@ TEST(SpscRing, ConcurrentTransferPreservesSequence) {
   EXPECT_EQ(sum, static_cast<long long>(n - 1) * n / 2);
 }
 
+TEST(SpscRing, BatchPushPopSingleThread) {
+  SpscRing<int> q(8);
+  int in[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.try_push_batch(in, 5), 5u);
+  int out[8] = {};
+  EXPECT_EQ(q.try_pop_batch(out, 3), 3u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(q.try_pop_batch(out, 8), 2u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 5);
+  EXPECT_EQ(q.try_pop_batch(out, 8), 0u);
+}
+
+TEST(SpscRing, BatchPushStopsAtCapacity) {
+  SpscRing<int> q(4);  // rounds up to 8 slots, 7 usable
+  std::vector<int> in(100);
+  std::iota(in.begin(), in.end(), 0);
+  const std::size_t pushed = q.try_push_batch(in.data(), in.size());
+  EXPECT_EQ(pushed, q.capacity());
+  EXPECT_FALSE(q.try_push(999));  // really full
+  int out[100];
+  EXPECT_EQ(q.try_pop_batch(out, 100), pushed);
+  for (std::size_t i = 0; i < pushed; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(SpscRing, BatchWrapsAroundPowerOfTwoBoundary) {
+  SpscRing<int> q(8);  // 8 slots internally (mask 7)
+  int out[8];
+  int next_in = 0, next_out = 0;
+  // Walk the indices across several wraparounds with mixed batch sizes
+  // so batches straddle the power-of-two boundary in both directions.
+  for (int round = 0; round < 200; ++round) {
+    int in[3];
+    for (int i = 0; i < 3; ++i) in[i] = next_in++;
+    ASSERT_EQ(q.try_push_batch(in, 3), 3u);
+    const std::size_t got = q.try_pop_batch(out, 3);
+    ASSERT_EQ(got, 3u);
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], next_out++) << "round " << round;
+    }
+  }
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(SpscRing, CloseRejectsPushDrainsPop) {
+  SpscRing<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(3));
+  int batch[2] = {4, 5};
+  EXPECT_EQ(q.try_push_batch(batch, 2), 0u);
+  EXPECT_EQ(q.try_pop().value(), 1);  // drains what was in flight
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, ConcurrentBatchTransferPreservesSequence) {
+  SpscRing<int> q(256);
+  const int n = 200'000;
+  std::thread producer([&] {
+    int buf[33];
+    int next = 0;
+    while (next < n) {
+      const int want = std::min(33, n - next);
+      for (int i = 0; i < want; ++i) buf[i] = next + i;
+      std::size_t done = 0;
+      while (done < static_cast<std::size_t>(want)) {
+        const std::size_t k =
+            q.try_push_batch(buf + done, want - done);
+        if (k == 0) std::this_thread::yield();
+        done += k;
+      }
+      next += want;
+    }
+  });
+  int out[57];
+  int expected = 0;
+  while (expected < n) {
+    const std::size_t k = q.try_pop_batch(out, 57);
+    if (k == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(out[i], expected);  // FIFO, no loss, no duplication
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, ConcurrentCloseDrainsCleanly) {
+  // Producer pushes until the ring is closed under it; the consumer
+  // drains to closed-and-empty. Every value the producer reported as
+  // pushed must come out exactly once — the poison convention the live
+  // runtime relies on at finish().
+  SpscRing<int> q(64);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    int v = 0;
+    for (;;) {
+      if (q.try_push(v)) {
+        pushed.store(++v, std::memory_order_release);
+      } else if (q.closed()) {
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  producer.join();
+  int expected = 0;
+  while (auto v = q.try_pop()) {
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(expected, pushed.load(std::memory_order_acquire));
+}
+
 TEST(BoundedQueue, BasicPushPop) {
   BoundedQueue<int> q(4);
   EXPECT_TRUE(q.push(1));
