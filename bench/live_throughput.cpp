@@ -194,8 +194,12 @@ int run(int argc, char** argv) {
             << accept_speedup << "x (target >= 3x), results "
             << (results_agree ? "identical" : "MISMATCH") << "\n";
 
+  std::ostringstream workload;
+  workload << "records=" << total
+           << " instances={2,8} producers={1,4} zipf={0.8,1.2}";
   std::ofstream json("BENCH_live_throughput.json");
-  json << "{\n  \"bench\": \"live_throughput\",\n"
+  json << "{\n  \"bench\": \"live_throughput\",\n  "
+       << json_meta(workload.str()) << ",\n"
        << "  \"records_per_run\": " << total << ",\n"
        << "  \"results_identical\": "
        << (results_agree ? "true" : "false") << ",\n"

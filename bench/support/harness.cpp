@@ -1,6 +1,16 @@
 #include "support/harness.hpp"
 
 #include <iostream>
+#include <sstream>
+
+// Injected by bench/CMakeLists.txt; fall back gracefully when the
+// bench sources are compiled outside that scope.
+#ifndef FASTJOIN_GIT_SHA
+#define FASTJOIN_GIT_SHA "unknown"
+#endif
+#ifndef FASTJOIN_BUILD_TYPE
+#define FASTJOIN_BUILD_TYPE "unspecified"
+#endif
 
 namespace fastjoin::bench {
 
@@ -54,6 +64,14 @@ void print_summary(const std::vector<std::string>& names,
 
 double improvement_pct(double a, double b) {
   return b != 0.0 ? (a - b) / b * 100.0 : 0.0;
+}
+
+std::string json_meta(const std::string& workload) {
+  std::ostringstream os;
+  os << "\"meta\": {\"git_sha\": \"" << FASTJOIN_GIT_SHA
+     << "\", \"build_type\": \"" << FASTJOIN_BUILD_TYPE
+     << "\", \"workload\": \"" << workload << "\"}";
+  return os.str();
 }
 
 }  // namespace fastjoin::bench

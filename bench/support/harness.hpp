@@ -29,4 +29,10 @@ void print_summary(const std::vector<std::string>& names,
 /// Relative improvement in percent: (a - b) / b * 100.
 double improvement_pct(double a, double b);
 
+/// Provenance stamp for BENCH_*.json files — a `"meta": {...}` JSON
+/// fragment carrying the emitting git SHA, the CMake build type, and
+/// the workload knobs, so number trajectories across PRs are
+/// attributable to a commit and configuration.
+std::string json_meta(const std::string& workload);
+
 }  // namespace fastjoin::bench

@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a ThreadSanitizer pass over the concurrent runtime.
+# Tier-1 gate plus sanitizer passes over the concurrent runtime.
 #
-#   scripts/check.sh            # full: tier-1 build+tests, then TSan runtime
+#   scripts/check.sh            # full: tier-1, then TSan, then ASan
 #   scripts/check.sh --tier1    # tier-1 only
-#   scripts/check.sh --tsan     # TSan runtime tests only
+#   scripts/check.sh --tsan     # TSan runtime+ingest tests only
+#   scripts/check.sh --asan     # ASan runtime+ingest tests only
 #
-# The TSan pass rebuilds into build-tsan/ (separate cache) and runs the
-# test_runtime binary, which covers the worker/monitor/supervisor
-# threading including the chaos tests.
+# The sanitizer passes rebuild into build-tsan/ / build-asan/ (separate
+# caches) and run the test_runtime and test_ingest binaries, which cover
+# the worker/monitor/supervisor threading, the chaos tests, and the
+# StreamLog append/replay/truncation paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --tier1) run_tsan=0 ;;
-  --tsan) run_tier1=0 ;;
+  --tier1) run_tsan=0; run_asan=0 ;;
+  --tsan) run_tier1=0; run_asan=0 ;;
+  --asan) run_tier1=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--tsan|--asan]" >&2; exit 2 ;;
 esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -30,10 +34,19 @@ if [[ $run_tier1 -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== TSan: runtime tests under -fsanitize=thread =="
+  echo "== TSan: runtime + ingest tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DFASTJOIN_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_runtime
+  cmake --build build-tsan -j "$jobs" --target test_runtime --target test_ingest
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_ingest
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== ASan: runtime + ingest tests under -fsanitize=address =="
+  cmake -B build-asan -S . -DFASTJOIN_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs" --target test_runtime --target test_ingest
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_ingest
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_runtime
 fi
 
 echo "check.sh: all requested passes green"

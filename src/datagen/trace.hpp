@@ -20,6 +20,18 @@ class RecordSource {
   virtual ~RecordSource() = default;
   /// Next record in timestamp order, or nullopt when the trace ends.
   virtual std::optional<Record> next() = 0;
+  /// Fill up to `max` records into `out`; returns how many were
+  /// produced (0 = source exhausted). The default loops next(); bulk
+  /// sources (trace files, the StreamLog feeder) may override.
+  virtual std::size_t next_batch(Record* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto rec = next();
+      if (!rec) break;
+      out[n++] = *rec;
+    }
+    return n;
+  }
 };
 
 /// Inter-arrival process for a stream.

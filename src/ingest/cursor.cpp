@@ -1,0 +1,38 @@
+#include "ingest/cursor.hpp"
+
+#include <algorithm>
+
+namespace fastjoin {
+
+ConsumerCursor::ConsumerCursor(const StreamLog& log, std::string name)
+    : log_(log),
+      name_(std::move(name)),
+      position_(log.partitions(), 0),
+      committed_(log.partitions(), 0) {}
+
+std::size_t ConsumerCursor::poll(std::uint32_t partition, std::size_t max,
+                                 std::vector<LogRecord>& out) {
+  std::uint64_t& pos = position_[partition];
+  pos = std::max(pos, log_.start_offset(partition));
+  const std::size_t n = log_.read(partition, pos, max, out);
+  if (n > 0) pos = out.back().offset + 1;
+  return n;
+}
+
+void ConsumerCursor::commit(std::uint32_t partition, std::uint64_t offset) {
+  committed_[partition] =
+      std::min(std::max(committed_[partition], offset),
+               position_[partition]);
+}
+
+void ConsumerCursor::commit_all() {
+  for (std::uint32_t p = 0; p < position_.size(); ++p) commit(p);
+}
+
+std::uint64_t ConsumerCursor::lag(std::uint32_t partition) const {
+  const std::uint64_t end = log_.end_offset(partition);
+  const std::uint64_t pos = position_[partition];
+  return end > pos ? end - pos : 0;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,65 @@
+// ConsumerCursor: a consumer's read position over a StreamLog, Kafka
+// consumer-group style in miniature.
+//
+// A cursor tracks two offsets per partition: `position` (the next
+// record poll() will return) and `committed` (the durability mark —
+// everything below it is acknowledged as fully processed). Crash
+// recovery restarts a consumer at `committed`, re-reading the
+// [committed, position) window it had polled but never acknowledged;
+// the live engine's equivalent of commit() is the per-partition offsets
+// embedded in each worker checkpoint.
+//
+// A cursor belongs to one consumer thread; it is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/stream_log.hpp"
+
+namespace fastjoin {
+
+class ConsumerCursor {
+ public:
+  ConsumerCursor(const StreamLog& log, std::string name);
+
+  /// Read up to `max` records at `position` into `out` (appended) and
+  /// advance `position` past them. Returns the records read (0 = caught
+  /// up). A position below the retention floor is snapped up to
+  /// start_offset() first — the records below it are gone for good.
+  std::size_t poll(std::uint32_t partition, std::size_t max,
+                   std::vector<LogRecord>& out);
+
+  /// Acknowledge everything polled so far on `partition`.
+  void commit(std::uint32_t partition) {
+    committed_[partition] = position_[partition];
+  }
+  /// Acknowledge up to `offset` exclusive (bounded by `position`).
+  void commit(std::uint32_t partition, std::uint64_t offset);
+  void commit_all();
+
+  /// Move the read position (e.g. back to `committed` after a crash).
+  void seek(std::uint32_t partition, std::uint64_t offset) {
+    position_[partition] = offset;
+  }
+
+  std::uint64_t position(std::uint32_t partition) const {
+    return position_[partition];
+  }
+  std::uint64_t committed(std::uint32_t partition) const {
+    return committed_[partition];
+  }
+  /// Records appended but not yet polled.
+  std::uint64_t lag(std::uint32_t partition) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const StreamLog& log_;
+  std::string name_;
+  std::vector<std::uint64_t> position_;
+  std::vector<std::uint64_t> committed_;
+};
+
+}  // namespace fastjoin

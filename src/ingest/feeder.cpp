@@ -1,0 +1,96 @@
+#include "ingest/feeder.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "engine/tuple.hpp"
+
+namespace fastjoin {
+
+FeedStats feed_log(RecordSource& src, StreamLog& log,
+                   PartitionPolicy policy, std::uint64_t max_records,
+                   std::size_t batch) {
+  FeedStats fs;
+  const std::uint32_t nparts = log.partitions();
+  std::uint64_t rr = 0;
+  std::vector<Record> buf(std::max<std::size_t>(batch, 1));
+  for (;;) {
+    std::size_t want = buf.size();
+    if (max_records != 0) {
+      want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, max_records - fs.records));
+      if (want == 0) break;
+    }
+    const std::size_t n = src.next_batch(buf.data(), want);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Record& rec = buf[i];
+      const std::uint32_t p =
+          policy == PartitionPolicy::kByKey
+              ? instance_of(rec.key, nparts)
+              : static_cast<std::uint32_t>(rr++ % nparts);
+      log.append(p, rec);
+    }
+    fs.records += n;
+    ++fs.batches;
+  }
+  return fs;
+}
+
+std::uint64_t pump_log(const StreamLog& log,
+                       std::vector<std::uint64_t> from,
+                       const std::function<bool(const Record&)>& sink) {
+  constexpr std::size_t kChunk = 256;
+  const std::uint32_t nparts = log.partitions();
+  from.resize(nparts, 0);
+
+  struct Head {
+    std::vector<LogRecord> buf;
+    std::size_t i = 0;
+    std::uint64_t next = 0;  ///< next offset to read on refill
+    bool done = false;
+  };
+  std::vector<Head> heads(nparts);
+  auto refill = [&](std::uint32_t p) {
+    Head& h = heads[p];
+    h.buf.clear();
+    h.i = 0;
+    if (log.read(p, h.next, kChunk, h.buf) == 0) {
+      h.done = true;
+    } else {
+      h.next = h.buf.back().offset + 1;
+    }
+  };
+  for (std::uint32_t p = 0; p < nparts; ++p) {
+    heads[p].next = from[p];
+    refill(p);
+  }
+
+  std::uint64_t delivered = 0;
+  for (;;) {
+    // Pick the earliest head in the engine's (ts, side, seq) total
+    // order; partitions are internally ordered only by append time, so
+    // the merge makes the replayed stream deterministic.
+    std::int32_t best = -1;
+    for (std::uint32_t p = 0; p < nparts; ++p) {
+      Head& h = heads[p];
+      if (h.i >= h.buf.size()) {
+        if (h.done) continue;
+        refill(p);
+        if (h.i >= h.buf.size()) continue;
+      }
+      if (best < 0 ||
+          precedes(h.buf[h.i].rec, heads[best].buf[heads[best].i].rec)) {
+        best = static_cast<std::int32_t>(p);
+      }
+    }
+    if (best < 0) break;
+    Head& h = heads[best];
+    if (!sink(h.buf[h.i].rec)) break;
+    ++h.i;
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,52 @@
+// Feeder: the RecordSource -> StreamLog bridge (the "Kafka producer"),
+// and pump_log, the merged reader that plays a log back in stream order
+// (the "spout").
+//
+// feed_log drains any RecordSource into the log in batches, choosing a
+// partition per record. pump_log k-way-merges all partitions by the
+// engine's total order (ts, side, seq) and hands records to a caller
+// sink — a callback rather than a LiveEngine reference, so the ingest
+// library stays below the runtime in the layering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "datagen/trace.hpp"
+#include "ingest/cursor.hpp"
+#include "ingest/stream_log.hpp"
+
+namespace fastjoin {
+
+/// How feed_log spreads records over partitions.
+enum class PartitionPolicy : std::uint8_t {
+  kByKey,       ///< hash(key) % partitions: per-key order preserved
+  kRoundRobin,  ///< even spread; per-key order NOT preserved across
+                ///< partitions — only for order-insensitive consumers
+};
+
+struct FeedStats {
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+};
+
+/// Drain `src` into `log` (at most `max_records`; 0 = until the source
+/// ends), appending each record to the partition chosen by `policy`.
+/// Records are logged unrouted (kUnroutedDst): routing happens at
+/// publish time, not ingest time.
+FeedStats feed_log(RecordSource& src, StreamLog& log,
+                   PartitionPolicy policy = PartitionPolicy::kByKey,
+                   std::uint64_t max_records = 0,
+                   std::size_t batch = 512);
+
+/// Replay `log` through `sink` in (ts, side, seq) order, starting each
+/// partition at `from[p]` (short vectors are zero-extended). Stops when
+/// the sink returns false or every partition is exhausted; returns the
+/// records delivered. Reads a snapshot: records appended after the call
+/// starts may or may not be included.
+std::uint64_t pump_log(const StreamLog& log,
+                       std::vector<std::uint64_t> from,
+                       const std::function<bool(const Record&)>& sink);
+
+}  // namespace fastjoin

@@ -1,0 +1,88 @@
+// The StreamLog's on-disk/in-memory record format.
+//
+// Every record published through the live engine is made durable as one
+// fixed-size LogRecord entry before it is pushed onto any data lane.
+// The entry carries the *routing decision* made at publish time
+// (store_dst / probe_dst) alongside the record itself, so crash
+// recovery can replay exactly the deliveries the crashed worker was
+// responsible for without re-deriving a routing table that has since
+// moved on.
+//
+// Entries are fixed-size, so a partition offset maps to a byte position
+// by multiplication and a segment's record count is size/kLogRecordBytes
+// — no index structure is needed, which is what lets a file-backed
+// partition be reopened after a process restart by just statting its
+// segment files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hpp"
+#include "datagen/record.hpp"
+
+namespace fastjoin {
+
+/// `store_dst`/`probe_dst` value for records logged outside the engine
+/// (e.g. by the standalone feeder): no routing decision was made.
+inline constexpr InstanceId kUnroutedDst = static_cast<InstanceId>(-1);
+
+/// One StreamLog entry: the record plus the publish-time routing
+/// decision. `offset` is derived from the entry's position when read
+/// back (it is not serialized).
+struct LogRecord {
+  Record rec;
+  InstanceId store_dst = kUnroutedDst;  ///< storing instance (rec.side)
+  InstanceId probe_dst = kUnroutedDst;  ///< probing instance (other side)
+  std::uint64_t offset = 0;             ///< partition offset (derived)
+};
+
+/// Serialized entry size: key, seq, payload (u64), ts (i64), side (u8,
+/// padded to 8), store_dst, probe_dst (u32).
+inline constexpr std::size_t kLogRecordBytes = 8 * 4 + 8 + 4 + 4;
+
+/// Serialize `lr` (excluding `offset`) into exactly kLogRecordBytes at
+/// `out`. Field-by-field memcpy keeps the format independent of struct
+/// padding.
+inline void encode_log_record(const LogRecord& lr, std::byte* out) {
+  auto put64 = [&out](std::uint64_t v) {
+    std::memcpy(out, &v, 8);
+    out += 8;
+  };
+  put64(lr.rec.key);
+  put64(lr.rec.seq);
+  put64(lr.rec.payload);
+  put64(static_cast<std::uint64_t>(lr.rec.ts));
+  put64(static_cast<std::uint64_t>(lr.rec.side));
+  std::uint32_t d = lr.store_dst;
+  std::memcpy(out, &d, 4);
+  out += 4;
+  d = lr.probe_dst;
+  std::memcpy(out, &d, 4);
+}
+
+/// Inverse of encode_log_record; the caller fills `offset`.
+inline LogRecord decode_log_record(const std::byte* in) {
+  LogRecord lr;
+  auto get64 = [&in]() {
+    std::uint64_t v;
+    std::memcpy(&v, in, 8);
+    in += 8;
+    return v;
+  };
+  lr.rec.key = get64();
+  lr.rec.seq = get64();
+  lr.rec.payload = get64();
+  lr.rec.ts = static_cast<SimTime>(get64());
+  lr.rec.side = static_cast<Side>(get64());
+  std::uint32_t d;
+  std::memcpy(&d, in, 4);
+  in += 4;
+  lr.store_dst = d;
+  std::memcpy(&d, in, 4);
+  lr.probe_dst = d;
+  return lr;
+}
+
+}  // namespace fastjoin

@@ -1,6 +1,7 @@
 #include "runtime/live_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <unordered_set>
 
@@ -63,17 +64,32 @@ const char* migration_phase_name(MigrationPhase p) {
 /// One join instance on its own thread.
 class LiveEngine::Worker {
  public:
-  using Checkpoint = std::vector<std::pair<KeyId, StoredTuple>>;
+  /// Store snapshot plus — in ingest mode — the per-partition consumed
+  /// offsets it is consistent with: replaying the log from `offsets`
+  /// on top of `tuples` reconstructs the worker.
+  struct Checkpoint {
+    std::vector<std::pair<KeyId, StoredTuple>> tuples;
+    std::vector<std::uint64_t> offsets;
+  };
 
   Worker(const LiveEngine& engine, InstanceId id, Side store_side,
          std::size_t queue_capacity, std::uint32_t max_subwindows,
-         LaneSet* lanes)
+         LaneSet* lanes, std::uint32_t ingest_partitions)
       : engine_(engine),
         id_(id),
         store_side_(store_side),
         queue_(queue_capacity),
         lanes_(lanes),
-        store_(max_subwindows) {}
+        store_(max_subwindows),
+        ingest_parts_(ingest_partitions) {
+    if (ingest_parts_ > 0) {
+      consumed_ =
+          std::make_unique<std::atomic<std::uint64_t>[]>(ingest_parts_);
+      for (std::uint32_t p = 0; p < ingest_parts_; ++p) {
+        consumed_[p].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
 
   void start() {
     thread_ = std::thread([this] { loop(); });
@@ -120,6 +136,75 @@ class LiveEngine::Worker {
   void restore_tuple(KeyId key, const StoredTuple& st) {
     store_.insert(key, st);
     stored_count_.store(store_.size(), std::memory_order_relaxed);
+  }
+
+  // --- ingest replay (respawn path; see LiveEngine::replay_worker) --
+  /// Per-partition consumed watermarks (offset of the next expected
+  /// record). Read by the supervisor after the thread is joined.
+  std::vector<std::uint64_t> consumed_marks() const {
+    std::vector<std::uint64_t> m(ingest_parts_);
+    for (std::uint32_t p = 0; p < ingest_parts_; ++p) {
+      m[p] = consumed_[p].load(std::memory_order_relaxed);
+    }
+    return m;
+  }
+  /// Pre-start only: position a partition's watermark (after a replay
+  /// pass, so lane deliveries below it are recognized as covered).
+  void set_consumed(std::uint32_t p, std::uint64_t v) {
+    consumed_[p].store(v, std::memory_order_relaxed);
+  }
+  /// Records sitting in the forward/held migration buffers — the loss
+  /// the log cannot replay. Read by the supervisor after join.
+  std::uint64_t buffered_count() const {
+    return buffered_.load(std::memory_order_relaxed);
+  }
+  /// Re-process one store-side delivery during replay. Sequence-deduped
+  /// against the restored store: a tuple that arrived via the
+  /// checkpoint or a migration batch is not inserted twice (stored
+  /// copies are always safe to re-merge, but counting them twice is
+  /// not). `fresh` = the crashed worker verifiably never processed it,
+  /// so the store counter advances.
+  void replay_store(const Record& rec, bool fresh) {
+    if (const auto* bucket = store_.find(rec.key)) {
+      for (const auto& st : *bucket) {
+        if (st.seq == rec.seq) return;
+      }
+    }
+    StoredTuple st;
+    st.seq = rec.seq;
+    st.payload = rec.payload;
+    st.ts = rec.ts;
+    store_.insert(rec.key, st);
+    stored_count_.store(store_.size(), std::memory_order_relaxed);
+    if (fresh) stores_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Re-process one probe-side delivery the crashed worker never
+  /// served: full processing including emission.
+  void replay_probe(const Record& rec) { process(rec); }
+  /// After stop_and_join() on a crashed worker: count the deliveries
+  /// that died unprocessed in its control queue. DataMsg envelopes
+  /// exist in legacy mode only (laned data rides the lanes); absorb /
+  /// release / abort / replay payloads carry records that were already
+  /// extracted into migration machinery.
+  void drain_dead_queue(std::uint64_t& data_msgs,
+                        std::uint64_t& buffered_records) {
+    while (auto env = queue_.try_pop()) {
+      if (std::holds_alternative<DataMsg>(env->msg)) {
+        ++data_msgs;
+      } else if (const auto* a = std::get_if<AbsorbReq>(&env->msg)) {
+        buffered_records += a->batch->pending.size();
+      } else if (const auto* r = std::get_if<ReleaseReq>(&env->msg)) {
+        if (r->forwarded) buffered_records += r->forwarded->size();
+      } else if (const auto* ab =
+                     std::get_if<AbortMigrationReq>(&env->msg)) {
+        if (ab->replay_pending) {
+          buffered_records += ab->batch->pending.size();
+        }
+        if (ab->forwarded) buffered_records += ab->forwarded->size();
+      } else if (const auto* rp = std::get_if<ReplayReq>(&env->msg)) {
+        buffered_records += rp->deliveries.size();
+      }
+    }
   }
 
   // --- monitor-visible statistics (atomics) -------------------------
@@ -267,15 +352,52 @@ class LiveEngine::Worker {
 
   void handle(DataMsg msg) {
     const Record& rec = msg.rec;
+    if (ingest_parts_ > 0 && msg.partition != kNoIngestPartition) {
+      // Consumed watermark: the log offset of the next delivery this
+      // worker expects from that partition. A delivery below it was
+      // already covered — processed before a crash, or re-processed by
+      // the replay pass that positioned the watermark — so handling it
+      // again would double-count (lane deliveries that raced a closed
+      // slot land here after the replay already scanned them).
+      auto& c = consumed_[msg.partition];
+      if (msg.offset < c.load(std::memory_order_relaxed)) return;
+      c.store(msg.offset + 1, std::memory_order_relaxed);
+    }
     if (!forwarding_keys_.empty() && forwarding_keys_.count(rec.key)) {
       forward_buffer_.push_back(rec);
+      note_buffered();
       return;
     }
     if (!held_keys_.empty() && held_keys_.count(rec.key)) {
       held_buffer_.push_back(rec);
+      note_buffered();
       return;
     }
     process(rec, msg.pushed_at);
+  }
+
+  /// Replay deliveries redirected here from another worker's recovery.
+  /// They route through the same divert checks as lane data so a
+  /// concurrent migration of the key still sees them exactly once (the
+  /// forward/held machinery ships them to wherever the key ends up).
+  void handle(ReplayReq req) {
+    for (const ReplayDelivery& d : req.deliveries) {
+      if (!forwarding_keys_.empty() && forwarding_keys_.count(d.rec.key)) {
+        forward_buffer_.push_back(d.rec);
+        note_buffered();
+        continue;
+      }
+      if (!held_keys_.empty() && held_keys_.count(d.rec.key)) {
+        held_buffer_.push_back(d.rec);
+        note_buffered();
+        continue;
+      }
+      if (d.store_side) {
+        replay_store(d.rec, /*fresh=*/true);
+      } else {
+        process(d.rec);
+      }
+    }
   }
 
   /// `pushed_at` == epoch means the record was not sampled for latency
@@ -381,6 +503,7 @@ class LiveEngine::Worker {
     forwarding_keys_.clear();
     auto out = std::make_shared<std::vector<Record>>();
     out->swap(forward_buffer_);
+    note_buffered();
     req.reply.set_value(std::move(out));
   }
 
@@ -391,9 +514,26 @@ class LiveEngine::Worker {
     req.reply.set_value(std::make_shared<HoldAck>());
   }
 
+  /// Merge one migrated/aborted batch tuple, deduplicated by sequence
+  /// number. A migration batch lives in monitor memory while the
+  /// protocol runs; if the source (or a previous owner) crashes in that
+  /// window, its respawn regenerates the extracted tuples from
+  /// checkpoint + log replay. Re-injecting the batch afterwards —
+  /// Absorb at the target, or the Abort re-merge at the source — would
+  /// then leave two copies of the same tuple in one store, and every
+  /// later probe of that key would emit duplicate matches.
+  void merge_tuple(KeyId key, const StoredTuple& st) {
+    if (const auto* bucket = store_.find(key)) {
+      for (const auto& have : *bucket) {
+        if (have.seq == st.seq) return;
+      }
+    }
+    store_.insert(key, st);
+  }
+
   void handle(AbsorbReq req) {
     for (const auto& [key, st] : req.batch->stored) {
-      store_.insert(key, st);
+      merge_tuple(key, st);
     }
     stored_count_.store(store_.size(), std::memory_order_relaxed);
     for (const auto& rec : req.batch->pending) process(rec);
@@ -404,6 +544,7 @@ class LiveEngine::Worker {
     for (const auto& rec : *req.forwarded) process(rec);
     std::vector<Record> held;
     held.swap(held_buffer_);
+    note_buffered();
     for (const auto& rec : held) process(rec);
   }
 
@@ -413,7 +554,7 @@ class LiveEngine::Worker {
   /// here after the rollback (they drain behind this message's barrier).
   void handle(AbortMigrationReq req) {
     for (const auto& [key, st] : req.batch->stored) {
-      store_.insert(key, st);
+      merge_tuple(key, st);
     }
     stored_count_.store(store_.size(), std::memory_order_relaxed);
     forwarding_keys_.clear();
@@ -425,17 +566,27 @@ class LiveEngine::Worker {
     }
     std::vector<Record> fwd;
     fwd.swap(forward_buffer_);
+    note_buffered();
     for (const auto& rec : fwd) process(rec);
   }
 
   void handle(CheckpointReq) {
     auto snap = std::make_shared<Checkpoint>();
-    snap->reserve(store_.size());
+    snap->tuples.reserve(store_.size());
     std::vector<KeyId> keys = store_.keys();
     std::sort(keys.begin(), keys.end());  // deterministic snapshot order
     for (KeyId k : keys) {
       if (const auto* bucket = store_.find(k)) {
-        for (const auto& st : *bucket) snap->emplace_back(k, st);
+        for (const auto& st : *bucket) snap->tuples.emplace_back(k, st);
+      }
+    }
+    // The offsets are captured in-thread with the store snapshot, so
+    // the pair is exactly consistent: the store reflects precisely the
+    // deliveries below these watermarks (plus migration transfers).
+    if (ingest_parts_ > 0) {
+      snap->offsets.resize(ingest_parts_);
+      for (std::uint32_t p = 0; p < ingest_parts_; ++p) {
+        snap->offsets[p] = consumed_[p].load(std::memory_order_relaxed);
       }
     }
     std::lock_guard<std::mutex> lock(ckpt_mutex_);
@@ -446,6 +597,14 @@ class LiveEngine::Worker {
     evicted_.fetch_add(store_.advance_subwindow(),
                        std::memory_order_relaxed);
     stored_count_.store(store_.size(), std::memory_order_relaxed);
+  }
+
+  /// Keep the monitor-readable count of records parked in the
+  /// forward/held buffers current (they are what a crash loses beyond
+  /// what the log can replay).
+  void note_buffered() {
+    buffered_.store(forward_buffer_.size() + held_buffer_.size(),
+                    std::memory_order_relaxed);
   }
 
   const LiveEngine& engine_;
@@ -473,14 +632,37 @@ class LiveEngine::Worker {
   std::atomic<std::uint64_t> stores_done_{0};
   std::atomic<std::uint64_t> results_{0};
   std::atomic<std::uint64_t> evicted_{0};
+
+  /// Ingest mode only (ingest_parts_ > 0): per-StreamLog-partition
+  /// consumed watermarks and the migration-buffer occupancy, both
+  /// relaxed atomics — the worker thread writes, the supervisor reads
+  /// after joining the thread (or before starting it).
+  const std::uint32_t ingest_parts_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> consumed_;
+  std::atomic<std::uint64_t> buffered_{0};
 };
 
 LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
   route_table_.store(new RouteTable{}, std::memory_order_release);
   const std::size_t n_slots = cfg_.max_producers + 1;  // +1 fallback
   producer_slots_ = std::vector<ProducerSlot>(n_slots);
+  if (cfg_.ingest.enabled && !laned()) {
+    FJ_ERROR("live") << "StreamLog ingest requires DataPlane::kLaned; "
+                        "ingest disabled for this run";
+    cfg_.ingest.enabled = false;
+  }
+  if (cfg_.ingest.enabled) {
+    // One partition per producer lane: a partition's append order then
+    // equals its lane's FIFO order (both happen inside the producer's
+    // push path), which is what lets replay reconstruct per-key order.
+    cfg_.ingest.partitions = static_cast<std::uint32_t>(n_slots);
+    log_ = std::make_unique<StreamLog>(cfg_.ingest);
+  }
+  const std::uint32_t ingest_parts =
+      log_ != nullptr ? log_->partitions() : 0;
   for (int g = 0; g < 2; ++g) {
     workers_[g].reserve(cfg_.instances);
+    retarget_backlog_[g].resize(cfg_.instances);
     if (laned()) lane_sets_[g].reserve(cfg_.instances);
     for (InstanceId i = 0; i < cfg_.instances; ++i) {
       LaneSet* ls = nullptr;
@@ -496,7 +678,7 @@ LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
       }
       workers_[g].push_back(std::make_unique<Worker>(
           *this, i, static_cast<Side>(g), cfg_.queue_capacity,
-          cfg_.window_subwindows, ls));
+          cfg_.window_subwindows, ls, ingest_parts));
     }
   }
 }
@@ -562,6 +744,18 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
     // checked every retry so backpressure on a dead worker fails fast
     // instead of spinning until respawn.
     if (!ls.open.load(std::memory_order_acquire)) {
+      if (log_ != nullptr && cfg_.ingest.replay &&
+          !finished_.load(std::memory_order_acquire)) {
+        // Ingest replay mode: the record is already durable in the
+        // log. Wait for the respawn instead of dropping — the recovery
+        // pass replays every logged delivery up to the end-offset it
+        // reads before this slot reopens, and anything this push lands
+        // afterwards is consumed live (or recognized as covered by the
+        // fresh worker's watermark). This wait is what turns bounded
+        // loss into records_dropped == 0.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
       note_drop(1);
       return false;
     }
@@ -590,7 +784,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
                                    int producer) {
   if (n == 0) return 0;
   if (!running()) {
-    note_drop(n);
+    note_drop(2 * n);  // both deliveries of every record are lost
     return 0;
   }
   records_in_.fetch_add(n, std::memory_order_relaxed);
@@ -619,6 +813,42 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
   const RouteTable* rt = route_table_.load(std::memory_order_seq_cst);
   const std::uint32_t every = cfg_.latency_sample_every;
   std::size_t delivered = 0;
+  if (log_ != nullptr) {
+    // Durable before delivered, chunked: stage each chunk's routing
+    // decisions, persist them with ONE append_batch (one partition-lock
+    // acquisition and one backend write instead of per-record), then
+    // push. All of it stays inside this critical section, so the logged
+    // destinations are exactly where the pushes below go.
+    constexpr std::size_t kStage = 128;
+    LogRecord staged[kStage];
+    const auto part = static_cast<std::uint32_t>(lane_idx);
+    for (std::size_t r0 = 0; r0 < n; r0 += kStage) {
+      const std::size_t k = std::min(kStage, n - r0);
+      for (std::size_t i = 0; i < k; ++i) {
+        const Record& rec = recs[r0 + i];
+        staged[i] = LogRecord{rec, route(*rt, rec.side, rec.key),
+                              route(*rt, other_side(rec.side), rec.key),
+                              0};
+      }
+      const std::uint64_t base = log_->append_batch(part, staged, k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const Record& rec = recs[r0 + i];
+        auto stamp = kUnsampled;
+        if (every != 0 && slot.sample_tick++ % every == 0) {
+          stamp = std::chrono::steady_clock::now();
+        }
+        const DataMsg msg{rec, stamp, part, base + i};
+        bool ok =
+            lane_push(rec.side, staged[i].store_dst, lane_idx, msg);
+        // Note: & not && — the probe delivery is attempted regardless.
+        ok &= lane_push(other_side(rec.side), staged[i].probe_dst,
+                        lane_idx, msg);
+        if (ok) ++delivered;
+      }
+    }
+    slot.cs.fetch_add(1, std::memory_order_seq_cst);
+    return delivered;
+  }
   for (std::size_t r = 0; r < n; ++r) {
     const Record& rec = recs[r];
     auto stamp = kUnsampled;
@@ -628,11 +858,10 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
     const InstanceId store_dst = route(*rt, rec.side, rec.key);
     const InstanceId probe_dst =
         route(*rt, other_side(rec.side), rec.key);
-    bool ok = lane_push(rec.side, store_dst, lane_idx,
-                        DataMsg{rec, stamp});
+    const DataMsg msg{rec, stamp, kNoIngestPartition, 0};
+    bool ok = lane_push(rec.side, store_dst, lane_idx, msg);
     // Note: & not && — the probe delivery is attempted regardless.
-    ok &= lane_push(other_side(rec.side), probe_dst, lane_idx,
-                    DataMsg{rec, stamp});
+    ok &= lane_push(other_side(rec.side), probe_dst, lane_idx, msg);
     if (ok) ++delivered;
   }
   slot.cs.fetch_add(1, std::memory_order_seq_cst);
@@ -717,6 +946,14 @@ void LiveEngine::wait_for_producers() {
       if (++tries < 64) {
         std::this_thread::yield();
       } else {
+        // Replay mode blocks a producer on a crashed worker's closed
+        // slot *inside* its critical section (the record is already
+        // durable; the producer waits for the respawn). The supervisor
+        // is this very thread — so respawn crashed workers while
+        // waiting the section out, or neither side could progress when
+        // a crash lands between a supervision pass and a routing
+        // publish.
+        if (log_ != nullptr && cfg_.ingest.replay) supervise();
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     }
@@ -985,6 +1222,7 @@ void LiveEngine::supervise() {
 
 void LiveEngine::respawn(Side group, InstanceId id) {
   const int g = static_cast<int>(group);
+  const bool replaying = log_ != nullptr && cfg_.ingest.replay;
   Worker* old = workers_[g][id].get();
   old->stop_and_join();
   // Fold the dead worker's counters into the retired aggregate so the
@@ -996,13 +1234,34 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   retired_.latency.merge(old->latency_hist());
   const auto crashed_at = old->crashed_at();
   const auto ckpt = old->latest_checkpoint();
+  // The dead worker's consumed watermarks: deliveries below them were
+  // processed before the crash, so replay must not re-emit them.
+  std::vector<std::uint64_t> marks;
+  if (replaying) marks = old->consumed_marks();
+  // Loss ledger for what the log cannot replay: records inside
+  // migration machinery (forward/held buffers, absorb/release payloads
+  // stuck in the control queue) died with the worker. Legacy-mode data
+  // envelopes discarded from the queue are ordinary dropped deliveries.
+  buffered_lost_ += old->buffered_count();
+  {
+    std::uint64_t dead_data = 0;
+    std::uint64_t dead_buffered = 0;
+    old->drain_dead_queue(dead_data, dead_buffered);
+    if (dead_data > 0) note_drop(dead_data);
+    buffered_lost_ += dead_buffered;
+  }
 
   LaneSet* ls = laned() ? lane_sets_[g][id].get() : nullptr;
   if (ls != nullptr) {
     // Drain the lane residue from the crash window (acting as the
     // lanes' temporary consumer — the dead worker's thread is joined).
     // Keeping `popped` in step with the discarded records preserves the
-    // watermark-barrier arithmetic across the respawn.
+    // watermark-barrier arithmetic across the respawn. With replay
+    // enabled the residue is not a loss: every residue record was
+    // appended to the log before it was laned, sits at an offset below
+    // the end-offset the replay pass reads, and is at-or-above the dead
+    // worker's watermark (it was never popped) — so the replay
+    // re-processes it.
     std::uint64_t residue = 0;
     for (auto& lane : ls->lanes) {
       std::uint64_t k = 0;
@@ -1012,19 +1271,22 @@ void LiveEngine::respawn(Side group, InstanceId id) {
         residue += k;
       }
     }
-    if (residue > 0) note_drop(residue);
+    if (residue > 0 && !replaying) note_drop(residue);
   }
 
+  const std::uint32_t ingest_parts =
+      log_ != nullptr ? log_->partitions() : 0;
   auto fresh = std::make_unique<Worker>(*this, id, group,
                                         cfg_.queue_capacity,
-                                        cfg_.window_subwindows, ls);
+                                        cfg_.window_subwindows, ls,
+                                        ingest_parts);
   std::uint64_t restored = 0;
   {
     // The routing lock both gives a stable routing view for the restore
     // filter and pins the slot against concurrent crash()/legacy push.
     std::lock_guard<std::mutex> lock(route_mutex_);
     if (ckpt) {
-      for (const auto& [key, st] : *ckpt) {
+      for (const auto& [key, st] : ckpt->tuples) {
         // Keys that migrated away since the snapshot belong to another
         // instance now; resurrecting them here would leave unreachable
         // stale copies.
@@ -1034,16 +1296,189 @@ void LiveEngine::respawn(Side group, InstanceId id) {
       }
       fresh->seed_checkpoint(ckpt);
     }
+  }
+  if (replaying) {
+    // Replay on top of the checkpoint state, before the worker starts
+    // and before its lanes reopen: blocked producers are still parked
+    // on the closed slot, so the log's end-offsets read inside are a
+    // stable upper bound on what the lanes will NOT deliver again.
+    std::vector<std::uint64_t> from(ingest_parts, 0);
+    if (ckpt && ckpt->offsets.size() == ingest_parts) {
+      from = ckpt->offsets;
+    }
+    if (marks.size() != ingest_parts) marks.assign(ingest_parts, 0);
+    replay_worker(group, id, *fresh, from, marks);
+  }
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
     workers_[g][id] = std::move(fresh);  // destroys the old worker
   }
   workers_[g][id]->start();
   if (ls != nullptr) ls->open.store(true, std::memory_order_release);
   if (probe_marks_[g].size() > id) probe_marks_[g][id] = 0;
+  // Deliver replay records other recoveries parked for this slot while
+  // it was down.
+  if (replaying && !retarget_backlog_[g][id].empty()) {
+    ReplayReq rr;
+    rr.deliveries.swap(retarget_backlog_[g][id]);
+    const std::size_t cnt = rr.deliveries.size();
+    if (!workers_[g][id]->send(std::move(rr))) {
+      buffered_lost_ += cnt;  // crashed again in the send window
+    }
+  }
   ++recoveries_;
   tuples_restored_ += restored;
   recovery_time_total_ += std::chrono::steady_clock::now() - crashed_at;
   FJ_INFO("live") << side_name(group) << "-" << id << " respawned, "
                   << restored << " tuples restored from checkpoint";
+}
+
+void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
+                               const std::vector<std::uint64_t>& from_offsets,
+                               const std::vector<std::uint64_t>& marks) {
+  const int g = static_cast<int>(group);
+  const std::uint32_t nparts = log_->partitions();
+  // Per-partition read state: a chunked head buffer over [from, end).
+  // `end` is read once, up front — the slot's lanes are still closed, so
+  // every record appended after this point is delivered live, not
+  // replayed, and nothing is covered twice.
+  struct Head {
+    std::vector<LogRecord> buf;
+    std::size_t idx = 0;
+    std::uint64_t next = 0;  // next offset to fetch
+    std::uint64_t end = 0;   // exclusive replay bound
+  };
+  std::vector<Head> heads(nparts);
+  for (std::uint32_t p = 0; p < nparts; ++p) {
+    heads[p].next = std::max(from_offsets[p], log_->start_offset(p));
+    heads[p].end = log_->end_offset(p);
+  }
+  constexpr std::size_t kChunk = 256;
+  auto refill = [&](std::uint32_t p) -> bool {
+    Head& h = heads[p];
+    if (h.idx < h.buf.size()) return true;
+    if (h.next >= h.end) return false;
+    h.buf.clear();
+    h.idx = 0;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk, h.end - h.next));
+    log_->read(p, h.next, want, h.buf);
+    if (h.buf.empty()) return false;
+    h.next = h.buf.back().offset + 1;
+    return true;
+  };
+  // Retargeted deliveries, grouped by current owner and flushed in
+  // batches so a long replay never builds one giant message.
+  std::vector<std::vector<ReplayDelivery>> retarget(workers_[g].size());
+  auto flush_retarget = [&](InstanceId tid) {
+    if (retarget[tid].empty()) return;
+    ReplayReq rr;
+    rr.deliveries.swap(retarget[tid]);
+    const std::size_t cnt = rr.deliveries.size();
+    Worker& tw = *workers_[g][tid];
+    if (tw.crashed()) {
+      // The target is down too; park the batch for its own respawn.
+      auto& backlog = retarget_backlog_[g][tid];
+      backlog.insert(backlog.end(),
+                     std::make_move_iterator(rr.deliveries.begin()),
+                     std::make_move_iterator(rr.deliveries.end()));
+    } else if (!tw.send(std::move(rr))) {
+      buffered_lost_ += cnt;  // crashed inside the send window
+    }
+  };
+  // The routing lock gives a stable view for the retarget decisions; the
+  // monitor thread (migration orchestrator) is the caller, so routes
+  // could not move under us anyway, but crash()/legacy pushes can race.
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  for (;;) {
+    // K-way merge: pick the globally next record in the `precedes` total
+    // order so replay preserves the store/probe interleaving the live
+    // run would have produced.
+    std::uint32_t best = nparts;
+    for (std::uint32_t p = 0; p < nparts; ++p) {
+      if (!refill(p)) continue;
+      if (best == nparts ||
+          precedes(heads[p].buf[heads[p].idx].rec,
+                   heads[best].buf[heads[best].idx].rec)) {
+        best = p;
+      }
+    }
+    if (best == nparts) break;
+    Head& h = heads[best];
+    const LogRecord& lr = h.buf[h.idx++];
+    const Record& rec = lr.rec;
+    // Deliveries below the dead worker's consumed watermark were fully
+    // processed before the crash; the fresh band (at or above it) never
+    // reached the worker and must be re-driven.
+    const bool fresh_band = lr.offset >= marks[best];
+    if (rec.side == group && lr.store_dst == id) {
+      const InstanceId cur = route_current(group, rec.key);
+      if (cur == id) {
+        // Seq-dedup inside replay_store protects against the checkpoint
+        // already holding the consumed-band copies.
+        fresh.replay_store(rec, fresh_band);
+        ++records_replayed_;
+      } else if (fresh_band) {
+        // The key migrated away after this record was published and the
+        // crash ate the delivery before it could join the migration
+        // batch — hand it to the current owner.
+        retarget[cur].push_back(ReplayDelivery{rec, true});
+        ++replay_retargeted_;
+        ++records_replayed_;
+        if (retarget[cur].size() >= 1024) flush_retarget(cur);
+      }
+      // else: consumed before the crash AND migrated since — the stored
+      // copy travelled in the migration batch; nothing to redo.
+    } else if (rec.side != group && lr.probe_dst == id) {
+      if (!fresh_band) {
+        // Already probed — its matches were emitted before the crash;
+        // re-probing would mint duplicate results.
+        ++replay_suppressed_;
+      } else {
+        const InstanceId cur = route_current(group, rec.key);
+        if (cur == id) {
+          fresh.replay_probe(rec);
+          ++records_replayed_;
+        } else {
+          retarget[cur].push_back(ReplayDelivery{rec, false});
+          ++replay_retargeted_;
+          ++records_replayed_;
+          if (retarget[cur].size() >= 1024) flush_retarget(cur);
+        }
+      }
+    }
+  }
+  for (InstanceId t = 0; t < retarget.size(); ++t) flush_retarget(t);
+  // Start the fresh worker's watermarks at the replay bound: the live
+  // copies of everything below it (lane residue, blocked producers'
+  // in-flight batches) must be skipped when they arrive.
+  for (std::uint32_t p = 0; p < nparts; ++p) {
+    fresh.set_consumed(p, heads[p].end);
+  }
+}
+
+void LiveEngine::truncate_ingest() {
+  if (log_ == nullptr || !cfg_.ingest.replay) return;
+  const std::uint32_t nparts = log_->partitions();
+  std::vector<std::uint64_t> safe(nparts,
+                                  std::numeric_limits<std::uint64_t>::max());
+  for (int g = 0; g < 2; ++g) {
+    for (auto& w : workers_[g]) {
+      const auto ckpt = w->latest_checkpoint();
+      // Until every worker has checkpointed consumed offsets, nothing is
+      // provably replay-free; keep the whole log.
+      if (!ckpt || ckpt->offsets.size() != nparts) return;
+      for (std::uint32_t p = 0; p < nparts; ++p) {
+        safe[p] = std::min(safe[p], ckpt->offsets[p]);
+      }
+    }
+  }
+  // Records below every worker's checkpointed watermark can never be
+  // needed again: any future replay starts at the crashed worker's own
+  // checkpoint offsets, which are at or above this floor.
+  for (std::uint32_t p = 0; p < nparts; ++p) {
+    log_truncated_ += log_->truncate_before(p, safe[p]);
+  }
 }
 
 void LiveEngine::monitor_loop() {
@@ -1067,6 +1502,9 @@ void LiveEngine::monitor_loop() {
     }
     if (cfg_.checkpoint_period.count() > 0 && now >= next_checkpoint) {
       next_checkpoint += cfg_.checkpoint_period;
+      // Retention first, against the previous round's checkpoints — one
+      // round conservative, but needs no ack tracking.
+      truncate_ingest();
       broadcast_checkpoint();
     }
   }
@@ -1081,6 +1519,11 @@ LiveStats LiveEngine::finish() {
   }
   stopping_.store(true);
   if (monitor_thread_.joinable()) monitor_thread_.join();
+
+  // With replay enabled, recover any worker that died after the
+  // monitor's last supervision pass so its log partition range gets
+  // replayed and its lane residue is not silently discarded.
+  if (log_ != nullptr && cfg_.ingest.replay) supervise();
 
   // Poison every data lane: producers fail from here on, workers drain
   // what is left and then see closed-and-empty.
@@ -1116,6 +1559,16 @@ LiveStats LiveEngine::finish() {
   stats.recoveries = recoveries_;
   stats.tuples_restored = tuples_restored_;
   stats.checkpoints = checkpoints_;
+  if (log_ != nullptr) {
+    const StreamLogStats log_stats = log_->stats();
+    stats.ingest_appended = log_stats.appended_records;
+    stats.ingest_backpressure = log_stats.backpressure_hits;
+  }
+  stats.log_truncated = log_truncated_;
+  stats.records_replayed = records_replayed_;
+  stats.replay_suppressed = replay_suppressed_;
+  stats.replay_retargeted = replay_retargeted_;
+  stats.buffered_lost = buffered_lost_;
   stats.mean_recovery_ms =
       recoveries_ > 0
           ? std::chrono::duration<double, std::milli>(recovery_time_total_)

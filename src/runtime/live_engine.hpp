@@ -65,6 +65,16 @@
 //    workers, restoring their store from the latest checkpoint and
 //    draining (dropping, counting) lane residue left from the crash
 //    window before the fresh worker starts.
+//  * With LiveConfig::ingest enabled, every published record is first
+//    appended — together with its publish-time routing decision — to a
+//    StreamLog partition (one per producer lane). Worker checkpoints
+//    then carry per-partition consumed offsets, and a respawn *replays*
+//    the crashed worker's deliveries from those offsets instead of
+//    dropping the crash window: deliveries the dead worker had already
+//    processed are suppressed (per-partition consumed watermarks), the
+//    rest are re-processed or redirected to the instance that now owns
+//    the key. Chaos runs report records_dropped == 0 in this mode; see
+//    docs/migration_protocol.md, "Offset replay".
 //  * Migrations are supervised: every wait on a worker reply uses
 //    bounded exponential backoff up to migration_timeout; an
 //    unresponsive worker is declared dead (force-crashed) and the
@@ -91,8 +101,13 @@
 #include "core/planner.hpp"
 #include "engine/join_store.hpp"
 #include "engine/tuple.hpp"
+#include "ingest/stream_log.hpp"
 
 namespace fastjoin {
+
+/// DataMsg::partition value when the record was not logged (ingest
+/// disabled, or the legacy data plane).
+inline constexpr std::uint32_t kNoIngestPartition = 0xffffffffu;
 
 /// Points in the live migration protocol where the chaos hook fires
 /// (monitor thread). Tests crash workers here to exercise every abort
@@ -166,11 +181,26 @@ struct LiveConfig {
   std::function<void(Side group, InstanceId src, InstanceId dst,
                      MigrationPhase phase)>
       chaos;
+  /// StreamLog ingest (requires DataPlane::kLaned). When enabled, the
+  /// engine owns a StreamLog with one partition per producer lane
+  /// (max_producers + 1; the `partitions` field is overridden), every
+  /// push is appended before it is laned, and — with `ingest.replay` —
+  /// crashed workers are replayed from their last checkpointed offsets
+  /// instead of dropping the crash window.
+  IngestConfig ingest;
 };
 
 struct LiveStats {
   std::uint64_t records_in = 0;
-  std::uint64_t records_dropped = 0;  ///< deliveries lost to dead workers
+  /// Deliveries (a record makes two: store + probe) that were lost
+  /// before reaching a live worker: pushes while the engine was not
+  /// running, pushes to a crashed worker's closed lanes, legacy-mode
+  /// sends into a closed queue, and lane residue discarded at respawn.
+  /// With ingest replay enabled, every one of those paths is covered by
+  /// the log and this reads 0; the remaining (bounded, documented) loss
+  /// is records that died *inside* migration machinery — see
+  /// `buffered_lost`.
+  std::uint64_t records_dropped = 0;
   std::uint64_t evicted = 0;     ///< window-expired tuples
   std::uint64_t results = 0;
   std::uint64_t probes = 0;
@@ -189,6 +219,24 @@ struct LiveStats {
   double p99_latency_us = 0.0;
   std::uint64_t latency_samples = 0;  ///< probes with a sampled timestamp
   double final_li = 1.0;         ///< last LI the monitor observed
+  // --- StreamLog ingest (all 0 when LiveConfig::ingest is off) ------
+  std::uint64_t ingest_appended = 0;    ///< records made durable in the log
+  std::uint64_t ingest_backpressure = 0;///< appends refused by the
+                                        ///< unflushed-bytes bound
+  std::uint64_t log_truncated = 0;      ///< records retired by retention
+  std::uint64_t records_replayed = 0;   ///< log deliveries re-processed
+                                        ///< (or redirected) at respawn
+  std::uint64_t replay_suppressed = 0;  ///< probe deliveries skipped at
+                                        ///< replay because the crashed
+                                        ///< worker had emitted them
+  std::uint64_t replay_retargeted = 0;  ///< replay deliveries redirected
+                                        ///< to the key's current owner
+  /// Records that died inside migration machinery at a crash: the dead
+  /// worker's forward/held buffers, and batch/release payloads stuck in
+  /// its control queue. Bounded by the migration window; never
+  /// duplicated; NOT covered by offset replay (the log replays lane
+  /// deliveries, not cross-worker transfers).
+  std::uint64_t buffered_lost = 0;
 };
 
 class LiveEngine {
@@ -255,6 +303,9 @@ class LiveEngine {
   }
 
   std::uint32_t instances() const { return cfg_.instances; }
+  /// The ingest log (null when LiveConfig::ingest is disabled). Owned
+  /// by the engine; safe to read concurrently (offsets, stats).
+  const StreamLog* ingest_log() const { return log_.get(); }
   bool running() const {
     return started_.load(std::memory_order_acquire) &&
            !finished_.load(std::memory_order_acquire);
@@ -296,16 +347,32 @@ class LiveEngine {
   /// Snapshot the store for crash recovery (lane-prefix consistent).
   struct CheckpointReq {};
   struct AdvanceWindowReq {};
+  /// One logged delivery redirected during crash replay to the
+  /// instance that now owns the key (the crashed worker's replay pass
+  /// found the key migrated away). Only "fresh" deliveries — ones the
+  /// crashed worker verifiably never processed — are ever retargeted.
+  struct ReplayDelivery {
+    Record rec;
+    bool store_side = false;
+  };
+  struct ReplayReq {
+    std::vector<ReplayDelivery> deliveries;
+  };
   /// A data record with its push() timestamp when it was sampled for
-  /// latency measurement (pushed_at == epoch means unsampled).
+  /// latency measurement (pushed_at == epoch means unsampled). In
+  /// ingest mode it also carries the record's StreamLog coordinates so
+  /// the worker can advance its consumed watermark (and skip deliveries
+  /// a replay already covered).
   struct DataMsg {
     Record rec;
     std::chrono::steady_clock::time_point pushed_at{};
+    std::uint32_t partition = kNoIngestPartition;
+    std::uint64_t offset = 0;
   };
   using Msg = std::variant<DataMsg, SelectExtractReq, TakeForwardReq,
                            HoldReq, AbsorbReq, ReleaseReq,
                            AbortMigrationReq, CheckpointReq,
-                           AdvanceWindowReq>;
+                           AdvanceWindowReq, ReplayReq>;
   /// Control (and, in legacy mode, data) envelope. A non-empty barrier
   /// holds one watermark per lane: the worker drains each lane until it
   /// has consumed at least that many records before handling the
@@ -348,6 +415,17 @@ class LiveEngine {
   void monitor_loop();
   void supervise();
   void respawn(Side group, InstanceId id);
+  /// Offset replay at respawn (ingest mode): scan the log from the
+  /// checkpointed offsets, re-process the crashed worker's deliveries
+  /// into `fresh` (not yet started), suppressing what the dead worker
+  /// had already processed (`marks` = its consumed watermarks) and
+  /// redirecting deliveries whose key has since migrated away.
+  void replay_worker(Side group, InstanceId id, Worker& fresh,
+                     const std::vector<std::uint64_t>& from_offsets,
+                     const std::vector<std::uint64_t>& marks);
+  /// Retention: drop log segments below the minimum checkpointed offset
+  /// across all workers (nothing below it can ever be replayed).
+  void truncate_ingest();
   void broadcast_checkpoint();
   bool try_migrate(Side group);
   /// Wait for a worker reply with bounded exponential backoff; returns
@@ -415,6 +493,17 @@ class LiveEngine {
   std::size_t recoveries_ = 0;          // monitor thread only
   std::uint64_t tuples_restored_ = 0;   // monitor thread only
   std::size_t checkpoints_ = 0;         // monitor thread only
+  /// StreamLog ingest. log_ is created in the constructor and never
+  /// reassigned, so lock-free producer reads of the pointer are safe.
+  /// The remaining fields are monitor-thread-only (finish() reads them
+  /// after joining the monitor).
+  std::unique_ptr<StreamLog> log_;
+  std::vector<std::vector<ReplayDelivery>> retarget_backlog_[2];
+  std::uint64_t records_replayed_ = 0;
+  std::uint64_t replay_suppressed_ = 0;
+  std::uint64_t replay_retargeted_ = 0;
+  std::uint64_t buffered_lost_ = 0;
+  std::uint64_t log_truncated_ = 0;
   std::chrono::nanoseconds recovery_time_total_{0};  // monitor only
   /// Counters of workers that crashed and were replaced, folded into
   /// the final stats (monitor thread writes, finish() reads after join).

@@ -120,6 +120,89 @@ TEST(JoinStore, SubwindowTagging) {
   EXPECT_EQ((*bucket)[1].subwindow, 1u);
 }
 
+// --- extract_key vs sub-window eviction: the prefix-pop invariant. ----
+// extract_key removes whole keys but leaves their subwindow_log_
+// entries stale; eviction must pop a bucket's front only when that
+// front is actually tagged with the evicted sub-window.
+
+TEST(JoinStore, ReinsertAfterExtractIsNotEvictedByStaleLogEntries) {
+  JoinStore store(3);
+  store.insert(1, tuple(0));  // sub-window 0
+  store.advance_subwindow();
+  // Key 1 migrates away (its sw-0 log entry goes stale), then migrates
+  // back: the re-inserted tuple belongs to sub-window 1.
+  auto out = store.extract_key(1);
+  ASSERT_EQ(out.size(), 1u);
+  store.insert(1, out[0]);  // re-merge, tagged sw 1
+  // Advance until sw 0 expires. The stale log entry names key 1, but
+  // the bucket front is tagged sw 1 — it must survive.
+  store.advance_subwindow();
+  EXPECT_EQ(store.advance_subwindow(), 0u);  // evicts sw 0: nothing
+  EXPECT_EQ(store.count_for(1), 1u);
+  // The re-inserted tuple expires with ITS sub-window, not its
+  // original one.
+  EXPECT_EQ(store.advance_subwindow(), 1u);  // evicts sw 1
+  EXPECT_EQ(store.count_for(1), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(JoinStore, StaleLogEntryPopsAtMostOnePrefixTuple) {
+  JoinStore store(4);
+  // Two sw-0 tuples of key 9, both extracted, then two fresh sw-1
+  // tuples re-inserted (a migrate-away-and-back round trip).
+  store.insert(9, tuple(0));
+  store.insert(9, tuple(1));
+  store.advance_subwindow();
+  store.extract_key(9);
+  store.insert(9, tuple(2));
+  store.insert(9, tuple(3));
+  // sw 0 expiry walks two stale log entries for key 9; neither may pop
+  // the sw-1 tuples.
+  store.advance_subwindow();
+  store.advance_subwindow();
+  EXPECT_EQ(store.advance_subwindow(), 0u);  // evict sw 0
+  EXPECT_EQ(store.count_for(9), 2u);
+  EXPECT_EQ(store.advance_subwindow(), 2u);  // evict sw 1
+  EXPECT_EQ(store.count_for(9), 0u);
+}
+
+TEST(JoinStore, ExtractBetweenInsertAndEvictionKeepsSizeConsistent) {
+  JoinStore store(2);
+  // Interleave inserts, extraction and eviction across sub-windows and
+  // check size() stays exactly right at every step.
+  store.insert(1, tuple(0));
+  store.insert(2, tuple(1));
+  store.advance_subwindow();  // sw -> 1
+  store.insert(1, tuple(2));
+  store.insert(3, tuple(3));
+  EXPECT_EQ(store.size(), 4u);
+  const auto got = store.extract_key(1);  // one sw-0 + one sw-1 tuple
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(store.size(), 2u);
+  // Evicting sw 0 must remove only key 2's tuple (key 1 is gone).
+  EXPECT_EQ(store.advance_subwindow(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.count_for(3), 1u);
+  // And sw 1's eviction removes key 3's tuple; key 1's extracted sw-1
+  // tuple must not be double-counted.
+  EXPECT_EQ(store.advance_subwindow(), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(JoinStore, ExtractedTuplesKeepTheirSubwindowTags) {
+  JoinStore store(3);
+  store.insert(4, tuple(0));
+  store.advance_subwindow();
+  store.insert(4, tuple(1));
+  const auto out = store.extract_key(4);
+  ASSERT_EQ(out.size(), 2u);
+  // Migration re-merges these at the target; the tags travel with them
+  // (the target's insert() re-tags with ITS current sub-window, which
+  // is the documented behavior — the batch is "fresh" at the target).
+  EXPECT_EQ(out[0].subwindow, 0u);
+  EXPECT_EQ(out[1].subwindow, 1u);
+}
+
 TEST(JoinStore, LargeChurnStaysConsistent) {
   JoinStore store(5);
   std::uint64_t inserted = 0, evicted = 0;

@@ -1,0 +1,113 @@
+// ConsumerCursor: poll/commit/seek semantics over a StreamLog,
+// including the position snap when retention truncates under a slow
+// consumer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ingest/cursor.hpp"
+
+namespace fastjoin {
+namespace {
+
+Record rec_of(std::uint64_t i) {
+  Record r;
+  r.key = i;
+  r.seq = i;
+  r.ts = static_cast<SimTime>(i);
+  r.side = Side::kR;
+  return r;
+}
+
+TEST(ConsumerCursor, PollAdvancesAndStopsAtEnd) {
+  IngestConfig cfg;
+  StreamLog log(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(0, rec_of(i));
+  ConsumerCursor cur(log, "c0");
+  EXPECT_EQ(cur.name(), "c0");
+  EXPECT_EQ(cur.lag(0), 10u);
+
+  std::vector<LogRecord> out;
+  EXPECT_EQ(cur.poll(0, 4, out), 4u);
+  EXPECT_EQ(cur.position(0), 4u);
+  EXPECT_EQ(out.back().offset, 3u);
+  EXPECT_EQ(cur.poll(0, 100, out), 6u);
+  EXPECT_EQ(cur.position(0), 10u);
+  EXPECT_EQ(cur.lag(0), 0u);
+  EXPECT_EQ(cur.poll(0, 4, out), 0u);  // caught up
+  // New appends become visible to the same cursor.
+  log.append(0, rec_of(10));
+  EXPECT_EQ(cur.lag(0), 1u);
+  EXPECT_EQ(cur.poll(0, 4, out), 1u);
+  EXPECT_EQ(out.back().offset, 10u);
+}
+
+TEST(ConsumerCursor, CommitIsClampedToPosition) {
+  IngestConfig cfg;
+  StreamLog log(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(0, rec_of(i));
+  ConsumerCursor cur(log, "c");
+  std::vector<LogRecord> out;
+  cur.poll(0, 6, out);
+  EXPECT_EQ(cur.committed(0), 0u);
+  cur.commit(0, 4);
+  EXPECT_EQ(cur.committed(0), 4u);
+  // Commit beyond position clamps to position; commit backwards is a
+  // no-op (the mark is monotone).
+  cur.commit(0, 100);
+  EXPECT_EQ(cur.committed(0), 6u);
+  cur.commit(0, 2);
+  EXPECT_EQ(cur.committed(0), 6u);
+  cur.poll(0, 100, out);
+  cur.commit(0);
+  EXPECT_EQ(cur.committed(0), 10u);
+}
+
+TEST(ConsumerCursor, SeekBackRereadsUncommittedWindow) {
+  IngestConfig cfg;
+  StreamLog log(cfg);
+  for (std::uint64_t i = 0; i < 8; ++i) log.append(0, rec_of(i));
+  ConsumerCursor cur(log, "c");
+  std::vector<LogRecord> out;
+  cur.poll(0, 5, out);
+  cur.commit(0, 3);
+  // Crash-restart pattern: rewind to the committed mark and re-read the
+  // [committed, position) window.
+  cur.seek(0, cur.committed(0));
+  out.clear();
+  EXPECT_EQ(cur.poll(0, 100, out), 5u);
+  EXPECT_EQ(out.front().offset, 3u);
+  EXPECT_EQ(out.back().offset, 7u);
+}
+
+TEST(ConsumerCursor, PollSnapsAboveTruncation) {
+  IngestConfig cfg;
+  cfg.segment_bytes = 4 * kLogRecordBytes;
+  StreamLog log(cfg);
+  for (std::uint64_t i = 0; i < 20; ++i) log.append(0, rec_of(i));
+  ConsumerCursor cur(log, "slow");
+  log.truncate_before(0, 8);  // drops [0,8) while the cursor is at 0
+  std::vector<LogRecord> out;
+  EXPECT_EQ(cur.poll(0, 3, out), 3u);
+  EXPECT_EQ(out.front().offset, 8u);  // snapped past the gone records
+  EXPECT_EQ(cur.position(0), 11u);
+}
+
+TEST(ConsumerCursor, CommitAllCoversEveryPartition) {
+  IngestConfig cfg;
+  cfg.partitions = 3;
+  StreamLog log(cfg);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    for (std::uint64_t i = 0; i <= p; ++i) log.append(p, rec_of(i));
+  }
+  ConsumerCursor cur(log, "c");
+  std::vector<LogRecord> out;
+  for (std::uint32_t p = 0; p < 3; ++p) cur.poll(p, 100, out);
+  cur.commit_all();
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(cur.committed(p), p + 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin

@@ -1,0 +1,125 @@
+// SegmentFile: the fixed-capacity extent under every StreamLog
+// partition. Covered: append/read round trips, the capacity refusal
+// that triggers a roll, flush bookkeeping, and the file backend's
+// create/flush/reopen durability contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ingest/segment.hpp"
+
+namespace fastjoin {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("fastjoin_segment_" + name + "_" +
+           std::to_string(::getpid()) + ".seg"))
+      .string();
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(SegmentFile, MemoryAppendReadRoundtrip) {
+  SegmentFile seg(SegmentBackend::kMemory, "mem", 64);
+  const auto a = bytes_of("hello ");
+  const auto b = bytes_of("world");
+  EXPECT_TRUE(seg.append(a.data(), a.size()));
+  EXPECT_TRUE(seg.append(b.data(), b.size()));
+  EXPECT_EQ(seg.size(), 11u);
+
+  char buf[16] = {};
+  EXPECT_EQ(seg.read(0, buf, 11), 11u);
+  EXPECT_EQ(std::string(buf, 11), "hello world");
+  // Offset read, bounded by size.
+  EXPECT_EQ(seg.read(6, buf, 16), 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+  // Read past the end yields nothing.
+  EXPECT_EQ(seg.read(11, buf, 4), 0u);
+}
+
+TEST(SegmentFile, AppendRefusesBeyondCapacity) {
+  SegmentFile seg(SegmentBackend::kMemory, "mem", 8);
+  const auto five = bytes_of("12345");
+  EXPECT_TRUE(seg.has_room(5));
+  EXPECT_TRUE(seg.append(five.data(), 5));
+  // 5 + 5 > 8: refused, and nothing is written.
+  EXPECT_FALSE(seg.has_room(5));
+  EXPECT_FALSE(seg.append(five.data(), 5));
+  EXPECT_EQ(seg.size(), 5u);
+  // An exact fit still goes in.
+  EXPECT_TRUE(seg.append(five.data(), 3));
+  EXPECT_EQ(seg.size(), 8u);
+}
+
+TEST(SegmentFile, UnflushedBytesTrackAppendsAndFlush) {
+  SegmentFile seg(SegmentBackend::kMemory, "mem", 64);
+  const auto a = bytes_of("abcd");
+  EXPECT_EQ(seg.unflushed_bytes(), 0u);
+  seg.append(a.data(), a.size());
+  EXPECT_EQ(seg.unflushed_bytes(), 4u);
+  seg.append(a.data(), a.size());
+  EXPECT_EQ(seg.unflushed_bytes(), 8u);
+  seg.flush();
+  EXPECT_EQ(seg.unflushed_bytes(), 0u);
+  seg.append(a.data(), a.size());
+  EXPECT_EQ(seg.unflushed_bytes(), 4u);
+  EXPECT_EQ(seg.size(), 12u);
+}
+
+TEST(SegmentFile, FileBackendRoundtripAndReadBeforeFlush) {
+  const std::string path = temp_path("rw");
+  {
+    SegmentFile seg(SegmentBackend::kFile, path, 64);
+    ASSERT_EQ(seg.backend(), SegmentBackend::kFile);
+    const auto a = bytes_of("durable!");
+    seg.append(a.data(), a.size());
+    // read() must see appended-but-unflushed bytes (it flushes first).
+    char buf[16] = {};
+    EXPECT_EQ(seg.read(0, buf, 8), 8u);
+    EXPECT_EQ(std::string(buf, 8), "durable!");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SegmentFile, FileBackendReopenRestoresContents) {
+  const std::string path = temp_path("reopen");
+  {
+    SegmentFile seg(SegmentBackend::kFile, path, 64);
+    const auto a = bytes_of("0123456789");
+    seg.append(a.data(), a.size());
+    seg.flush();
+  }  // destructor closes the file
+  auto seg = SegmentFile::reopen(path, 64);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->size(), 10u);
+  EXPECT_EQ(seg->unflushed_bytes(), 0u);
+  char buf[16] = {};
+  EXPECT_EQ(seg->read(2, buf, 8), 8u);
+  EXPECT_EQ(std::string(buf, 8), "23456789");
+  // A reopened segment keeps accepting appends up to capacity.
+  const auto b = bytes_of("ab");
+  EXPECT_TRUE(seg->append(b.data(), 2));
+  EXPECT_EQ(seg->size(), 12u);
+  std::filesystem::remove(path);
+}
+
+TEST(SegmentFile, ReopenMissingFileFails) {
+  EXPECT_EQ(SegmentFile::reopen(temp_path("missing_nonexistent"), 64),
+            nullptr);
+}
+
+TEST(SegmentFile, BackendNames) {
+  EXPECT_STREQ(segment_backend_name(SegmentBackend::kMemory), "memory");
+  EXPECT_STREQ(segment_backend_name(SegmentBackend::kFile), "file");
+}
+
+}  // namespace
+}  // namespace fastjoin
