@@ -4,6 +4,7 @@
 // Defaults: 48 instances, Theta = 2.2, 30 GB (paper Section VI-B).
 //
 // Usage: fig03_04_overall [scale=1.0] [instances=48] [theta=2.2] [gb=30]
+#include <fstream>
 #include <iostream>
 
 #include "common/config.hpp"
@@ -61,6 +62,11 @@ int run(int argc, char** argv) {
             << "% (paper: +31.7%), latency "
             << improvement_pct(fj.mean_latency_ms, bs.mean_latency_ms)
             << "% (paper: -17.5%)\n";
+
+  std::ofstream trace("trace_sim_migrations.json");
+  write_migration_trace(trace, fj.migration_log);
+  std::cout << "wrote trace_sim_migrations.json (" << fj.migration_log.size()
+            << " migrations; load at https://ui.perfetto.dev)\n";
   return 0;
 }
 

@@ -81,6 +81,9 @@ const char* mode_name(LogMode m) {
 struct RunResult {
   double rps = 0.0;
   double wall_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
   std::uint64_t results = 0;
   std::uint64_t dropped = 0;
   std::uint64_t buffered_lost = 0;
@@ -159,6 +162,9 @@ RunResult run_once(LogMode mode, std::uint32_t instances,
   RunResult r;
   r.wall_s = wall;
   r.rps = static_cast<double>(total) / wall;
+  r.p50_us = stats.p50_latency_us;
+  r.p99_us = stats.p99_latency_us;
+  r.p999_us = stats.p999_latency_us;
   r.results = stats.results;
   r.dropped = stats.records_dropped;
   r.buffered_lost = stats.buffered_lost;
@@ -322,7 +328,12 @@ int run(int argc, char** argv) {
        << ", \"exact\": " << (replay_exact ? "true" : "false")
        << ",\n    \"throughput_ratio_vs_clean\": " << crash_ratio
        << ", \"mean_recovery_ms\": " << crashed.mean_recovery_ms
-       << "\n  }\n}\n";
+       << ",\n    \"clean_latency_us\": {\"p50\": " << clean.p50_us
+       << ", \"p99\": " << clean.p99_us << ", \"p999\": "
+       << clean.p999_us << "}"
+       << ",\n    \"crashed_latency_us\": {\"p50\": " << crashed.p50_us
+       << ", \"p99\": " << crashed.p99_us << ", \"p999\": "
+       << crashed.p999_us << "}\n  }\n}\n";
   std::cout << "wrote BENCH_ingest_recovery.json\n";
 
   const bool ratio_ok = accept_ratio >= 0.8 || scale < 1.0;

@@ -69,7 +69,9 @@ std::vector<std::vector<Record>> make_traces(int n_producers,
 struct RunResult {
   double rps = 0.0;
   double wall_s = 0.0;
+  double p50_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
   std::uint64_t results = 0;
   std::size_t migrations = 0;
 };
@@ -117,7 +119,9 @@ RunResult run_once(DataPlane plane, std::uint32_t instances,
   RunResult r;
   r.wall_s = wall;
   r.rps = static_cast<double>(total) / wall;
+  r.p50_us = stats.p50_latency_us;
   r.p99_us = stats.p99_latency_us;
+  r.p999_us = stats.p999_latency_us;
   r.results = stats.results;
   r.migrations = stats.migrations;
   return r;
@@ -126,8 +130,10 @@ RunResult run_once(DataPlane plane, std::uint32_t instances,
 std::string json_run(const RunResult& r) {
   std::ostringstream os;
   os << "{\"records_per_sec\": " << static_cast<std::uint64_t>(r.rps)
-     << ", \"wall_s\": " << r.wall_s << ", \"p99_latency_us\": "
-     << r.p99_us << ", \"results\": " << r.results
+     << ", \"wall_s\": " << r.wall_s << ", \"p50_latency_us\": "
+     << r.p50_us << ", \"p99_latency_us\": " << r.p99_us
+     << ", \"p999_latency_us\": " << r.p999_us
+     << ", \"results\": " << r.results
      << ", \"migrations\": " << r.migrations << "}";
   return os.str();
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Telemetry overhead acceptance: build the runtime twice — once with
+# -DFASTJOIN_NO_TELEMETRY=ON (build-notel/), once normally (build/) —
+# run bench/telemetry_overhead from both back-to-back, and leave
+# BENCH_telemetry_overhead.json (ratio target >= 0.97) plus the sample
+# trace/flight artifacts in the repo root.
+#
+#   scripts/bench_telemetry_overhead.sh [extra bench args, e.g. scale=0.3]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== building FASTJOIN_NO_TELEMETRY baseline (build-notel/) =="
+cmake -B build-notel -S . -DFASTJOIN_NO_TELEMETRY=ON >/dev/null
+cmake --build build-notel -j "$jobs" --target telemetry_overhead
+
+echo "== building instrumented (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target telemetry_overhead
+
+echo "== baseline leg =="
+./build-notel/bench/telemetry_overhead "$@"
+
+echo "== instrumented leg =="
+./build/bench/telemetry_overhead "$@"
+
+echo "bench_telemetry_overhead.sh: done (see BENCH_telemetry_overhead.json)"

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus sanitizer passes over the concurrent runtime.
 #
-#   scripts/check.sh            # full: tier-1, then TSan, then ASan
+#   scripts/check.sh            # full: tier-1, TSan, ASan, no-telemetry
 #   scripts/check.sh --tier1    # tier-1 only
-#   scripts/check.sh --tsan     # TSan runtime+ingest tests only
-#   scripts/check.sh --asan     # ASan runtime+ingest tests only
+#   scripts/check.sh --tsan     # TSan runtime+ingest+telemetry tests only
+#   scripts/check.sh --asan     # ASan runtime+ingest+telemetry tests only
+#   scripts/check.sh --notel    # FASTJOIN_NO_TELEMETRY build + ctest only
 #
 # The sanitizer passes rebuild into build-tsan/ / build-asan/ (separate
 # caches) and run the test_runtime and test_ingest binaries, which cover
@@ -16,12 +17,14 @@ cd "$(dirname "$0")/.."
 run_tier1=1
 run_tsan=1
 run_asan=1
+run_notel=1
 case "${1:-}" in
-  --tier1) run_tsan=0; run_asan=0 ;;
-  --tsan) run_tier1=0; run_asan=0 ;;
-  --asan) run_tier1=0; run_tsan=0 ;;
+  --tier1) run_tsan=0; run_asan=0; run_notel=0 ;;
+  --tsan) run_tier1=0; run_asan=0; run_notel=0 ;;
+  --asan) run_tier1=0; run_tsan=0; run_notel=0 ;;
+  --notel) run_tier1=0; run_tsan=0; run_asan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tsan|--asan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--tsan|--asan|--notel]" >&2; exit 2 ;;
 esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -34,19 +37,30 @@ if [[ $run_tier1 -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== TSan: runtime + ingest tests under -fsanitize=thread =="
+  echo "== TSan: runtime + ingest + telemetry tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DFASTJOIN_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_runtime --target test_ingest
+  cmake --build build-tsan -j "$jobs" --target test_runtime \
+    --target test_ingest --target test_telemetry
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_telemetry
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_ingest
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
 fi
 
 if [[ $run_asan -eq 1 ]]; then
-  echo "== ASan: runtime + ingest tests under -fsanitize=address =="
+  echo "== ASan: runtime + ingest + telemetry tests under -fsanitize=address =="
   cmake -B build-asan -S . -DFASTJOIN_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$jobs" --target test_runtime --target test_ingest
+  cmake --build build-asan -j "$jobs" --target test_runtime \
+    --target test_ingest --target test_telemetry
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_telemetry
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_ingest
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_runtime
+fi
+
+if [[ $run_notel -eq 1 ]]; then
+  echo "== no-telemetry: FASTJOIN_NO_TELEMETRY=ON build + full test suite =="
+  cmake -B build-notel -S . -DFASTJOIN_NO_TELEMETRY=ON >/dev/null
+  cmake --build build-notel -j "$jobs"
+  (cd build-notel && ctest --output-on-failure -j "$jobs")
 fi
 
 echo "check.sh: all requested passes green"

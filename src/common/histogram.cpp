@@ -6,35 +6,47 @@
 
 namespace fastjoin {
 
-LogHistogram::LogHistogram(double min_value, double max_value,
-                           int sub_buckets)
-    : min_value_(min_value),
-      max_value_(max_value),
-      sub_buckets_(sub_buckets),
-      log2_min_(std::log2(min_value)) {
+std::size_t HistogramParams::bucket_count() const {
   assert(min_value > 0 && max_value > min_value && sub_buckets >= 1);
   const double octaves = std::log2(max_value / min_value);
   const auto n =
-      static_cast<std::size_t>(std::ceil(octaves)) * sub_buckets_ + 1;
-  buckets_.assign(n + 1, 0);
+      static_cast<std::size_t>(std::ceil(octaves)) * sub_buckets + 1;
+  return n + 1;
 }
 
-std::size_t LogHistogram::bucket_index(double value) const {
-  const double v = std::clamp(value, min_value_, max_value_);
-  const double pos = (std::log2(v) - log2_min_) * sub_buckets_;
+std::size_t HistogramParams::index(double value) const {
+  const double v = std::clamp(value, min_value, max_value);
+  const double pos = (std::log2(v) - std::log2(min_value)) * sub_buckets;
   const auto idx = static_cast<std::size_t>(pos);
-  return std::min(idx, buckets_.size() - 1);
+  return std::min(idx, bucket_count() - 1);
 }
 
-double LogHistogram::bucket_midpoint(std::size_t idx) const {
+double HistogramParams::midpoint(std::size_t idx) const {
+  const double log2_min = std::log2(min_value);
   const double lo =
-      std::exp2(log2_min_ + static_cast<double>(idx) / sub_buckets_);
+      std::exp2(log2_min + static_cast<double>(idx) / sub_buckets);
   const double hi =
-      std::exp2(log2_min_ + static_cast<double>(idx + 1) / sub_buckets_);
+      std::exp2(log2_min + static_cast<double>(idx + 1) / sub_buckets);
   return (lo + hi) / 2.0;
 }
 
-void LogHistogram::add(double value, std::uint64_t count) {
+HistogramSnapshot::HistogramSnapshot(const HistogramParams& params)
+    : params_(params), buckets_(params.bucket_count(), 0) {}
+
+HistogramSnapshot::HistogramSnapshot(const HistogramParams& params,
+                                     std::vector<std::uint64_t> buckets,
+                                     std::uint64_t total, double sum,
+                                     double min_seen, double max_seen)
+    : params_(params),
+      buckets_(std::move(buckets)),
+      total_(total),
+      sum_(sum),
+      min_seen_(min_seen),
+      max_seen_(max_seen) {
+  assert(buckets_.size() == params_.bucket_count());
+}
+
+void HistogramSnapshot::add(double value, std::uint64_t count) {
   if (count == 0) return;
   if (total_ == 0) {
     min_seen_ = value;
@@ -43,12 +55,12 @@ void LogHistogram::add(double value, std::uint64_t count) {
     min_seen_ = std::min(min_seen_, value);
     max_seen_ = std::max(max_seen_, value);
   }
-  buckets_[bucket_index(value)] += count;
+  buckets_[params_.index(value)] += count;
   total_ += count;
   sum_ += value * static_cast<double>(count);
 }
 
-double LogHistogram::value_at_percentile(double p) const {
+double HistogramSnapshot::value_at_percentile(double p) const {
   if (total_ == 0) return 0.0;
   const double target =
       std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
@@ -57,13 +69,13 @@ double LogHistogram::value_at_percentile(double p) const {
     cum += buckets_[i];
     if (static_cast<double>(cum) >= target) {
       // Clamp to the actually-observed range for tighter tails.
-      return std::clamp(bucket_midpoint(i), min_seen_, max_seen_);
+      return std::clamp(params_.midpoint(i), min_seen_, max_seen_);
     }
   }
   return max_seen_;
 }
 
-void LogHistogram::reset() {
+void HistogramSnapshot::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_ = 0;
   sum_ = 0.0;
@@ -71,8 +83,8 @@ void LogHistogram::reset() {
   max_seen_ = 0.0;
 }
 
-void LogHistogram::merge(const LogHistogram& other) {
-  assert(buckets_.size() == other.buckets_.size());
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  assert(params_ == other.params_);
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }

@@ -4,6 +4,14 @@
 // value is off by at most `precision` relative error, while memory stays
 // a few KB regardless of sample count.  Used by the metrics pipeline to
 // report latency percentiles for Figs. 4, 6, 8, 10, 13, 14.
+//
+// The bucket layout, merge, and percentile math live in
+// HistogramParams / HistogramSnapshot so that every histogram in the
+// codebase — this single-threaded LogHistogram and the telemetry
+// subsystem's lock-free ConcurrentHistogram — shares exactly one
+// implementation of the quantile arithmetic. A snapshot is plain data:
+// copyable, mergeable, serializable, and detached from whatever
+// concurrent structure produced it.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +19,32 @@
 
 namespace fastjoin {
 
-class LogHistogram {
+/// Bucket geometry of a log2 histogram: `sub_buckets` linear
+/// sub-buckets per power of two between `min_value` and `max_value`
+/// (values outside the range are clamped).
+struct HistogramParams {
+  double min_value = 1.0;
+  double max_value = 1e12;
+  int sub_buckets = 32;
+
+  /// Number of buckets this geometry needs (including the clamp
+  /// bucket at the top).
+  std::size_t bucket_count() const;
+  /// Bucket holding `value` (clamped to the trackable range).
+  std::size_t index(double value) const;
+  /// Representative value of bucket `idx` (geometric midpoint).
+  double midpoint(std::size_t idx) const;
+
+  bool operator==(const HistogramParams&) const = default;
+};
+
+/// Immutable-ish value type holding one histogram's state: the counts
+/// plus the moments. This is the snapshot type the telemetry registry
+/// exports, and the single home of merge/percentile math.
+class HistogramSnapshot {
  public:
-  /// `min_value`..`max_value` is the trackable range (values are clamped);
-  /// `sub_buckets` linear sub-buckets per power of two control precision.
-  explicit LogHistogram(double min_value = 1.0, double max_value = 1e12,
-                        int sub_buckets = 32);
+  HistogramSnapshot() : HistogramSnapshot(HistogramParams{}) {}
+  explicit HistogramSnapshot(const HistogramParams& params);
 
   void add(double value, std::uint64_t count = 1);
 
@@ -29,27 +57,68 @@ class LogHistogram {
   double max() const { return total_ ? max_seen_ : 0.0; }
 
   /// Value at percentile p (0..100), estimated as the representative
-  /// midpoint of the containing bucket.
+  /// midpoint of the containing bucket, clamped to the observed range.
   double value_at_percentile(double p) const;
+
+  /// Merge a snapshot built with identical parameters.
+  void merge(const HistogramSnapshot& other);
 
   void reset();
 
-  /// Merge a histogram built with identical parameters.
-  void merge(const LogHistogram& other);
+  const HistogramParams& params() const { return params_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Raw-state constructor for concurrent producers: the telemetry
+  /// ConcurrentHistogram materializes its atomics into this.
+  HistogramSnapshot(const HistogramParams& params,
+                    std::vector<std::uint64_t> buckets,
+                    std::uint64_t total, double sum, double min_seen,
+                    double max_seen);
 
  private:
-  std::size_t bucket_index(double value) const;
-  double bucket_midpoint(std::size_t idx) const;
-
-  double min_value_;
-  double max_value_;
-  int sub_buckets_;
-  double log2_min_;
+  HistogramParams params_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
   double min_seen_ = 0.0;
   double max_seen_ = 0.0;
+};
+
+/// Single-writer log-bucketed histogram; a thin recording front-end
+/// over HistogramSnapshot.
+class LogHistogram {
+ public:
+  /// `min_value`..`max_value` is the trackable range (values are clamped);
+  /// `sub_buckets` linear sub-buckets per power of two control precision.
+  explicit LogHistogram(double min_value = 1.0, double max_value = 1e12,
+                        int sub_buckets = 32)
+      : snap_(HistogramParams{min_value, max_value, sub_buckets}) {}
+
+  void add(double value, std::uint64_t count = 1) {
+    snap_.add(value, count);
+  }
+
+  std::uint64_t count() const { return snap_.count(); }
+  double sum() const { return snap_.sum(); }
+  double mean() const { return snap_.mean(); }
+  double min() const { return snap_.min(); }
+  double max() const { return snap_.max(); }
+
+  /// Value at percentile p (0..100), estimated as the representative
+  /// midpoint of the containing bucket.
+  double value_at_percentile(double p) const {
+    return snap_.value_at_percentile(p);
+  }
+
+  void reset() { snap_.reset(); }
+
+  /// Merge a histogram built with identical parameters.
+  void merge(const LogHistogram& other) { snap_.merge(other.snap_); }
+
+  const HistogramSnapshot& snapshot() const { return snap_; }
+
+ private:
+  HistogramSnapshot snap_;
 };
 
 }  // namespace fastjoin

@@ -1,6 +1,5 @@
 #include "common/stats.hpp"
 
-#include <cassert>
 #include <numeric>
 
 namespace fastjoin {
@@ -20,92 +19,6 @@ void StreamingStats::merge(const StreamingStats& o) {
   sum_ += o.sum_;
   min_ = std::min(min_, o.min_);
   max_ = std::max(max_, o.max_);
-}
-
-P2Quantile::P2Quantile(double q) : q_(q) {
-  assert(q > 0.0 && q < 1.0);
-  desired_[0] = 1;
-  desired_[1] = 1 + 2 * q;
-  desired_[2] = 1 + 4 * q;
-  desired_[3] = 3 + 2 * q;
-  desired_[4] = 5;
-  increments_[0] = 0;
-  increments_[1] = q / 2;
-  increments_[2] = q;
-  increments_[3] = (1 + q) / 2;
-  increments_[4] = 1;
-  for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
-}
-
-double P2Quantile::parabolic(int i, double d) const {
-  return heights_[i] +
-         d / (positions_[i + 1] - positions_[i - 1]) *
-             ((positions_[i] - positions_[i - 1] + d) *
-                  (heights_[i + 1] - heights_[i]) /
-                  (positions_[i + 1] - positions_[i]) +
-              (positions_[i + 1] - positions_[i] - d) *
-                  (heights_[i] - heights_[i - 1]) /
-                  (positions_[i] - positions_[i - 1]));
-}
-
-double P2Quantile::linear(int i, double d) const {
-  const int j = i + static_cast<int>(d);
-  return heights_[i] + d * (heights_[j] - heights_[i]) /
-                           (positions_[j] - positions_[i]);
-}
-
-void P2Quantile::add(double x) {
-  if (n_ < 5) {
-    heights_[n_++] = x;
-    if (n_ == 5) std::sort(heights_, heights_ + 5);
-    return;
-  }
-  ++n_;
-
-  int k;
-  if (x < heights_[0]) {
-    heights_[0] = x;
-    k = 0;
-  } else if (x >= heights_[4]) {
-    heights_[4] = x;
-    k = 3;
-  } else {
-    k = 0;
-    while (k < 3 && x >= heights_[k + 1]) ++k;
-  }
-
-  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
-  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
-
-  for (int i = 1; i <= 3; ++i) {
-    const double d = desired_[i] - positions_[i];
-    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
-        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
-      const double sign = d >= 0 ? 1.0 : -1.0;
-      double h = parabolic(i, sign);
-      if (heights_[i - 1] < h && h < heights_[i + 1]) {
-        heights_[i] = h;
-      } else {
-        heights_[i] = linear(i, sign);
-      }
-      positions_[i] += sign;
-    }
-  }
-}
-
-double P2Quantile::value() const {
-  if (n_ == 0) return 0.0;
-  if (n_ < 5) {
-    // Exact quantile on the few samples seen so far.
-    std::vector<double> v(heights_, heights_ + n_);
-    std::sort(v.begin(), v.end());
-    const double idx = q_ * static_cast<double>(n_ - 1);
-    const auto lo = static_cast<std::size_t>(idx);
-    const std::size_t hi = std::min(lo + 1, v.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return v[lo] + frac * (v[hi] - v[lo]);
-  }
-  return heights_[2];
 }
 
 ImbalanceMetrics compute_imbalance(std::span<const double> loads,

@@ -50,30 +50,6 @@ class StreamingStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// P² (Jain & Chlamtac) single-quantile estimator: O(1) space streaming
-/// percentile, used for latency p50/p99 without storing samples.
-class P2Quantile {
- public:
-  /// q in (0,1), e.g. 0.99 for the 99th percentile.
-  explicit P2Quantile(double q);
-
-  void add(double x);
-  /// Current estimate; exact until five samples have arrived.
-  double value() const;
-  std::uint64_t count() const { return n_; }
-
- private:
-  double parabolic(int i, double d) const;
-  double linear(int i, double d) const;
-
-  double q_;
-  std::uint64_t n_ = 0;
-  double heights_[5];
-  double positions_[5];
-  double desired_[5];
-  double increments_[5];
-};
-
 /// Load-imbalance metrics over a snapshot of per-instance loads.
 /// The paper's LI (Eq. 2) is max/min; we also expose max/mean ("peak
 /// factor") and the coefficient of variation for richer reporting.

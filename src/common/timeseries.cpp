@@ -52,6 +52,33 @@ std::vector<TimePoint> TimeSeries::resample(SimTime start,
   return out;
 }
 
+void WindowedMean::close_window() {
+  if (n_ > 0) {
+    series_.record(window_start_ + window_,
+                   sum_ / static_cast<double>(n_) / scale_);
+  }
+  sum_ = 0.0;
+  n_ = 0;
+}
+
+void WindowedMean::add(SimTime t, double v) {
+  if (!started_) {
+    window_start_ = t - t % window_;
+    started_ = true;
+  }
+  while (t >= window_start_ + window_) {
+    close_window();
+    window_start_ += window_;
+  }
+  sum_ += v;
+  ++n_;
+  ++total_;
+}
+
+void WindowedMean::finish() {
+  if (started_ && n_ > 0) close_window();
+}
+
 void RateTracker::add(SimTime t, std::uint64_t n) {
   if (!started_) {
     window_start_ = t - t % window_;

@@ -48,6 +48,40 @@ class TimeSeries {
   std::vector<TimePoint> points_;
 };
 
+/// Windowed mean: aggregate samples into one mean value per `window`,
+/// emitting a TimeSeries point at each window close. The single home of
+/// the "per-second mean" aggregation shared by the simulated engine's
+/// latency series and the telemetry registry's sampled series.
+class WindowedMean {
+ public:
+  /// `scale` divides each window mean before it is recorded (e.g. 1e6
+  /// to emit milliseconds from nanosecond samples).
+  explicit WindowedMean(std::string name, SimTime window = kNanosPerSec,
+                        double scale = 1.0)
+      : window_(window), scale_(scale), series_(std::move(name)) {}
+
+  /// Record sample `v` at time `t`. Times must be non-decreasing.
+  void add(SimTime t, double v);
+
+  /// Flush the current partial window (call once, at end of run).
+  void finish();
+
+  const TimeSeries& series() const { return series_; }
+  std::uint64_t total_samples() const { return total_; }
+
+ private:
+  void close_window();
+
+  SimTime window_;
+  double scale_;
+  SimTime window_start_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t n_ = 0;
+  std::uint64_t total_ = 0;
+  bool started_ = false;
+  TimeSeries series_;
+};
+
 /// Rate counter: turn cumulative event counts into an events/sec series,
 /// emitting one sample per `window` (the paper reports per-second
 /// throughput from a counter bolt).

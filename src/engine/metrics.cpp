@@ -1,12 +1,14 @@
 #include "engine/metrics.hpp"
 
+#include <ostream>
+
 namespace fastjoin {
 
 MetricsHub::MetricsHub(const MetricsConfig& cfg, std::uint32_t instances)
     : cfg_(cfg),
       results_rate_(cfg.rate_window),
       latency_hist_(/*min=*/100.0, /*max=*/1e12),  // 100ns .. 1000s
-      latency_ts_("latency_ms") {
+      latency_win_("latency_ms", cfg.rate_window, /*scale=*/1e6) {
   if (cfg_.record_instance_loads) {
     for (int g = 0; g < 2; ++g) {
       inst_load_ts_[g].resize(instances);
@@ -21,22 +23,7 @@ void MetricsHub::on_results(SimTime now, std::uint64_t n) {
 
 void MetricsHub::on_probe_latency(SimTime now, SimTime latency) {
   latency_hist_.add(static_cast<double>(latency));
-  if (!lat_started_) {
-    lat_window_start_ = now - now % cfg_.rate_window;
-    lat_started_ = true;
-  }
-  while (now >= lat_window_start_ + cfg_.rate_window) {
-    if (lat_window_n_ > 0) {
-      latency_ts_.record(lat_window_start_ + cfg_.rate_window,
-                         lat_window_sum_ /
-                             static_cast<double>(lat_window_n_) / 1e6);
-    }
-    lat_window_sum_ = 0.0;
-    lat_window_n_ = 0;
-    lat_window_start_ += cfg_.rate_window;
-  }
-  lat_window_sum_ += static_cast<double>(latency);
-  ++lat_window_n_;
+  latency_win_.add(now, static_cast<double>(latency));
 }
 
 void MetricsHub::on_match_pair(const MatchPair& p) {
@@ -60,12 +47,7 @@ void MetricsHub::log_migration(const MigrationEvent& ev) {
 
 void MetricsHub::finish() {
   results_rate_.finish();
-  if (lat_started_ && lat_window_n_ > 0) {
-    latency_ts_.record(lat_window_start_ + cfg_.rate_window,
-                       lat_window_sum_ /
-                           static_cast<double>(lat_window_n_) / 1e6);
-    lat_window_n_ = 0;
-  }
+  latency_win_.finish();
 }
 
 double MetricsHub::mean_throughput() const {
@@ -73,7 +55,32 @@ double MetricsHub::mean_throughput() const {
 }
 
 double MetricsHub::mean_latency_ms() const {
-  return latency_ts_.mean_after(cfg_.warmup);
+  return latency_win_.series().mean_after(cfg_.warmup);
+}
+
+void MetricsHub::write_migration_trace(std::ostream& os) const {
+  fastjoin::write_migration_trace(os, migrations_);
+}
+
+void write_migration_trace(std::ostream& os,
+                           const std::vector<MigrationEvent>& migrations) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& ev : migrations) {
+    if (!first) os << ",";
+    first = false;
+    const double ts = static_cast<double>(ev.triggered_at) / 1e3;
+    const double dur =
+        static_cast<double>(ev.completed_at - ev.triggered_at) / 1e3;
+    os << "\n {\"name\": \"migrate\", \"cat\": \"migration\", "
+       << "\"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << (static_cast<int>(ev.group) + 1) << ", \"ts\": " << ts
+       << ", \"dur\": " << dur << ", \"args\": {\"src\": " << ev.src
+       << ", \"dst\": " << ev.dst << ", \"li_before\": " << ev.li_before
+       << ", \"keys_moved\": " << ev.keys_moved
+       << ", \"tuples_moved\": " << ev.tuples_moved << "}}";
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace fastjoin

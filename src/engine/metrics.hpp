@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -53,7 +54,7 @@ class MetricsHub {
   // --- accessors -------------------------------------------------------
   const MetricsConfig& config() const { return cfg_; }
   const RateTracker& throughput() const { return results_rate_; }
-  const TimeSeries& latency_series() const { return latency_ts_; }
+  const TimeSeries& latency_series() const { return latency_win_.series(); }
   const LogHistogram& latency_hist() const { return latency_hist_; }
   const TimeSeries& li_series(Side group) const {
     return li_ts_[static_cast<int>(group)];
@@ -71,21 +72,30 @@ class MetricsHub {
   /// Mean probe latency (ms) over post-warmup windows.
   double mean_latency_ms() const;
 
+  /// Export this hub's migration log as Chrome Trace Event JSON; see
+  /// the free function below.
+  void write_migration_trace(std::ostream& os) const;
+
  private:
   MetricsConfig cfg_;
   RateTracker results_rate_;
   LogHistogram latency_hist_;
-  // Per-window latency aggregation -> per-second mean latency series.
-  TimeSeries latency_ts_;
-  SimTime lat_window_start_ = 0;
-  double lat_window_sum_ = 0.0;
-  std::uint64_t lat_window_n_ = 0;
-  bool lat_started_ = false;
+  // Per-window latency aggregation -> per-second mean latency series
+  // (ns samples in, ms means out), shared with common/timeseries.
+  WindowedMean latency_win_;
 
   TimeSeries li_ts_[2];
   std::vector<TimeSeries> inst_load_ts_[2];
   std::vector<MigrationEvent> migrations_;
   std::vector<MatchPair> pairs_;
 };
+
+/// Render a migration log as Chrome Trace Event JSON (one complete
+/// event per migration, microsecond timestamps from SimTime) — the
+/// simulated engine's twin of telemetry::TraceLog::write_chrome_trace;
+/// both load at https://ui.perfetto.dev. Benches call this with
+/// RunReport::migration_log.
+void write_migration_trace(std::ostream& os,
+                           const std::vector<MigrationEvent>& migrations);
 
 }  // namespace fastjoin

@@ -4,12 +4,34 @@
 #include <filesystem>
 
 #include "common/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fastjoin {
+
+namespace tel = telemetry;
 
 namespace {
 /// Records per read() refill; bounds stack/heap churn on big scans.
 constexpr std::size_t kReadChunk = 256;
+
+/// Cached registry handles (no-ops under FASTJOIN_NO_TELEMETRY).
+struct IngestMetrics {
+  tel::Counter& appended;
+  tel::Counter& backpressure;
+  tel::Counter& truncated;
+  tel::Counter& flushes;
+};
+
+IngestMetrics& ingest_metrics() {
+  auto& reg = tel::MetricRegistry::global();
+  static IngestMetrics m{
+      reg.counter("ingest.appended"),
+      reg.counter("ingest.backpressure"),
+      reg.counter("ingest.truncated"),
+      reg.counter("ingest.flushes"),
+  };
+  return m;
+}
 }  // namespace
 
 StreamLog::StreamLog(const IngestConfig& cfg) : cfg_(cfg) {
@@ -119,6 +141,8 @@ std::optional<std::uint64_t> StreamLog::try_append(std::uint32_t partition,
   std::lock_guard<std::mutex> lock(p.mu);
   if (unflushed_locked(p) + kLogRecordBytes > cfg_.max_unflushed_bytes) {
     backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+    ingest_metrics().backpressure.add(1);
+    tel::flight_record(tel::FlightEvent::kIngestBackpressure, partition);
     return std::nullopt;
   }
   SegmentFile& seg = writable_segment(partition, p);
@@ -127,6 +151,8 @@ std::optional<std::uint64_t> StreamLog::try_append(std::uint32_t partition,
   seg.append(buf, kLogRecordBytes);
   appended_records_.fetch_add(1, std::memory_order_relaxed);
   appended_bytes_.fetch_add(kLogRecordBytes, std::memory_order_relaxed);
+  ingest_metrics().appended.add(1);
+  tel::flight_record(tel::FlightEvent::kIngestAppend, partition, 1);
   return p.next_offset++;
 }
 
@@ -160,8 +186,12 @@ std::uint64_t StreamLog::append_batch(std::uint32_t partition,
       // Admission control mid-run: we already hold the partition lock,
       // so flush in place rather than unlocking and retrying.
       backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+      ingest_metrics().backpressure.add(1);
+      tel::flight_record(tel::FlightEvent::kIngestBackpressure,
+                         partition);
       p.segments.back().file->flush();
       flushes_.fetch_add(1, std::memory_order_relaxed);
+      ingest_metrics().flushes.add(1);
     }
     SegmentFile& seg = writable_segment(partition, p);
     const std::size_t seg_room =
@@ -182,6 +212,8 @@ std::uint64_t StreamLog::append_batch(std::uint32_t partition,
   appended_records_.fetch_add(n, std::memory_order_relaxed);
   appended_bytes_.fetch_add(n * kLogRecordBytes,
                             std::memory_order_relaxed);
+  ingest_metrics().appended.add(n);
+  tel::flight_record(tel::FlightEvent::kIngestAppend, partition, n);
   return base;
 }
 
@@ -241,6 +273,10 @@ std::size_t StreamLog::read(std::uint32_t partition, std::uint64_t from,
     }
     if (got >= max) break;
   }
+  if (got > 0) {
+    tel::flight_record(tel::FlightEvent::kIngestReplayRead, partition,
+                       got);
+  }
   return got;
 }
 
@@ -262,6 +298,9 @@ std::uint64_t StreamLog::truncate_before(std::uint32_t partition,
   }
   if (removed > 0) {
     records_truncated_.fetch_add(removed, std::memory_order_relaxed);
+    ingest_metrics().truncated.add(removed);
+    tel::flight_record(tel::FlightEvent::kIngestTruncate, partition,
+                       removed);
   }
   return removed;
 }

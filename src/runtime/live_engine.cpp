@@ -1,13 +1,56 @@
 #include "runtime/live_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <optional>
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fastjoin {
+
+namespace tel = telemetry;
+
+namespace {
+/// Cached handles into the global MetricRegistry: resolved once (first
+/// use), then updated lock-free on the hot path. With
+/// FASTJOIN_NO_TELEMETRY every call below is an inline no-op.
+struct LiveMetrics {
+  tel::Counter& records_in;
+  tel::Counter& batches;
+  tel::Counter& records_dropped;
+  tel::Counter& lane_backpressure;
+  tel::Counter& migrations;
+  tel::Counter& migrations_aborted;
+  tel::Counter& crashes;
+  tel::Counter& recoveries;
+  tel::Counter& checkpoints;
+  tel::Gauge& li_r;
+  tel::Gauge& li_s;
+  tel::ConcurrentHistogram& latency_ns;
+};
+
+LiveMetrics& live_metrics() {
+  auto& reg = tel::MetricRegistry::global();
+  static LiveMetrics m{
+      reg.counter("live.records_in"),
+      reg.counter("live.batches"),
+      reg.counter("live.records_dropped"),
+      reg.counter("live.lane_backpressure"),
+      reg.counter("live.migrations"),
+      reg.counter("live.migrations_aborted"),
+      reg.counter("live.crashes"),
+      reg.counter("live.recoveries"),
+      reg.counter("live.checkpoints"),
+      reg.gauge("live.li_r"),
+      reg.gauge("live.li_s"),
+      reg.histogram("live.latency_ns", HistogramParams{1.0, 1e12, 16}),
+  };
+  return m;
+}
+}  // namespace
 
 namespace {
 /// Busy-wait for `ns` nanoseconds (simulated per-match work).
@@ -246,11 +289,21 @@ class LiveEngine::Worker {
 
  private:
   void loop() {
+    char label[32];
+    std::snprintf(label, sizeof(label), "worker-%s%u",
+                  side_name(store_side_),
+                  static_cast<unsigned>(id_));
+    tel::set_thread_label(label);
     if (lanes_ != nullptr) {
       loop_laned();
     } else {
       loop_legacy();
     }
+  }
+
+  /// This worker's identity packed for flight-recorder arguments.
+  std::uint64_t fid() const {
+    return tel::flight_id(static_cast<int>(store_side_), id_);
   }
 
   /// Legacy data plane: data and control share the mutex+condvar queue,
@@ -453,7 +506,10 @@ class LiveEngine::Worker {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - pushed_at)
               .count();
-      latency_.add(static_cast<double>(std::max<std::int64_t>(dt, 1)));
+      const auto ns =
+          static_cast<double>(std::max<std::int64_t>(dt, 1));
+      latency_.add(ns);
+      live_metrics().latency_ns.record(ns);
     }
   }
 
@@ -496,6 +552,8 @@ class LiveEngine::Worker {
       probe_window_.erase(kl.key);
     }
     stored_count_.store(store_.size(), std::memory_order_relaxed);
+    tel::flight_record(tel::FlightEvent::kCtrlSelect, fid(),
+                       batch->keys.size());
     req.reply.set_value(std::move(batch));
   }
 
@@ -504,14 +562,19 @@ class LiveEngine::Worker {
     auto out = std::make_shared<std::vector<Record>>();
     out->swap(forward_buffer_);
     note_buffered();
+    tel::flight_record(tel::FlightEvent::kCtrlTakeForward, fid(),
+                       out->size());
     req.reply.set_value(std::move(out));
   }
 
   void handle(HoldReq req) {
     held_keys_.insert(req.keys.begin(), req.keys.end());
+    tel::flight_record(tel::FlightEvent::kCtrlHold, fid(),
+                       req.keys.size());
     // Acknowledge: the monitor must see the hold installed before it
     // publishes the routing table that diverts records this way.
     req.reply.set_value(std::make_shared<HoldAck>());
+    tel::flight_record(tel::FlightEvent::kCtrlHoldAck, fid());
   }
 
   /// Merge one migrated/aborted batch tuple, deduplicated by sequence
@@ -532,6 +595,8 @@ class LiveEngine::Worker {
   }
 
   void handle(AbsorbReq req) {
+    tel::flight_record(tel::FlightEvent::kCtrlAbsorb, fid(),
+                       req.batch->stored.size());
     for (const auto& [key, st] : req.batch->stored) {
       merge_tuple(key, st);
     }
@@ -540,6 +605,8 @@ class LiveEngine::Worker {
   }
 
   void handle(ReleaseReq req) {
+    tel::flight_record(tel::FlightEvent::kCtrlRelease, fid(),
+                       req.forwarded->size());
     held_keys_.clear();
     for (const auto& rec : *req.forwarded) process(rec);
     std::vector<Record> held;
@@ -553,6 +620,8 @@ class LiveEngine::Worker {
   /// collected-forwarded -> local forward buffer -> records routed back
   /// here after the rollback (they drain behind this message's barrier).
   void handle(AbortMigrationReq req) {
+    tel::flight_record(tel::FlightEvent::kCtrlAbort, fid(),
+                       req.replay_pending ? 1 : 0);
     for (const auto& [key, st] : req.batch->stored) {
       merge_tuple(key, st);
     }
@@ -589,11 +658,14 @@ class LiveEngine::Worker {
         snap->offsets[p] = consumed_[p].load(std::memory_order_relaxed);
       }
     }
+    tel::flight_record(tel::FlightEvent::kCtrlCheckpoint, fid(),
+                       snap->tuples.size());
     std::lock_guard<std::mutex> lock(ckpt_mutex_);
     checkpoint_ = std::move(snap);
   }
 
   void handle(AdvanceWindowReq) {
+    tel::flight_record(tel::FlightEvent::kCtrlWindow, fid());
     evicted_.fetch_add(store_.advance_subwindow(),
                        std::memory_order_relaxed);
     stored_count_.store(store_.size(), std::memory_order_relaxed);
@@ -727,6 +799,7 @@ InstanceId LiveEngine::route_current(Side group, KeyId key) const {
 
 void LiveEngine::note_drop(std::uint64_t n) {
   records_dropped_.fetch_add(n, std::memory_order_relaxed);
+  live_metrics().records_dropped.add(n);
   if (!drop_warned_.exchange(true, std::memory_order_relaxed)) {
     FJ_WARN("live") << "dropping records (engine not running, or worker "
                        "crashed and not yet respawned); see "
@@ -744,6 +817,12 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
     // checked every retry so backpressure on a dead worker fails fast
     // instead of spinning until respawn.
     if (!ls.open.load(std::memory_order_acquire)) {
+      if (tries == 0) {
+        tel::flight_record(tel::FlightEvent::kLaneClosedDrop,
+                           tel::flight_id(static_cast<int>(group), id),
+                           lane_idx);
+        ++tries;
+      }
       if (log_ != nullptr && cfg_.ingest.replay &&
           !finished_.load(std::memory_order_acquire)) {
         // Ingest replay mode: the record is already durable in the
@@ -775,6 +854,12 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
     if (++tries < 64) {
       std::this_thread::yield();
     } else {
+      if (tries == 64) {  // once per blocking episode
+        live_metrics().lane_backpressure.add(1);
+        tel::flight_record(tel::FlightEvent::kLaneBlocked,
+                           tel::flight_id(static_cast<int>(group), id),
+                           lane_idx);
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
@@ -788,6 +873,8 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
     return 0;
   }
   records_in_.fetch_add(n, std::memory_order_relaxed);
+  live_metrics().records_in.add(n);
+  live_metrics().batches.add(1);
   if (!laned()) return push_batch_legacy(recs, n);
 
   std::size_t lane_idx;
@@ -847,6 +934,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
       }
     }
     slot.cs.fetch_add(1, std::memory_order_seq_cst);
+    tel::flight_record(tel::FlightEvent::kBatchPushed, n, delivered);
     return delivered;
   }
   for (std::size_t r = 0; r < n; ++r) {
@@ -865,6 +953,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
     if (ok) ++delivered;
   }
   slot.cs.fetch_add(1, std::memory_order_seq_cst);
+  tel::flight_record(tel::FlightEvent::kBatchPushed, n, delivered);
   return delivered;
 }
 
@@ -986,12 +1075,20 @@ void LiveEngine::crash(Side group, InstanceId id) {
   }
   w.crash();
   crashes_.fetch_add(1, std::memory_order_relaxed);
+  live_metrics().crashes.add(1);
+  tel::flight_record(tel::FlightEvent::kCrash,
+                     tel::flight_id(g, id));
+  tel::TraceLog::global().instant("crash", "fault");
   FJ_WARN("live") << side_name(group) << "-" << id << " crashed";
 }
 
 void LiveEngine::chaos_hook(Side group, InstanceId src, InstanceId dst,
                             MigrationPhase phase) {
-  if (cfg_.chaos) cfg_.chaos(group, src, dst, phase);
+  if (!cfg_.chaos) return;
+  std::string name = "chaos:";
+  name += migration_phase_name(phase);
+  tel::TraceLog::global().instant(name, "migration");
+  cfg_.chaos(group, src, dst, phase);
 }
 
 template <typename T>
@@ -1054,6 +1151,8 @@ bool LiveEngine::try_migrate(Side group) {
   }
 
   last_li_ = load_imbalance(loads, cfg_.planner.floor_eps);
+  (group == Side::kR ? live_metrics().li_r : live_metrics().li_s)
+      .set(last_li_);
   const auto pair = pick_migration_pair(loads, cfg_.planner);
   if (!pair || heaviest < cfg_.min_heaviest_load) return false;
 
@@ -1066,22 +1165,46 @@ bool LiveEngine::try_migrate(Side group) {
     return false;
   }
 
+  // Parent span over the whole protocol; each phase below opens a
+  // child span on the same (monitor) track so the trace shows the
+  // protocol's timeline: extract -> hold -> hold_ack -> route_publish
+  // -> transfer -> absorb (or abort).
+  tel::ScopedSpan mig_span("migrate", "migration");
+  mig_span.arg("side", g);
+  mig_span.arg("src", pair->src);
+  mig_span.arg("dst", pair->dst);
+  tel::flight_record(tel::FlightEvent::kMigrationStart,
+                     tel::flight_id(g, pair->src),
+                     tel::flight_id(g, pair->dst));
+
   // 1. Select + extract at the source (supervised wait). The barrier
   // makes the selection see every record routed here before this
   // moment, like the old shared-FIFO enqueue did.
-  SelectExtractReq sel;
-  sel.dst_load = loads[pair->dst];
-  auto sel_future = sel.reply.get_future();
-  if (!worker(group, pair->src)
-           .send(std::move(sel), capture_watermarks(group, pair->src))) {
-    return false;  // crashed; nothing started
+  std::shared_ptr<MigrationBatch> batch;
+  {
+    tel::ScopedSpan span("extract", "migration");
+    SelectExtractReq sel;
+    sel.dst_load = loads[pair->dst];
+    auto sel_future = sel.reply.get_future();
+    if (!worker(group, pair->src)
+             .send(std::move(sel),
+                   capture_watermarks(group, pair->src))) {
+      return false;  // crashed; nothing started
+    }
+    batch = await_reply(sel_future, group, pair->src);
+    span.arg("keys", batch ? static_cast<std::int64_t>(
+                                 batch->keys.size())
+                           : -1);
   }
-  auto batch = await_reply(sel_future, group, pair->src);
   if (!batch) {
     // Source died before/during extraction. Nothing was installed at
     // the target and routing is untouched; the extracted tuples (if
     // any) died with the source and restore from its checkpoint.
     ++migrations_aborted_;
+    live_metrics().migrations_aborted.add(1);
+    tel::flight_record(tel::FlightEvent::kMigrationAbort,
+                       tel::flight_id(g, pair->src),
+                       tel::flight_id(g, pair->dst));
     return false;
   }
   if (batch->keys.empty()) {
@@ -1099,21 +1222,35 @@ bool LiveEngine::try_migrate(Side group) {
   // before the routing publish. Control and data ride different
   // channels now, so "hold installed before any rerouted record" must
   // be enforced explicitly rather than by queue order.
-  HoldReq hold;
-  hold.keys = batch->keys;
-  auto hold_future = hold.reply.get_future();
-  const bool hold_sent =
-      worker(group, pair->dst).send(std::move(hold));
-  const auto ack =
-      hold_sent ? await_reply(hold_future, group, pair->dst) : nullptr;
+  bool hold_sent;
+  std::future<std::shared_ptr<HoldAck>> hold_future;
+  {
+    tel::ScopedSpan span("hold", "migration");
+    span.arg("keys", static_cast<std::int64_t>(batch->keys.size()));
+    HoldReq hold;
+    hold.keys = batch->keys;
+    hold_future = hold.reply.get_future();
+    hold_sent = worker(group, pair->dst).send(std::move(hold));
+  }
+  std::shared_ptr<HoldAck> ack;
+  {
+    tel::ScopedSpan span("hold_ack", "migration");
+    ack = hold_sent ? await_reply(hold_future, group, pair->dst)
+                    : nullptr;
+  }
   if (!ack) {
     // Target crashed (or went unresponsive and was declared dead)
     // before the hold was installed: full rollback at the source.
     // Routing was never changed, so the source re-merges the batch and
     // replays pending plus its forward buffer locally.
+    tel::ScopedSpan span("abort", "migration");
     worker(group, pair->src)
         .send(AbortMigrationReq{batch, /*replay_pending=*/true, nullptr});
     ++migrations_aborted_;
+    live_metrics().migrations_aborted.add(1);
+    tel::flight_record(tel::FlightEvent::kMigrationAbort,
+                       tel::flight_id(g, pair->src),
+                       tel::flight_id(g, pair->dst));
     FJ_WARN("live") << "aborted migration " << pair->src << "->"
                     << pair->dst << " (target died before Hold)";
     return false;
@@ -1126,20 +1263,27 @@ bool LiveEngine::try_migrate(Side group) {
   // rollback.
   std::vector<std::pair<KeyId, std::optional<InstanceId>>> prev;
   prev.reserve(batch->keys.size());
-  publish_routes([&](RouteTable& t) {
-    auto& ov = t.overrides[g];
-    for (KeyId k : batch->keys) {
-      const auto it = ov.find(k);
-      prev.emplace_back(k, it == ov.end()
-                               ? std::nullopt
-                               : std::optional<InstanceId>(it->second));
-      if (instance_of(k, cfg_.instances) == pair->dst) {
-        ov.erase(k);
-      } else {
-        ov[k] = pair->dst;
+  {
+    tel::ScopedSpan span("route_publish", "migration");
+    span.arg("keys", static_cast<std::int64_t>(batch->keys.size()));
+    publish_routes([&](RouteTable& t) {
+      auto& ov = t.overrides[g];
+      for (KeyId k : batch->keys) {
+        const auto it = ov.find(k);
+        prev.emplace_back(
+            k, it == ov.end() ? std::nullopt
+                              : std::optional<InstanceId>(it->second));
+        if (instance_of(k, cfg_.instances) == pair->dst) {
+          ov.erase(k);
+        } else {
+          ov[k] = pair->dst;
+        }
       }
-    }
-  });
+    });
+    tel::flight_record(tel::FlightEvent::kCtrlRoutePublish,
+                       tel::flight_id(g, pair->dst),
+                       batch->keys.size());
+  }
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kRouted);
 
@@ -1147,12 +1291,19 @@ bool LiveEngine::try_migrate(Side group) {
   // The watermarks are captured *after* the publish + grace period, so
   // draining past them forwards every record that was routed to the
   // source under the old table before the forward buffer is returned.
-  TakeForwardReq tf;
-  auto fwd_future = tf.reply.get_future();
   std::shared_ptr<std::vector<Record>> forwarded;
-  if (worker(group, pair->src)
-          .send(std::move(tf), capture_watermarks(group, pair->src))) {
-    forwarded = await_reply(fwd_future, group, pair->src);
+  {
+    tel::ScopedSpan span("transfer", "migration");
+    TakeForwardReq tf;
+    auto fwd_future = tf.reply.get_future();
+    if (worker(group, pair->src)
+            .send(std::move(tf),
+                  capture_watermarks(group, pair->src))) {
+      forwarded = await_reply(fwd_future, group, pair->src);
+    }
+    span.arg("forwarded",
+             forwarded ? static_cast<std::int64_t>(forwarded->size())
+                       : -1);
   }
   if (!forwarded) {
     // Source died after the routing update: roll forward. The batch is
@@ -1167,10 +1318,16 @@ bool LiveEngine::try_migrate(Side group) {
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kForwarded);
 
   // 5. Target merges and replays, preserving per-key order.
-  const bool absorb_ok = worker(group, pair->dst).send(AbsorbReq{batch});
-  const bool release_ok =
-      absorb_ok && worker(group, pair->dst).send(ReleaseReq{forwarded});
+  bool absorb_ok, release_ok;
+  {
+    tel::ScopedSpan span("absorb", "migration");
+    span.arg("tuples", static_cast<std::int64_t>(batch->stored.size()));
+    absorb_ok = worker(group, pair->dst).send(AbsorbReq{batch});
+    release_ok =
+        absorb_ok && worker(group, pair->dst).send(ReleaseReq{forwarded});
+  }
   if (!absorb_ok || !release_ok) {
+    tel::ScopedSpan span("abort", "migration");
     // Target crashed mid-absorb: roll back. The abort message is
     // enqueued at the source BEFORE the routing rollback so records
     // re-routed to the source drain behind the replay (the abort
@@ -1194,6 +1351,10 @@ bool LiveEngine::try_migrate(Side group) {
       }
     });
     ++migrations_aborted_;
+    live_metrics().migrations_aborted.add(1);
+    tel::flight_record(tel::FlightEvent::kMigrationAbort,
+                       tel::flight_id(g, pair->src),
+                       tel::flight_id(g, pair->dst));
     FJ_WARN("live") << "aborted migration " << pair->src << "->"
                     << pair->dst << " (target died during Absorb); "
                        "routing rolled back";
@@ -1202,14 +1363,20 @@ bool LiveEngine::try_migrate(Side group) {
   tuples_migrated_.fetch_add(batch->stored.size() + forwarded->size(),
                              std::memory_order_relaxed);
   ++migrations_;
+  live_metrics().migrations.add(1);
+  tel::flight_record(tel::FlightEvent::kMigrationDone,
+                     tel::flight_id(g, pair->src),
+                     batch->stored.size() + forwarded->size());
   return true;
 }
 
 void LiveEngine::broadcast_checkpoint() {
+  tel::ScopedSpan span("checkpoint", "fault");
   for (int g = 0; g < 2; ++g) {
     for (auto& w : workers_[g]) w->send(CheckpointReq{});
   }
   ++checkpoints_;
+  live_metrics().checkpoints.add(1);
 }
 
 void LiveEngine::supervise() {
@@ -1222,6 +1389,9 @@ void LiveEngine::supervise() {
 
 void LiveEngine::respawn(Side group, InstanceId id) {
   const int g = static_cast<int>(group);
+  tel::ScopedSpan span("respawn", "fault");
+  span.arg("side", g);
+  span.arg("instance", id);
   const bool replaying = log_ != nullptr && cfg_.ingest.replay;
   Worker* old = workers_[g][id].get();
   old->stop_and_join();
@@ -1329,6 +1499,10 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   ++recoveries_;
   tuples_restored_ += restored;
   recovery_time_total_ += std::chrono::steady_clock::now() - crashed_at;
+  live_metrics().recoveries.add(1);
+  span.arg("restored", static_cast<std::int64_t>(restored));
+  tel::flight_record(tel::FlightEvent::kRespawn,
+                     tel::flight_id(g, id), restored);
   FJ_INFO("live") << side_name(group) << "-" << id << " respawned, "
                   << restored << " tuples restored from checkpoint";
 }
@@ -1337,6 +1511,10 @@ void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
                                const std::vector<std::uint64_t>& from_offsets,
                                const std::vector<std::uint64_t>& marks) {
   const int g = static_cast<int>(group);
+  tel::ScopedSpan span("replay", "fault");
+  span.arg("side", g);
+  span.arg("instance", id);
+  const std::uint64_t replayed_before = records_replayed_;
   const std::uint32_t nparts = log_->partitions();
   // Per-partition read state: a chunked head buffer over [from, end).
   // `end` is read once, up front — the slot's lanes are still closed, so
@@ -1455,6 +1633,10 @@ void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
   for (std::uint32_t p = 0; p < nparts; ++p) {
     fresh.set_consumed(p, heads[p].end);
   }
+  const std::uint64_t replayed = records_replayed_ - replayed_before;
+  span.arg("replayed", static_cast<std::int64_t>(replayed));
+  tel::flight_record(tel::FlightEvent::kReplay,
+                     tel::flight_id(g, id), replayed);
 }
 
 void LiveEngine::truncate_ingest() {
@@ -1482,6 +1664,7 @@ void LiveEngine::truncate_ingest() {
 }
 
 void LiveEngine::monitor_loop() {
+  tel::set_thread_label("monitor");
   auto next_window = std::chrono::steady_clock::now() + cfg_.subwindow_len;
   auto next_checkpoint =
       std::chrono::steady_clock::now() + cfg_.checkpoint_period;
@@ -1489,6 +1672,9 @@ void LiveEngine::monitor_loop() {
     std::this_thread::sleep_for(cfg_.monitor_period);
     if (stopping_.load(std::memory_order_relaxed)) break;
     supervise();
+    // Periodic aggregation: every registered metric's current value is
+    // appended to its time series on the monitor's cadence.
+    tel::MetricRegistry::global().sample();
     if (cfg_.balancer) {
       try_migrate(Side::kR);
       try_migrate(Side::kS);
@@ -1576,7 +1762,9 @@ LiveStats LiveEngine::finish() {
                 static_cast<double>(recoveries_)
           : 0.0;
   stats.mean_latency_us = merged.mean() / 1e3;
+  stats.p50_latency_us = merged.value_at_percentile(50) / 1e3;
   stats.p99_latency_us = merged.value_at_percentile(99) / 1e3;
+  stats.p999_latency_us = merged.value_at_percentile(99.9) / 1e3;
   stats.latency_samples = merged.count();
   stats.final_li = last_li_;
   return stats;

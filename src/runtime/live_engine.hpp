@@ -215,8 +215,12 @@ struct LiveStats {
   double mean_recovery_ms = 0.0;     ///< crash -> respawned, mean
   /// Queue+service latency per probe, over the sampled records only
   /// (LiveConfig::latency_sample_every); 0 when sampling is disabled.
+  /// Percentiles come from the merged per-worker telemetry histogram
+  /// (common/histogram geometry), not a raw sample vector.
   double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
   std::uint64_t latency_samples = 0;  ///< probes with a sampled timestamp
   double final_li = 1.0;         ///< last LI the monitor observed
   // --- StreamLog ingest (all 0 when LiveConfig::ingest is off) ------

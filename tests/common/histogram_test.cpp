@@ -92,5 +92,63 @@ TEST(LogHistogram, MonotonePercentiles) {
   }
 }
 
+TEST(HistogramSnapshot, MergeMatchesDirectAdds) {
+  const HistogramParams params{1.0, 1e9, 32};
+  HistogramSnapshot a(params), b(params), direct(params);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = 1.0 + rng.next_double() * 1e6;
+    (i % 2 ? a : b).add(v);
+    direct.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), direct.count());
+  EXPECT_EQ(a.buckets(), direct.buckets());
+  // Summation order differs between the split and direct paths, so the
+  // double totals agree only to rounding.
+  EXPECT_NEAR(a.sum(), direct.sum(), direct.sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), direct.min());
+  EXPECT_DOUBLE_EQ(a.max(), direct.max());
+  for (double p : {50.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.value_at_percentile(p),
+                     direct.value_at_percentile(p));
+  }
+}
+
+TEST(HistogramSnapshot, MergeIntoEmptyAdoptsOther) {
+  HistogramSnapshot empty, full;
+  full.add(100.0);
+  full.add(300.0);
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 100.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 300.0);
+}
+
+TEST(HistogramSnapshot, P999CatchesTheTail) {
+  // 10,000 samples at 1ms plus 20 outliers at ~1s: p99 stays at the
+  // body, p99.9 must land in the tail.
+  LogHistogram h(1.0, 1e12);
+  for (int i = 0; i < 10'000; ++i) h.add(1e6);
+  for (int i = 0; i < 20; ++i) h.add(1e9);
+  EXPECT_NEAR(h.value_at_percentile(99), 1e6, 1e6 * 0.05);
+  EXPECT_NEAR(h.value_at_percentile(99.9), 1e9, 1e9 * 0.05);
+}
+
+TEST(HistogramSnapshot, RawStateConstructorRoundTrips) {
+  const HistogramParams params{1.0, 1e6, 16};
+  HistogramSnapshot direct(params);
+  direct.add(10.0, 2);
+  direct.add(5000.0);
+  HistogramSnapshot rebuilt(
+      params, std::vector<std::uint64_t>(direct.buckets().begin(),
+                                         direct.buckets().end()),
+      direct.count(), direct.sum(), direct.min(), direct.max());
+  EXPECT_EQ(rebuilt.count(), 3u);
+  EXPECT_DOUBLE_EQ(rebuilt.sum(), 5020.0);
+  EXPECT_DOUBLE_EQ(rebuilt.value_at_percentile(100),
+                   direct.value_at_percentile(100));
+}
+
 }  // namespace
 }  // namespace fastjoin

@@ -57,28 +57,6 @@ TEST(StreamingStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
-TEST(P2Quantile, ExactForFewSamples) {
-  P2Quantile q(0.5);
-  q.add(10.0);
-  EXPECT_DOUBLE_EQ(q.value(), 10.0);
-  q.add(20.0);
-  EXPECT_DOUBLE_EQ(q.value(), 15.0);
-}
-
-TEST(P2Quantile, MedianOfUniform) {
-  P2Quantile q(0.5);
-  Xoshiro256 rng(1);
-  for (int i = 0; i < 100'000; ++i) q.add(rng.next_double());
-  EXPECT_NEAR(q.value(), 0.5, 0.02);
-}
-
-TEST(P2Quantile, P99OfUniform) {
-  P2Quantile q(0.99);
-  Xoshiro256 rng(2);
-  for (int i = 0; i < 100'000; ++i) q.add(rng.next_double());
-  EXPECT_NEAR(q.value(), 0.99, 0.02);
-}
-
 TEST(Percentile, ExactSmallVector) {
   std::vector<double> v{1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);

@@ -48,6 +48,58 @@ TEST(TimeSeries, ResampleCarriesForwardEmptyBuckets) {
   EXPECT_DOUBLE_EQ(out[3].v, 9.0);
 }
 
+TEST(WindowedMean, MeanPerWindow) {
+  WindowedMean wm("lat", kNanosPerSec);
+  wm.add(0, 10.0);
+  wm.add(kNanosPerSec / 2, 30.0);
+  wm.add(kNanosPerSec + 1, 5.0);  // rolls the first window
+  wm.finish();
+  const auto pts = wm.series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].t, kNanosPerSec);
+  EXPECT_DOUBLE_EQ(pts[0].v, 20.0);  // mean of 10 and 30
+  EXPECT_DOUBLE_EQ(pts[1].v, 5.0);
+  EXPECT_EQ(wm.total_samples(), 3u);
+}
+
+TEST(WindowedMean, ScaleDividesTheMean) {
+  // ns samples in, ms means out — the MetricsHub latency config.
+  WindowedMean wm("lat_ms", kNanosPerSec, /*scale=*/1e6);
+  wm.add(0, 2e6);
+  wm.add(1, 4e6);
+  wm.finish();
+  const auto pts = wm.series().points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 3.0);
+}
+
+TEST(WindowedMean, GapsEmitNoEmptyWindows) {
+  WindowedMean wm("lat", kNanosPerSec);
+  wm.add(0, 1.0);
+  wm.add(3 * kNanosPerSec + 1, 9.0);  // two empty windows skipped
+  wm.finish();
+  const auto pts = wm.series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].v, 9.0);
+}
+
+TEST(WindowedMean, StartAlignsToWindowBoundary) {
+  WindowedMean wm("lat", 1000);
+  wm.add(2'500, 7.0);  // first sample mid-window
+  wm.finish();
+  const auto pts = wm.series().points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].t, 3'000);  // window [2000, 3000) closes at 3000
+}
+
+TEST(WindowedMean, FinishWithoutSamplesIsEmpty) {
+  WindowedMean wm("lat");
+  wm.finish();
+  EXPECT_TRUE(wm.series().empty());
+  EXPECT_EQ(wm.total_samples(), 0u);
+}
+
 TEST(RateTracker, CountsPerWindow) {
   RateTracker rt(kNanosPerSec);
   rt.add(0, 10);

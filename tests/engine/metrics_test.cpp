@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace fastjoin {
 namespace {
 
@@ -92,6 +94,36 @@ TEST(Metrics, MigrationLog) {
   hub.log_migration(ev);
   ASSERT_EQ(hub.migrations().size(), 1u);
   EXPECT_EQ(hub.migrations()[0].keys_moved, 3u);
+}
+
+TEST(Metrics, MigrationTraceIsChromeTraceJson) {
+  MetricsConfig cfg;
+  MetricsHub hub(cfg, 2);
+  MigrationEvent ev;
+  ev.triggered_at = 2'000'000;   // 2 ms in SimTime ns
+  ev.completed_at = 5'000'000;
+  ev.group = Side::kS;
+  ev.src = 1;
+  ev.dst = 0;
+  ev.keys_moved = 4;
+  ev.tuples_moved = 99;
+  hub.log_migration(ev);
+
+  std::ostringstream os;
+  hub.write_migration_trace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"migrate\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ts\": 2000"), std::string::npos);   // us
+  EXPECT_NE(out.find("\"dur\": 3000"), std::string::npos);
+  EXPECT_NE(out.find("\"tuples_moved\": 99"), std::string::npos);
+
+  // The free function renders any migration log (benches pass
+  // RunReport::migration_log).
+  std::ostringstream os2;
+  write_migration_trace(os2, {ev, ev});
+  EXPECT_NE(os2.str().find("\"src\": 1"), std::string::npos);
 }
 
 TEST(Metrics, LatencyHistogramPercentiles) {

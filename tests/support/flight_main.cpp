@@ -1,0 +1,46 @@
+// gtest main for the live-runtime (and telemetry) test binaries: on
+// any test failure the telemetry flight recorder is dumped, so a chaos
+// test that trips an assertion leaves the last ~1K events per thread
+// next to the failure message instead of vanishing with the process.
+//
+// The dump goes to stderr (visible in `ctest --output-on-failure`) and
+// to flight_<Suite>_<Test>.dump in the working directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace {
+
+class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    std::string path = "flight_";
+    path += info.test_suite_name();
+    path += '_';
+    path += info.name();
+    path += ".dump";
+    // Parameterized/typed test names contain '/'.
+    for (char& c : path) {
+      if (c == '/') c = '-';
+    }
+    std::cerr << "[  FLIGHT  ] " << info.test_suite_name() << "."
+              << info.name() << " failed; dumping flight recorder\n";
+    fastjoin::telemetry::flight_dump(std::cerr);
+    if (fastjoin::telemetry::flight_dump(path)) {
+      std::cerr << "[  FLIGHT  ] written to " << path << "\n";
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightDumpOnFailure);  // gtest takes ownership
+  return RUN_ALL_TESTS();
+}
