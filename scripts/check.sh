@@ -1,30 +1,40 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus sanitizer passes over the concurrent runtime.
+# Tier-1 gate plus sanitizer and static-analysis passes.
 #
-#   scripts/check.sh            # full: tier-1, TSan, ASan, no-telemetry
+#   scripts/check.sh            # full: tier-1, TSan, ASan, UBSan,
+#                               #       no-telemetry, static analysis
 #   scripts/check.sh --tier1    # tier-1 only
 #   scripts/check.sh --tsan     # TSan runtime+ingest+telemetry tests only
 #   scripts/check.sh --asan     # ASan runtime+ingest+telemetry tests only
+#   scripts/check.sh --ubsan    # UBSan runtime+ingest+telemetry tests only
 #   scripts/check.sh --notel    # FASTJOIN_NO_TELEMETRY build + ctest only
+#   scripts/check.sh --static   # fastjoin-lint + clang-tidy +
+#                               # -Werror=thread-safety build (clang legs
+#                               # skip with a notice when clang is absent)
 #
-# The sanitizer passes rebuild into build-tsan/ / build-asan/ (separate
-# caches) and run the test_runtime and test_ingest binaries, which cover
-# the worker/monitor/supervisor threading, the chaos tests, and the
-# StreamLog append/replay/truncation paths.
+# The sanitizer passes rebuild into build-{tsan,asan,ubsan}/ (separate
+# caches) and run the test_runtime, test_ingest and test_telemetry
+# binaries, which cover the worker/monitor/supervisor threading, the
+# chaos tests, and the StreamLog append/replay/truncation paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
 run_asan=1
+run_ubsan=1
 run_notel=1
+run_static=1
 case "${1:-}" in
-  --tier1) run_tsan=0; run_asan=0; run_notel=0 ;;
-  --tsan) run_tier1=0; run_asan=0; run_notel=0 ;;
-  --asan) run_tier1=0; run_tsan=0; run_notel=0 ;;
-  --notel) run_tier1=0; run_tsan=0; run_asan=0 ;;
+  --tier1)  run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
+  --tsan)   run_tier1=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
+  --asan)   run_tier1=0; run_tsan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
+  --ubsan)  run_tier1=0; run_tsan=0; run_asan=0; run_notel=0; run_static=0 ;;
+  --notel)  run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_static=0 ;;
+  --static) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tsan|--asan|--notel]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--tsan|--asan|--ubsan|--notel|--static]" >&2
+     exit 2 ;;
 esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -56,11 +66,40 @@ if [[ $run_asan -eq 1 ]]; then
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_runtime
 fi
 
+if [[ $run_ubsan -eq 1 ]]; then
+  echo "== UBSan: runtime + ingest + telemetry tests under -fsanitize=undefined =="
+  cmake -B build-ubsan -S . -DFASTJOIN_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$jobs" --target test_runtime \
+    --target test_ingest --target test_telemetry
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_telemetry
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_ingest
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_runtime
+fi
+
 if [[ $run_notel -eq 1 ]]; then
   echo "== no-telemetry: FASTJOIN_NO_TELEMETRY=ON build + full test suite =="
   cmake -B build-notel -S . -DFASTJOIN_NO_TELEMETRY=ON >/dev/null
   cmake --build build-notel -j "$jobs"
   (cd build-notel && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ $run_static -eq 1 ]]; then
+  echo "== static: fastjoin-lint =="
+  python3 scripts/lint/fastjoin_lint.py \
+    --baseline scripts/lint/fastjoin_lint_baseline.json
+
+  echo "== static: clang-tidy (diff vs baseline) =="
+  scripts/run_clang_tidy.sh
+
+  echo "== static: Clang -Werror=thread-safety build =="
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DFASTJOIN_THREAD_SAFETY=ON >/dev/null
+    cmake --build build-tsa -j "$jobs"
+  else
+    echo "clang++ not installed; skipping thread-safety build" \
+         "(the CI static-analysis job runs this leg)"
+  fi
 fi
 
 echo "check.sh: all requested passes green"

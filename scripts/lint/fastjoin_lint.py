@@ -1,0 +1,791 @@
+#!/usr/bin/env python3
+"""fastjoin-lint: project-specific static checks the compiler can't do.
+
+AST-lite: the pass works on comment/string-stripped, tokenized source
+lines (stdlib only, no libclang). Rules:
+
+  atomic-order       every std::atomic load/store/RMW names an explicit
+                     std::memory_order (no seq_cst-by-default). RMW
+                     methods (fetch_add, compare_exchange_*, exchange,
+                     test_and_set) are atomic-only and always checked;
+                     .load()/.store() and operator forms (++, +=, =) are
+                     checked against a cross-file set of identifiers
+                     declared std::atomic, so InstanceLoad::load() and
+                     friends don't false-positive.
+  hot-path-blocking  files tagged `// FASTJOIN_HOT_PATH` (whole file) or
+                     regions between `// FASTJOIN_HOT_PATH_BEGIN` and
+                     `// FASTJOIN_HOT_PATH_END` must not use mutexes,
+                     condition variables, sleeps, or allocate inside a
+                     loop.
+  stub-parity        headers that carry both a real and a
+                     FASTJOIN_NO_TELEMETRY stub branch must declare the
+                     same classes with the same method names in both.
+  banned-api         no C PRNG (rand/srand/random_shuffle), no gets, no
+                     volatile-as-synchronization, no wall-clock/date
+                     includes (<ctime>, <sys/time.h>) in src/ — steady
+                     clocks only.
+
+Escape hatch: `// fastjoin-lint: allow(<rule>)` on the offending line or
+the line directly above suppresses that rule there (add a one-line
+justification after a colon). A committed baseline
+(scripts/lint/fastjoin_lint_baseline.json) gates only NEW findings;
+refresh it with --update-baseline.
+
+Usage:
+  scripts/lint/fastjoin_lint.py [paths...]            # default: src/
+  scripts/lint/fastjoin_lint.py --baseline FILE [--update-baseline]
+  scripts/lint/fastjoin_lint.py --json out.json       # machine-readable
+
+Exit status: 0 clean, 1 new findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+CPP_EXTS = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hh"}
+
+ALLOW_RE = re.compile(r"fastjoin-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> str:
+        # Line-content based (not line-number based) so unrelated edits
+        # above a baselined finding don't resurrect it.
+        norm = re.sub(r"\s+", " ", self.snippet.strip())
+        h = hashlib.sha256(f"{self.path}|{self.rule}|{norm}".encode())
+        return h.hexdigest()[:16]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+                f"    {self.snippet.strip()}")
+
+
+@dataclass
+class SourceFile:
+    path: str
+    raw_lines: list[str]
+    code_lines: list[str]  # comments and string literals blanked
+    allow: dict[int, set[str]] = field(default_factory=dict)  # 0-based
+
+    def allowed(self, idx: int, rule: str) -> bool:
+        for at in (idx, idx - 1):
+            rules = self.allow.get(at)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving layout
+    (each construct is replaced with spaces so columns and line counts
+    survive)."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                buf.append(" " * (n - i))
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        buf.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    buf.append(" ")
+                    i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def load_file(path: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    sf = SourceFile(path=path, raw_lines=raw,
+                    code_lines=strip_comments_and_strings(raw))
+    for idx, line in enumerate(raw):
+        m = ALLOW_RE.search(line)
+        if m:
+            sf.allow[idx] = {r.strip() for r in m.group(1).split(",")}
+    return sf
+
+
+# ---------------------------------------------------------------------------
+# Rule: atomic-order
+# ---------------------------------------------------------------------------
+
+# Methods that only exist on std::atomic / std::atomic_flag: flag any
+# call without a memory_order argument, receiver-independent.
+ATOMIC_ONLY_METHODS = (
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong", "test_and_set",
+)
+# Methods shared with non-atomic types (InstanceLoad::load, ...): flag
+# only when the receiver identifier is known to be a std::atomic.
+ATOMIC_AMBIGUOUS_METHODS = ("load", "store", "exchange")
+
+ATOMIC_DECL_RE = re.compile(
+    r"std\s*::\s*atomic(?:_flag|_bool|_int|_uint|_size_t|_uint64_t)?\b")
+# Identifier (with optional {...} init) that ends a declaration.
+DECL_NAME_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\{[^{}]*\}|=[^,;]*)?\s*(?:[;,]|$)")
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "catch", "new", "delete",
+    "const", "constexpr", "static", "mutable", "explicit", "inline",
+    "class", "struct", "public", "private", "protected", "namespace",
+    "template", "typename", "using", "operator", "noexcept", "default",
+    "true", "false", "nullptr", "do", "else", "break", "continue",
+}
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+# Declaration-shaped line WITHOUT std::atomic: a type token directly
+# before the name. Used to un-shadow names that are atomic in an
+# included header but plain in this file (`bool closed_` vs SpscRing's
+# `std::atomic<bool> closed_`).
+PLAIN_DECL_RE = re.compile(
+    r"(?:\bauto\b|[A-Za-z_][\w:]*(?:<[^<>;]*>)?|[>\*&\]])\s+"
+    r"([A-Za-z_]\w*)\s*(?:[A-Z_]+\([^)]*\)\s*)?(?:=|\{|;)")
+DECL_KEYWORDS = {"return", "delete", "throw", "new", "co_return",
+                 "case", "goto"}
+
+
+def file_plain_names(sf: SourceFile) -> set[str]:
+    names: set[str] = set()
+    for line in sf.code_lines:
+        if ATOMIC_DECL_RE.search(line):
+            continue
+        for m in PLAIN_DECL_RE.finditer(line):
+            before = line[:m.start(1)].strip()
+            first = before.split()[-1] if before else ""
+            if first.rstrip("*&") in DECL_KEYWORDS:
+                continue
+            if m.group(1) not in CPP_KEYWORDS:
+                names.add(m.group(1))
+    return names
+
+
+def file_atomic_names(sf: SourceFile) -> tuple[set[str], set[str]]:
+    """(direct, wrapped) identifiers declared with std::atomic type in
+    this file. `wrapped` names are containers OF atomics (e.g.
+    unique_ptr<std::atomic<T>[]>): only their subscripted form is an
+    atomic access."""
+    names: set[str] = set()
+    wrapped: set[str] = set()
+    for line in sf.code_lines:
+        m0 = ATOMIC_DECL_RE.search(line)
+        if not m0:
+            continue
+        is_wrapped = line[:m0.start()].rstrip().endswith("<")
+        # Only declaration-shaped lines: drop everything through the
+        # last '>' of the template args, then take trailing identifiers
+        # (handles alignas(64), mutable, arrays-in-unique_ptr and brace
+        # inits).
+        tail = line
+        rest = line[m0.end():]
+        gt = _skip_template_args(rest)
+        if gt is not None:
+            tail = rest[gt:]
+        for dm in DECL_NAME_RE.finditer(tail):
+            name = dm.group(1)
+            if name not in CPP_KEYWORDS:
+                (wrapped if is_wrapped else names).add(name)
+    return names, wrapped
+
+
+@dataclass
+class AtomicScope:
+    direct: set[str] = field(default_factory=set)
+    wrapped: set[str] = field(default_factory=set)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.direct or name in self.wrapped
+
+
+def collect_atomic_names(files: list[SourceFile]) -> dict[str, AtomicScope]:
+    """Per-file atomic-identifier sets, scoped to the translation unit:
+    a file sees its own std::atomic declarations plus those of project
+    headers it directly #include-s (matched by path suffix), minus any
+    name this file re-declares with a plain type. A global set would
+    false-positive on common member names (`v`, `head`, `total_`) that
+    are atomic in one class and plain in another."""
+    own = {sf.path: file_atomic_names(sf) for sf in files}
+    plain = {sf.path: file_plain_names(sf) for sf in files}
+    by_suffix: dict[str, list[str]] = {}
+    for sf in files:
+        parts = sf.path.replace("\\", "/").split("/")
+        for i in range(len(parts)):
+            by_suffix.setdefault("/".join(parts[i:]), []).append(sf.path)
+    scoped: dict[str, AtomicScope] = {}
+    for sf in files:
+        direct, wrapped = (set(own[sf.path][0]), set(own[sf.path][1]))
+        for line in sf.raw_lines:
+            m = INCLUDE_RE.search(line)
+            if not m:
+                continue
+            for target in by_suffix.get(m.group(1), []):
+                inc_direct, inc_wrapped = own[target]
+                # Included names lose to this file's own plain decls.
+                direct |= inc_direct - plain[sf.path]
+                wrapped |= inc_wrapped - plain[sf.path]
+        scoped[sf.path] = AtomicScope(direct, wrapped)
+    return scoped
+
+
+def _skip_template_args(s: str) -> int | None:
+    """Given text starting right after 'std::atomic', return the index
+    just past the balanced <...> (or 0 when there is none, e.g.
+    atomic_flag)."""
+    i = 0
+    while i < len(s) and s[i].isspace():
+        i += 1
+    if i >= len(s) or s[i] != "<":
+        return 0
+    depth = 0
+    while i < len(s):
+        if s[i] == "<":
+            depth += 1
+        elif s[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return None  # unbalanced (multi-line decl) — skip
+
+
+def _call_args(line: str, open_paren: int) -> str | None:
+    """Text inside the balanced parens opening at `open_paren`, or None
+    when the call spans lines (caller then peeks ahead)."""
+    depth = 0
+    for i in range(open_paren, len(line)):
+        if line[i] == "(":
+            depth += 1
+        elif line[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return line[open_paren + 1:i]
+    return None
+
+
+METHOD_CALL_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\.|->)\s*)?"
+    r"\b(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set)\s*\(")
+
+ATOMIC_OP_ASSIGN_RE = re.compile(
+    r"(?:^|[^\w.])([A-Za-z_]\w*)\s*(\[[^\]]*\])?\s*"
+    r"(\+\+|--|\+=|-=|\|=|&=|\^=|=(?![=]))")
+ATOMIC_PREFIX_RE = re.compile(
+    r"(\+\+|--)\s*([A-Za-z_]\w*)\s*(\[[^\]]*\])?")
+
+
+def _shadowed_decl(line: str, name_start: int) -> bool:
+    """True when the match site is a declaration of a NEW variable with
+    that name (`const auto pushed = lane->pushed.load(...)`) — a type
+    token directly precedes the identifier. `->`/`(` / statement starts
+    are real accesses."""
+    prev = line[:name_start].rstrip()
+    if not prev or prev.endswith(("->", "(", ",", ";", "{", "&&", "||",
+                                  "=", "return")):
+        return False
+    return prev[-1].isalnum() or prev[-1] in "_>*&]"
+
+
+def check_atomic_order(sf: SourceFile, scope: "AtomicScope",
+                       findings: list[Finding]) -> None:
+    rule = "atomic-order"
+    lines = sf.code_lines
+    for idx, line in enumerate(lines):
+        for m in METHOD_CALL_RE.finditer(line):
+            receiver, method = m.group(1), m.group(2)
+            if method in ATOMIC_AMBIGUOUS_METHODS:
+                if receiver is None or receiver not in scope:
+                    continue
+            # Balanced argument text; peek up to 3 continuation lines
+            # for calls broken across lines.
+            paren = line.index("(", m.end() - 1)
+            args = _call_args(line, paren)
+            peek = idx
+            joined = line
+            while args is None and peek + 1 < len(lines) and peek - idx < 3:
+                peek += 1
+                joined = joined + " " + lines[peek]
+                args = _call_args(joined, paren)
+            if args is None:
+                continue
+            if "memory_order" in args:
+                continue
+            if sf.allowed(idx, rule):
+                continue
+            findings.append(Finding(
+                sf.path, idx + 1, rule,
+                f"{method}() on std::atomic without an explicit "
+                f"std::memory_order (implicit seq_cst)",
+                sf.raw_lines[idx]))
+    # Operator forms on known atomics: ++x / x++ / x += / x = v are all
+    # implicit seq_cst RMWs or stores.
+    for idx, line in enumerate(lines):
+        if ATOMIC_DECL_RE.search(line):
+            continue  # declaration with brace/equals init
+        hits: set[str] = set()
+        for m in ATOMIC_OP_ASSIGN_RE.finditer(line):
+            name, sub = m.group(1), m.group(2)
+            if name not in scope or name in CPP_KEYWORDS:
+                continue
+            if name in scope.wrapped and not sub:
+                continue  # assigning the container, not an element
+            if _shadowed_decl(line, m.start(1)):
+                continue
+            hits.add(name)
+        for m in ATOMIC_PREFIX_RE.finditer(line):
+            name, sub = m.group(2), m.group(3)
+            if name not in scope or (name in scope.wrapped and not sub):
+                continue
+            hits.add(name)
+        for name in sorted(hits):
+            if sf.allowed(idx, "atomic-order"):
+                continue
+            findings.append(Finding(
+                sf.path, idx + 1, "atomic-order",
+                f"operator on std::atomic `{name}` is an implicit "
+                f"seq_cst access; use an explicit-order method",
+                sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
+# Rule: hot-path-blocking
+# ---------------------------------------------------------------------------
+
+BLOCKING_TOKEN_RE = re.compile(
+    r"std\s*::\s*(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+    r"|\b(MutexLockMaybe|MutexLock|UniqueLock|CondVar|Mutex)\b"
+    r"|\b(sleep_for|sleep_until)\s*\(")
+
+ALLOC_IN_LOOP_RE = re.compile(
+    r"\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\s*\(|"
+    r"\bcalloc\s*\(|\bpush_back\s*\(|\bemplace_back\s*\(|"
+    r"\bresize\s*\(|\breserve\s*\(")
+
+LOOP_HEADER_RE = re.compile(r"(?:^|[^\w])(for|while)\s*\(")
+
+
+def hot_regions(sf: SourceFile) -> list[tuple[int, int]]:
+    """[start, end) line ranges (0-based) under hot-path rules."""
+    head = "\n".join(sf.raw_lines[:5])
+    if re.search(r"//\s*FASTJOIN_HOT_PATH\s*$", head, re.M):
+        return [(0, len(sf.raw_lines))]
+    regions = []
+    start = None
+    for idx, line in enumerate(sf.raw_lines):
+        if "FASTJOIN_HOT_PATH_BEGIN" in line:
+            start = idx
+        elif "FASTJOIN_HOT_PATH_END" in line and start is not None:
+            regions.append((start, idx + 1))
+            start = None
+    if start is not None:  # unterminated region runs to EOF
+        regions.append((start, len(sf.raw_lines)))
+    return regions
+
+
+def check_hot_path(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "hot-path-blocking"
+    regions = hot_regions(sf)
+    if not regions:
+        return
+    # Loop extents: a stack of brace depths entered via a braced
+    # for/while header.
+    depth = 0
+    loop_depths: list[int] = []
+    in_loop_at: list[bool] = []
+    pending_loop = False
+    for idx, line in enumerate(sf.code_lines):
+        if LOOP_HEADER_RE.search(line):
+            pending_loop = True
+        for c in line:
+            if c == "{":
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if loop_depths and depth == loop_depths[-1]:
+                    loop_depths.pop()
+        if pending_loop and line.rstrip().endswith(";"):
+            pending_loop = False  # braceless single-statement loop
+        in_loop_at.append(bool(loop_depths))
+
+    def in_region(idx: int) -> bool:
+        return any(a <= idx < b for a, b in regions)
+
+    for idx, line in enumerate(sf.code_lines):
+        if not in_region(idx) or sf.allowed(idx, rule):
+            continue
+        m = BLOCKING_TOKEN_RE.search(line)
+        if m:
+            tok = next(g for g in m.groups() if g)
+            findings.append(Finding(
+                sf.path, idx + 1, rule,
+                f"blocking primitive `{tok}` in a FASTJOIN_HOT_PATH "
+                f"file/region", sf.raw_lines[idx]))
+            continue
+        if in_loop_at[idx]:
+            am = ALLOC_IN_LOOP_RE.search(line)
+            if am:
+                findings.append(Finding(
+                    sf.path, idx + 1, rule,
+                    f"allocation-shaped call `{am.group(0).strip('(')}` "
+                    f"inside a loop in a FASTJOIN_HOT_PATH file/region",
+                    sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
+# Rule: stub-parity
+# ---------------------------------------------------------------------------
+
+CLASS_DECL_RE = re.compile(r"^(class|struct)\s+([A-Za-z_]\w*)")
+METHOD_NAME_RE = re.compile(r"(?<![\w.:>])([A-Za-z_]\w*)\s*\(")
+MACROISH_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def split_telemetry_branches(sf: SourceFile) -> tuple[list[str], list[str]] | None:
+    """(real_lines, stub_lines) for a header with an
+    #ifndef FASTJOIN_NO_TELEMETRY / #else / #endif split, else None."""
+    real: list[str] = []
+    stub: list[str] = []
+    stack: list[str] = []  # 'real' / 'stub' / 'other'
+    has_split = False
+    for raw, code in zip(sf.raw_lines, sf.code_lines):
+        s = raw.strip()
+        if s.startswith("#ifndef") and "FASTJOIN_NO_TELEMETRY" in s:
+            stack.append("real")
+            continue
+        if s.startswith("#ifdef") and "FASTJOIN_NO_TELEMETRY" in s:
+            stack.append("stub")
+            continue
+        if s.startswith("#if"):
+            stack.append("other")
+            continue
+        if s.startswith("#else"):
+            if stack and stack[-1] == "real":
+                stack[-1] = "stub"
+                has_split = True
+            elif stack and stack[-1] == "stub":
+                stack[-1] = "real"
+                has_split = True
+            continue
+        if s.startswith("#endif"):
+            if stack:
+                stack.pop()
+            continue
+        branch = next((b for b in reversed(stack) if b != "other"), None)
+        if branch == "real":
+            real.append(code)
+        elif branch == "stub":
+            stub.append(code)
+    if not has_split or not stub:
+        return None
+    return real, stub
+
+
+def extract_api(lines: list[str]) -> dict[str, set[str]]:
+    """{class_name: {method names}} plus {'<free>': {...}} for functions
+    at namespace scope. Only declarations at the class-body / namespace
+    brace depth count, so calls inside inline bodies are ignored."""
+    api: dict[str, set[str]] = {}
+    depth = 0
+    # (name or None-for-non-class scope, body_depth, access_public)
+    class_stack: list[tuple[str | None, int, bool]] = []
+    pending: tuple[str, str] | None = None  # (kind, name) awaiting '{'
+    for line in lines:
+        stripped = line.strip()
+        m = CLASS_DECL_RE.match(stripped)
+        if m and not stripped.rstrip().endswith(";"):
+            pending = (m.group(1), m.group(2))
+        if class_stack and stripped.startswith(("public:", "private:",
+                                                "protected:")):
+            name, bdepth, _ = class_stack[-1]
+            class_stack[-1] = (name, bdepth,
+                               stripped.startswith("public:"))
+        # Method extraction happens before brace tracking so one-line
+        # inline bodies are seen at class depth.
+        at_class_depth = (class_stack
+                          and depth == class_stack[-1][1] + 1
+                          and class_stack[-1][0] is not None
+                          and class_stack[-1][2])
+        at_ns_depth = not class_stack and depth <= 1
+        if (at_class_depth or at_ns_depth) \
+                and not stripped.startswith(("#", ":", ",", ")")):
+            mm = METHOD_NAME_RE.search(line)
+            if mm:
+                name = mm.group(1)
+                if (name not in CPP_KEYWORDS
+                        and not MACROISH_RE.match(name)):
+                    key = class_stack[-1][0] if at_class_depth else "<free>"
+                    api.setdefault(key, set()).add(name)
+        for c in line:
+            if c == "{":
+                if pending:
+                    kind, name = pending
+                    top_level = depth <= 1
+                    class_stack.append(
+                        (name if top_level else None, depth,
+                         kind == "struct"))
+                    pending = None
+                else:
+                    # Any other brace (function body, namespace, enum):
+                    # track anonymous scope when inside a class so
+                    # nested depths don't count as class depth.
+                    pass
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if class_stack and depth == class_stack[-1][1]:
+                    class_stack.pop()
+        if pending and stripped.endswith(";"):
+            pending = None
+    return api
+
+
+def check_stub_parity(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "stub-parity"
+    if not sf.path.endswith((".hpp", ".h", ".hh")):
+        return  # .cpp bodies are legitimately real-branch-only
+    branches = split_telemetry_branches(sf)
+    if branches is None:
+        return
+    real_api = extract_api(branches[0])
+    stub_api = extract_api(branches[1])
+    if sf.allowed(0, rule) or sf.allowed(1, rule):
+        return
+
+    def report(msg: str) -> None:
+        findings.append(Finding(sf.path, 1, rule, msg, sf.raw_lines[0]))
+
+    for cls in sorted(set(real_api) | set(stub_api)):
+        r = real_api.get(cls)
+        s = stub_api.get(cls)
+        if r is None or s is None:
+            which = "stub" if s is None else "real"
+            report(f"`{cls}` is declared in only one branch (missing "
+                   f"from the {which} FASTJOIN_NO_TELEMETRY branch)")
+            continue
+        for name in sorted(r - s):
+            report(f"`{cls}::{name}` exists in the real branch but not "
+                   f"in the FASTJOIN_NO_TELEMETRY stub")
+        for name in sorted(s - r):
+            report(f"`{cls}::{name}` exists in the FASTJOIN_NO_TELEMETRY "
+                   f"stub but not in the real branch")
+
+
+# ---------------------------------------------------------------------------
+# Rule: banned-api
+# ---------------------------------------------------------------------------
+
+BANNED_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "C PRNG (rand/srand)",
+     "use common/rng.hpp (seeded, reproducible)"),
+    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle",
+     "removed in C++17; use std::shuffle with common/rng"),
+    (re.compile(r"(?<![\w:])gets\s*\("), "gets()",
+     "unbounded read; removed from the standard"),
+    (re.compile(r"\bvolatile\b"), "volatile",
+     "volatile is not a synchronization primitive; use std::atomic"),
+    (re.compile(r'#\s*include\s*<(ctime|time\.h|sys/time\.h)>'),
+     "wall-clock/date include",
+     "steady clocks only (telemetry/clock.hpp); wall time breaks "
+     "replay determinism"),
+]
+
+
+def check_banned_api(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "banned-api"
+    for idx, line in enumerate(sf.code_lines):
+        # Includes are stripped? No: '<ctime>' survives stripping (not a
+        # string), but use raw for include matching to be safe.
+        for pat, what, why in BANNED_PATTERNS:
+            target = sf.raw_lines[idx] if pat.pattern.startswith("#") \
+                else line
+            if pat.search(target):
+                if sf.allowed(idx, rule):
+                    continue
+                findings.append(Finding(
+                    sf.path, idx + 1, rule, f"{what}: {why}",
+                    sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def iter_sources(paths: list[str]) -> list[str]:
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = [d for d in dirs if not d.startswith((".", "build"))]
+            for f in sorted(files):
+                if os.path.splitext(f)[1] in CPP_EXTS:
+                    out.append(os.path.join(root, f))
+    return sorted(set(out))
+
+
+def run(paths: list[str]) -> list[Finding]:
+    files = [load_file(p) for p in iter_sources(paths)]
+    atomic_scopes = collect_atomic_names(files)
+    findings: list[Finding] = []
+    for sf in files:
+        check_atomic_order(sf, atomic_scopes[sf.path], findings)
+        check_hot_path(sf, findings)
+        check_stub_parity(sf, findings)
+        check_banned_api(sf, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to scan (default: src)")
+    ap.add_argument("--baseline", help="baseline JSON; only findings "
+                    "not in it fail the run")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with current findings")
+    ap.add_argument("--json", dest="json_out",
+                    help="write findings as JSON to this path")
+    args = ap.parse_args(argv)
+
+    repo = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    paths = args.paths or [os.path.join(repo, "src")]
+    try:
+        findings = run(paths)
+    except OSError as e:
+        print(f"fastjoin-lint: {e}", file=sys.stderr)
+        return 2
+
+    # Report paths relative to the repo root for stable baselines.
+    for f in findings:
+        f.path = os.path.relpath(f.path, repo) \
+            if os.path.isabs(f.path) else f.path
+
+    baseline_counts: dict[str, int] = {}
+    if args.baseline and os.path.exists(args.baseline) \
+            and not args.update_baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as bf:
+                data = json.load(bf)
+            for entry in data.get("findings", []):
+                fp = entry["fingerprint"]
+                baseline_counts[fp] = baseline_counts.get(fp, 0) + 1
+        except (OSError, ValueError, KeyError) as e:
+            print(f"fastjoin-lint: bad baseline {args.baseline}: {e}",
+                  file=sys.stderr)
+            return 2
+
+    new = []
+    seen: dict[str, int] = {}
+    for f in findings:
+        fp = f.fingerprint()
+        seen[fp] = seen.get(fp, 0) + 1
+        if seen[fp] > baseline_counts.get(fp, 0):
+            new.append(f)
+
+    if args.json_out:
+        payload = {"findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message, "fingerprint": f.fingerprint(),
+             "baselined": f not in new}
+            for f in findings]}
+        with open(args.json_out, "w", encoding="utf-8") as jf:
+            json.dump(payload, jf, indent=2)
+            jf.write("\n")
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("fastjoin-lint: --update-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        payload = {"comment": "fastjoin-lint baseline: pre-existing "
+                   "findings tolerated by CI. Regenerate with "
+                   "--update-baseline after triage; new code must be "
+                   "clean or carry an inline allow().",
+                   "findings": [
+                       {"path": f.path, "line": f.line, "rule": f.rule,
+                        "message": f.message,
+                        "fingerprint": f.fingerprint()}
+                       for f in findings]}
+        with open(args.baseline, "w", encoding="utf-8") as bf:
+            json.dump(payload, bf, indent=2)
+            bf.write("\n")
+        print(f"fastjoin-lint: baseline updated with {len(findings)} "
+              f"finding(s)")
+        return 0
+
+    for f in new:
+        print(f.render())
+    suppressed = len(findings) - len(new)
+    print(f"fastjoin-lint: {len(new)} new finding(s), "
+          f"{suppressed} baselined", file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

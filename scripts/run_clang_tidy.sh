@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# clang-tidy over src/ with the repo's .clang-tidy profile, gated
+# against a committed baseline so only NEW findings fail.
+#
+#   scripts/run_clang_tidy.sh                    # diff vs baseline
+#   scripts/run_clang_tidy.sh --update-baseline  # refresh the baseline
+#   scripts/run_clang_tidy.sh --findings FILE    # also write raw output
+#
+# Exits 0 when clang-tidy is not installed (prints a notice): the local
+# container only ships GCC; the CI static-analysis job installs clang
+# and runs this for real. Baseline entries are normalized
+# "file:line: warning: ... [check]" lines (column dropped so unrelated
+# same-line edits don't churn it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/lint/clang_tidy_baseline.txt
+BUILD_DIR=build-tidy
+UPDATE=0
+FINDINGS_OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update-baseline) UPDATE=1; shift ;;
+    --findings) FINDINGS_OUT="$2"; shift 2 ;;
+    *) echo "usage: $0 [--update-baseline] [--findings FILE]" >&2
+       exit 2 ;;
+  esac
+done
+
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+done
+if [[ -z $TIDY ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not installed; skipping" \
+       "(the CI static-analysis job runs this leg)"
+  exit 0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+# compile_commands.json; prefer a clang-configured cache so tidy's
+# parser agrees with the flags.
+if ! [[ -f $BUILD_DIR/compile_commands.json ]]; then
+  extra=()
+  if command -v clang++ >/dev/null 2>&1; then
+    extra+=(-DCMAKE_CXX_COMPILER=clang++)
+  fi
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        "${extra[@]}" >/dev/null
+fi
+
+mapfile -t sources < <(git ls-files 'src/**/*.cpp' 2>/dev/null ||
+                       find src -name '*.cpp' | sort)
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+# Collect everything; failures surface via the diff, not tidy's exit.
+"$TIDY" -p "$BUILD_DIR" --quiet "${sources[@]}" >"$raw" 2>/dev/null || true
+if [[ -n $FINDINGS_OUT ]]; then cp "$raw" "$FINDINGS_OUT"; fi
+
+# Normalize: keep warning/error lines, make paths repo-relative, drop
+# the column number.
+norm=$(sed -E -e "s|$(pwd)/||g" \
+              -e 's|^([^:]+:[0-9]+):[0-9]+:|\1:|' "$raw" |
+       grep -E '^[^ ]+:[0-9]+: (warning|error):' | sort -u || true)
+
+if [[ $UPDATE -eq 1 ]]; then
+  printf '%s\n' "$norm" >"$BASELINE"
+  echo "run_clang_tidy.sh: baseline updated" \
+       "($(printf '%s\n' "$norm" | grep -c . || true) finding(s))"
+  exit 0
+fi
+
+touch "$BASELINE"
+new=$(comm -13 <(sort -u "$BASELINE") <(printf '%s\n' "$norm") |
+      grep . || true)
+if [[ -n $new ]]; then
+  echo "run_clang_tidy.sh: NEW clang-tidy findings (not in $BASELINE):"
+  printf '%s\n' "$new"
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean (no findings beyond the baseline)"

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace fastjoin::logging {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes the stderr sink, guards no data
 
 const char* name_of(LogLevel l) {
   switch (l) {
@@ -21,13 +22,18 @@ const char* name_of(LogLevel l) {
 }
 }  // namespace
 
-void set_level(LogLevel level) { g_level.store(level); }
+// Relaxed on both sides: the level is a monotonic filter knob, not a
+// synchronization point — a racing FJ_LOG may use the old level for one
+// line, which is fine.
+void set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel level() { return g_level.load(std::memory_order_relaxed); }
 
 void write(LogLevel lvl, const char* subsystem, const std::string& msg) {
   if (lvl < level()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %-10s %s\n", name_of(lvl), subsystem,
                msg.c_str());
 }

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_safety.hpp"
+
+namespace fastjoin {
+
+// Annotated drop-in for std::mutex. libstdc++'s std::mutex carries no
+// capability attribute, so Clang's thread-safety analysis cannot track
+// it; this wrapper is what GUARDED_BY / REQUIRES expressions refer to.
+// Zero overhead: every method is an inline forward.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For interop with std:: facilities that need the raw mutex (CondVar
+  // below). Callers must not lock through this handle directly.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// std::lock_guard shape: acquires in the constructor, releases in the
+// destructor, no unlock before end of scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Conditionally-held scoped lock: locks iff `mu != nullptr`. Used where
+// a fast path skips the lock entirely (LiveEngine fallback-lane push).
+// The analysis treats the capability as held either way, which is the
+// conservative convention (same shape as absl::MutexLockMaybe).
+class SCOPED_CAPABILITY MutexLockMaybe {
+ public:
+  explicit MutexLockMaybe(Mutex* mu) ACQUIRE(mu) : mu_(mu) {
+    if (mu_ != nullptr) mu_->lock();
+  }
+  ~MutexLockMaybe() RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  MutexLockMaybe(const MutexLockMaybe&) = delete;
+  MutexLockMaybe& operator=(const MutexLockMaybe&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Scoped lock that a CondVar can wait on (std::unique_lock shape, but
+// always holding the lock outside CondVar::wait itself). Condition
+// loops are written as explicit `while (!pred) cv.wait(lk);` so every
+// read of a GUARDED_BY field happens in a scope the analysis can see
+// the capability in — Clang analyses lambda bodies without the
+// caller's lock set, so the std::condition_variable predicate overload
+// defeats the analysis.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+// Condition variable bound to fastjoin::Mutex via UniqueLock. wait()
+// releases and reacquires the capability; from the analysis' point of
+// view the lock is held across the call, which matches the caller's
+// invariant (guarded fields are only touched while the wait has
+// returned, i.e. with the lock held).
+class CondVar {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.native(), tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastjoin

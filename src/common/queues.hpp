@@ -1,141 +1,33 @@
 // Concurrent queues for the live multithreaded runtime.
 //
 // SpscRing:     single-producer single-consumer lock-free ring buffer,
-//               one per (dispatcher -> joiner) edge.
+//               one per (dispatcher -> joiner) edge. Lives in
+//               common/spsc_ring.hpp (a FASTJOIN_HOT_PATH file);
+//               re-exported here for existing includers.
 // BoundedQueue: mutex+condvar MPMC with backpressure, for control paths
 //               where contention is rare and blocking semantics are wanted.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
-#include <optional>
 #include <deque>
-#include <vector>
+#include <optional>
+
+#include "common/mutex.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/thread_safety.hpp"
 
 namespace fastjoin {
 
-/// Lock-free SPSC ring. Capacity is rounded up to a power of two.
-/// One slot is sacrificed to distinguish full from empty.
-///
-/// Each side caches the other side's last observed index so the common
-/// case (ring neither full nor empty) touches only its own cache line;
-/// the peer's atomic is re-read only when the cached value would block.
-///
-/// Shutdown convention: close() poisons the ring — subsequent pushes
-/// fail, pops keep draining. A consumer is done when `closed() &&
-/// !try_pop()`: the close flag is checked *before* the final emptiness
-/// test on the push side, so no record can slip in after the consumer
-/// observed closed-and-empty.
-template <typename T>
-class SpscRing {
- public:
-  explicit SpscRing(std::size_t capacity) {
-    std::size_t cap = 2;
-    while (cap < capacity + 1) cap <<= 1;
-    buffer_.resize(cap);
-    mask_ = cap - 1;
-  }
-
-  SpscRing(const SpscRing&) = delete;
-  SpscRing& operator=(const SpscRing&) = delete;
-
-  /// Producer side. Returns false when full or closed.
-  bool try_push(T value) {
-    if (closed_.load(std::memory_order_acquire)) return false;
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = (head + 1) & mask_;
-    if (next == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (next == tail_cache_) return false;
-    }
-    buffer_[head] = std::move(value);
-    head_.store(next, std::memory_order_release);
-    return true;
-  }
-
-  /// Producer side: push up to `n` items, amortizing the index update
-  /// over the whole run. Returns how many were consumed from `items`
-  /// (< n when the ring fills or is closed); the prefix is moved-from.
-  std::size_t try_push_batch(T* items, std::size_t n) {
-    if (n == 0 || closed_.load(std::memory_order_acquire)) return 0;
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    std::size_t free = (tail_cache_ - head - 1) & mask_;
-    if (free < n) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      free = (tail_cache_ - head - 1) & mask_;
-    }
-    const std::size_t m = std::min(n, free);
-    for (std::size_t i = 0; i < m; ++i) {
-      buffer_[(head + i) & mask_] = std::move(items[i]);
-    }
-    if (m > 0) head_.store((head + m) & mask_, std::memory_order_release);
-    return m;
-  }
-
-  /// Consumer side. Returns nullopt when empty.
-  std::optional<T> try_pop() {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail == head_cache_) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      if (tail == head_cache_) return std::nullopt;
-    }
-    T value = std::move(buffer_[tail]);
-    tail_.store((tail + 1) & mask_, std::memory_order_release);
-    return value;
-  }
-
-  /// Consumer side: pop up to `max` items into `out`, updating the
-  /// shared index once for the whole run. Returns the count popped.
-  std::size_t try_pop_batch(T* out, std::size_t max) {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    std::size_t avail = (head_cache_ - tail) & mask_;
-    if (avail < max) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      avail = (head_cache_ - tail) & mask_;
-    }
-    const std::size_t m = std::min(max, avail);
-    for (std::size_t i = 0; i < m; ++i) {
-      out[i] = std::move(buffer_[(tail + i) & mask_]);
-    }
-    if (m > 0) tail_.store((tail + m) & mask_, std::memory_order_release);
-    return m;
-  }
-
-  /// Poison the ring: pushes fail from now on, pops drain what is left.
-  /// Callable from any thread.
-  void close() { closed_.store(true, std::memory_order_release); }
-
-  bool closed() const { return closed_.load(std::memory_order_acquire); }
-
-  /// Approximate occupancy (consumer-side snapshot). This is exactly the
-  /// paper's φ — the pending-probe queue length used in the load model.
-  std::size_t size_approx() const {
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
-    return (head - tail) & mask_;
-  }
-
-  bool empty_approx() const { return size_approx() == 0; }
-
-  std::size_t capacity() const { return mask_; }
-
- private:
-  std::vector<T> buffer_;
-  std::size_t mask_;
-  std::atomic<bool> closed_{false};
-  alignas(64) std::atomic<std::size_t> head_{0};
-  std::size_t tail_cache_ = 0;  ///< producer's view of tail_
-  alignas(64) std::atomic<std::size_t> tail_{0};
-  std::size_t head_cache_ = 0;  ///< consumer's view of head_
-};
-
 /// Blocking MPMC queue with a capacity bound (backpressure) and
 /// close() for clean shutdown.
+///
+/// Lock discipline is machine-checked: items_ / closed_ are GUARDED_BY
+/// mutex_, and the wait loops are written as explicit `while` loops so
+/// every guarded read happens in a scope where Clang's thread-safety
+/// analysis can see the capability (predicate lambdas are analysed
+/// without the caller's lock set).
 template <typename T>
 class BoundedQueue {
  public:
@@ -144,18 +36,17 @@ class BoundedQueue {
   }
 
   /// Blocks while full; returns false if the queue was closed.
-  bool push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T value) EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(value));
     not_empty_.notify_one();
     return true;
   }
 
-  bool try_push(T value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_push(T value) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -163,9 +54,9 @@ class BoundedQueue {
   }
 
   /// Blocks while empty; returns nullopt once closed AND drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -173,8 +64,8 @@ class BoundedQueue {
     return value;
   }
 
-  std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -188,13 +79,16 @@ class BoundedQueue {
   /// they can notice out-of-band state (a crash flag, a deadline)
   /// even when no producer ever wakes them.
   template <typename Rep, typename Period>
-  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;  // timed out
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout)
+      EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
-    if (items_.empty()) return std::nullopt;  // closed and drained
+    if (items_.empty()) return std::nullopt;  // timed out, or closed+drained
     T value = std::move(items_.front());
     items_.pop_front();
     not_full_.notify_one();
@@ -202,30 +96,30 @@ class BoundedQueue {
   }
 
   /// After close(), pushes fail and pops drain the remaining items.
-  void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void close() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fastjoin

@@ -1,0 +1,131 @@
+// FASTJOIN_HOT_PATH
+//
+// Lock-free SPSC ring buffer — one per (dispatcher -> joiner) edge.
+// This file is on the per-tuple data plane: fastjoin-lint forbids
+// mutexes, condition variables, and allocation inside loops here.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fastjoin {
+
+/// Lock-free SPSC ring. Capacity is rounded up to a power of two.
+/// One slot is sacrificed to distinguish full from empty.
+///
+/// Each side caches the other side's last observed index so the common
+/// case (ring neither full nor empty) touches only its own cache line;
+/// the peer's atomic is re-read only when the cached value would block.
+///
+/// Shutdown convention: close() poisons the ring — subsequent pushes
+/// fail, pops keep draining. A consumer is done when `closed() &&
+/// !try_pop()`: the close flag is checked *before* the final emptiness
+/// test on the push side, so no record can slip in after the consumer
+/// observed closed-and-empty.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full or closed.
+  bool try_push(T value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (next == tail_cache_) return false;
+    }
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: push up to `n` items, amortizing the index update
+  /// over the whole run. Returns how many were consumed from `items`
+  /// (< n when the ring fills or is closed); the prefix is moved-from.
+  std::size_t try_push_batch(T* items, std::size_t n) {
+    if (n == 0 || closed_.load(std::memory_order_acquire)) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free = (tail_cache_ - head - 1) & mask_;
+    if (free < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      free = (tail_cache_ - head - 1) & mask_;
+    }
+    const std::size_t m = std::min(n, free);
+    for (std::size_t i = 0; i < m; ++i) {
+      buffer_[(head + i) & mask_] = std::move(items[i]);
+    }
+    if (m > 0) head_.store((head + m) & mask_, std::memory_order_release);
+    return m;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;
+    }
+    T value = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer side: pop up to `max` items into `out`, updating the
+  /// shared index once for the whole run. Returns the count popped.
+  std::size_t try_pop_batch(T* out, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = (head_cache_ - tail) & mask_;
+    if (avail < max) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      avail = (head_cache_ - tail) & mask_;
+    }
+    const std::size_t m = std::min(max, avail);
+    for (std::size_t i = 0; i < m; ++i) {
+      out[i] = std::move(buffer_[(tail + i) & mask_]);
+    }
+    if (m > 0) tail_.store((tail + m) & mask_, std::memory_order_release);
+    return m;
+  }
+
+  /// Poison the ring: pushes fail from now on, pops drain what is left.
+  /// Callable from any thread.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (consumer-side snapshot). This is exactly the
+  /// paper's φ — the pending-probe queue length used in the load model.
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  std::atomic<bool> closed_{false};
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;  ///< producer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;  ///< consumer's view of head_
+};
+
+}  // namespace fastjoin

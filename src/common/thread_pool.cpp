@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -34,7 +34,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -42,8 +42,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!tasks_.empty() || active_ > 0) idle_cv_.wait(lock);
 }
 
 }  // namespace fastjoin

@@ -1,14 +1,15 @@
 // Fixed-size thread pool used by the live runtime and parallel benches.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_safety.hpp"
 
 namespace fastjoin {
 
@@ -29,7 +30,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -37,20 +38,20 @@ class ThreadPool {
   }
 
   /// Block until every queued task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fastjoin

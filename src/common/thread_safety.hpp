@@ -1,0 +1,83 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros.
+//
+// These expand to __attribute__((...)) under Clang and to nothing under
+// every other compiler, so the annotations are free documentation on GCC
+// and machine-checked lock discipline under the `-Werror=thread-safety`
+// build leg (scripts/check.sh --static, CI `static-analysis` job).
+//
+// The annotations only bite on types that carry a capability attribute;
+// libstdc++'s std::mutex does not, so code that wants checking uses the
+// annotated wrappers in src/common/mutex.hpp (fastjoin::Mutex,
+// fastjoin::MutexLock, ...) instead of std::mutex directly.
+//
+// Naming follows the canonical Clang documentation / abseil
+// thread_annotations.h vocabulary so the annotations read the same way
+// they do in the upstream docs.
+
+#if defined(__clang__) && !defined(SWIG)
+#define FASTJOIN_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FASTJOIN_TSA_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// A type that is a lockable capability (e.g. a mutex). The string names
+// the capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) FASTJOIN_TSA_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and
+// releases it in its destructor (std::lock_guard shape).
+#define SCOPED_CAPABILITY FASTJOIN_TSA_ATTRIBUTE(scoped_lockable)
+
+// Data member may only be read or written while holding the given
+// capability.
+#define GUARDED_BY(x) FASTJOIN_TSA_ATTRIBUTE(guarded_by(x))
+
+// Pointer member: the *pointee* is protected by the capability (the
+// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) FASTJOIN_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+// Function requires the capability to be held on entry and does not
+// release it.
+#define REQUIRES(...) \
+  FASTJOIN_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  FASTJOIN_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability (with no argument: the
+// capability is `this`, i.e. the annotated member function of a
+// capability type).
+#define ACQUIRE(...) FASTJOIN_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  FASTJOIN_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FASTJOIN_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  FASTJOIN_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// Function attempts to acquire the capability; first argument is the
+// return value that signals success, e.g. TRY_ACQUIRE(true).
+#define TRY_ACQUIRE(...) \
+  FASTJOIN_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock guard for functions
+// that take the lock themselves).
+#define EXCLUDES(...) FASTJOIN_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code the analysis
+// cannot follow, e.g. after a handoff).
+#define ASSERT_CAPABILITY(x) FASTJOIN_TSA_ATTRIBUTE(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) FASTJOIN_TSA_ATTRIBUTE(lock_returned(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  FASTJOIN_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  FASTJOIN_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Escape hatch: the function is exempt from analysis. Every use must
+// carry a one-line justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FASTJOIN_TSA_ATTRIBUTE(no_thread_safety_analysis)

@@ -89,6 +89,10 @@ std::unique_ptr<StreamLog> StreamLog::open(const IngestConfig& cfg) {
     std::sort(fs.begin(), fs.end(),
               [](const Found& a, const Found& b) { return a.base < b.base; });
     Partition& part = *log->parts_[p];
+    // Recovery is single-threaded, but the lock keeps the analysis'
+    // (and TSan's) view uniform: segments are only ever touched under
+    // the partition mutex.
+    MutexLock lock(part.mu);
     for (auto& f : fs) {
       auto seg = SegmentFile::reopen(f.path.string(), log->seg_capacity_);
       if (!seg) continue;
@@ -138,7 +142,7 @@ std::optional<std::uint64_t> StreamLog::try_append(std::uint32_t partition,
                                                    InstanceId store_dst,
                                                    InstanceId probe_dst) {
   Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   if (unflushed_locked(p) + kLogRecordBytes > cfg_.max_unflushed_bytes) {
     backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
     ingest_metrics().backpressure.add(1);
@@ -177,7 +181,7 @@ std::uint64_t StreamLog::append_batch(std::uint32_t partition,
   std::byte buf[kChunk * kLogRecordBytes];
 
   Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   const std::uint64_t base = p.next_offset;
   std::size_t done = 0;
   while (done < n) {
@@ -219,7 +223,7 @@ std::uint64_t StreamLog::append_batch(std::uint32_t partition,
 
 void StreamLog::flush(std::uint32_t partition) {
   Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   if (!p.segments.empty()) {
     p.segments.back().file->flush();
     flushes_.fetch_add(1, std::memory_order_relaxed);
@@ -232,13 +236,13 @@ void StreamLog::flush_all() {
 
 std::uint64_t StreamLog::start_offset(std::uint32_t partition) const {
   const Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   return p.segments.empty() ? p.next_offset : p.segments.front().base;
 }
 
 std::uint64_t StreamLog::end_offset(std::uint32_t partition) const {
   const Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   return p.next_offset;
 }
 
@@ -246,7 +250,7 @@ std::size_t StreamLog::read(std::uint32_t partition, std::uint64_t from,
                             std::size_t max,
                             std::vector<LogRecord>& out) const {
   const Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   if (p.segments.empty() || max == 0) return 0;
   from = std::max(from, p.segments.front().base);
   std::size_t got = 0;
@@ -283,7 +287,7 @@ std::size_t StreamLog::read(std::uint32_t partition, std::uint64_t from,
 std::uint64_t StreamLog::truncate_before(std::uint32_t partition,
                                          std::uint64_t offset) {
   Partition& p = *parts_[partition];
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   std::uint64_t removed = 0;
   while (p.segments.size() > 1) {
     const Seg& front = p.segments.front();

@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_safety.hpp"
 #include "ingest/log_record.hpp"
 #include "ingest/segment.hpp"
 
@@ -141,18 +142,20 @@ class StreamLog {
     }
   };
   struct Partition {
-    mutable std::mutex mu;
-    std::deque<Seg> segments;
-    std::uint64_t next_offset = 0;
-    std::uint64_t seg_seq = 0;  ///< distinct file names across rolls
+    mutable Mutex mu;
+    std::deque<Seg> segments GUARDED_BY(mu);
+    std::uint64_t next_offset GUARDED_BY(mu) = 0;
+    /// Distinct file names across rolls.
+    std::uint64_t seg_seq GUARDED_BY(mu) = 0;
   };
 
   std::string segment_path(std::uint32_t partition,
                            std::uint64_t base) const;
   /// Ensure the partition's active segment has room; rolls (flushing
   /// the finished segment) when needed. Caller holds p.mu.
-  SegmentFile& writable_segment(std::uint32_t idx, Partition& p);
-  std::size_t unflushed_locked(const Partition& p) const;
+  SegmentFile& writable_segment(std::uint32_t idx, Partition& p)
+      REQUIRES(p.mu);
+  std::size_t unflushed_locked(const Partition& p) const REQUIRES(p.mu);
 
   IngestConfig cfg_;
   std::size_t seg_capacity_ = 0;  ///< cfg.segment_bytes, record-aligned

@@ -165,13 +165,13 @@ class LiveEngine::Worker {
 
   /// Latest queue-order-consistent snapshot (null if none was taken).
   std::shared_ptr<const Checkpoint> latest_checkpoint() const {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(ckpt_mutex_);
     return checkpoint_;
   }
   /// Carry a predecessor's snapshot into a respawned worker so a second
   /// crash before the next checkpoint round still has a restore point.
   void seed_checkpoint(std::shared_ptr<const Checkpoint> ckpt) {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(ckpt_mutex_);
     checkpoint_ = std::move(ckpt);
   }
   /// Pre-start restore of one checkpointed tuple (respawn path only;
@@ -660,7 +660,7 @@ class LiveEngine::Worker {
     }
     tel::flight_record(tel::FlightEvent::kCtrlCheckpoint, fid(),
                        snap->tuples.size());
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    MutexLock lock(ckpt_mutex_);
     checkpoint_ = std::move(snap);
   }
 
@@ -696,8 +696,8 @@ class LiveEngine::Worker {
 
   std::atomic<bool> crashed_{false};
   std::chrono::steady_clock::time_point crashed_at_{};
-  mutable std::mutex ckpt_mutex_;
-  std::shared_ptr<const Checkpoint> checkpoint_;
+  mutable Mutex ckpt_mutex_;
+  std::shared_ptr<const Checkpoint> checkpoint_ GUARDED_BY(ckpt_mutex_);
 
   std::atomic<std::uint64_t> stored_count_{0};
   std::atomic<std::uint64_t> probes_done_{0};
@@ -878,16 +878,17 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
   if (!laned()) return push_batch_legacy(recs, n);
 
   std::size_t lane_idx;
-  std::unique_lock<std::mutex> fallback_lock;
+  Mutex* fallback = nullptr;
   if (producer < 0 ||
       producer >= static_cast<int>(cfg_.max_producers)) {
     // Unregistered callers share the last lane, serialized by a mutex
     // (the SPSC contract needs one producer at a time per lane).
-    fallback_lock = std::unique_lock<std::mutex>(fallback_mutex_);
+    fallback = &fallback_mutex_;
     lane_idx = cfg_.max_producers;
   } else {
     lane_idx = static_cast<std::size_t>(producer);
   }
+  MutexLockMaybe fallback_lock(fallback);
   ProducerSlot& slot = producer_slots_[lane_idx];
 
   // Seqlock critical section (odd = inside): brackets the routing-table
@@ -963,7 +964,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
 /// record an honest before/after in one run.
 std::size_t LiveEngine::push_batch_legacy(const Record* recs,
                                           std::size_t n) {
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  MutexLock lock(route_mutex_);
   const RouteTable& rt = *route_table_.load(std::memory_order_acquire);
   // All legacy pushes are serialized by route_mutex_, so the fallback
   // slot's sampling tick is safe to use here.
@@ -1005,7 +1006,7 @@ void LiveEngine::publish_routes(Mutate&& mutate) {
   {
     // route_mutex_ serializes against legacy-mode pushes and pins
     // worker slots; laned producers never take it.
-    std::lock_guard<std::mutex> lock(route_mutex_);
+    MutexLock lock(route_mutex_);
     route_table_.store(next, std::memory_order_seq_cst);
   }
   wait_for_producers();
@@ -1064,7 +1065,7 @@ void LiveEngine::crash(Side group, InstanceId id) {
   if (!running()) return;
   const int g = static_cast<int>(group);
   // The routing lock pins the worker slot against a concurrent respawn.
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  MutexLock lock(route_mutex_);
   if (id >= workers_[g].size()) return;
   Worker& w = *workers_[g][id];
   if (w.crashed()) return;
@@ -1454,7 +1455,7 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   {
     // The routing lock both gives a stable routing view for the restore
     // filter and pins the slot against concurrent crash()/legacy push.
-    std::lock_guard<std::mutex> lock(route_mutex_);
+    MutexLock lock(route_mutex_);
     if (ckpt) {
       for (const auto& [key, st] : ckpt->tuples) {
         // Keys that migrated away since the snapshot belong to another
@@ -1480,7 +1481,7 @@ void LiveEngine::respawn(Side group, InstanceId id) {
     replay_worker(group, id, *fresh, from, marks);
   }
   {
-    std::lock_guard<std::mutex> lock(route_mutex_);
+    MutexLock lock(route_mutex_);
     workers_[g][id] = std::move(fresh);  // destroys the old worker
   }
   workers_[g][id]->start();
@@ -1567,7 +1568,7 @@ void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
   // The routing lock gives a stable view for the retarget decisions; the
   // monitor thread (migration orchestrator) is the caller, so routes
   // could not move under us anyway, but crash()/legacy pushes can race.
-  std::lock_guard<std::mutex> lock(route_mutex_);
+  MutexLock lock(route_mutex_);
   for (;;) {
     // K-way merge: pick the globally next record in the `precedes` total
     // order so replay preserves the store/probe interleaving the live
@@ -1703,7 +1704,7 @@ LiveStats LiveEngine::finish() {
                         "first; finish() only once)";
     return {};
   }
-  stopping_.store(true);
+  stopping_.store(true, std::memory_order_release);
   if (monitor_thread_.joinable()) monitor_thread_.join();
 
   // With replay enabled, recover any worker that died after the
@@ -1736,12 +1737,12 @@ LiveStats LiveEngine::finish() {
       merged.merge(w->latency_hist());
     }
   }
-  stats.records_in = records_in_.load();
-  stats.records_dropped = records_dropped_.load();
+  stats.records_in = records_in_.load(std::memory_order_relaxed);
+  stats.records_dropped = records_dropped_.load(std::memory_order_relaxed);
   stats.migrations = migrations_;
   stats.migrations_aborted = migrations_aborted_;
-  stats.tuples_migrated = tuples_migrated_.load();
-  stats.crashes = crashes_.load();
+  stats.tuples_migrated = tuples_migrated_.load(std::memory_order_relaxed);
+  stats.crashes = crashes_.load(std::memory_order_relaxed);
   stats.recoveries = recoveries_;
   stats.tuples_restored = tuples_restored_;
   stats.checkpoints = checkpoints_;

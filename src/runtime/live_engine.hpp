@@ -89,7 +89,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <variant>
@@ -97,7 +96,9 @@
 
 #include "common/hash.hpp"
 #include "common/histogram.hpp"
+#include "common/mutex.hpp"
 #include "common/queues.hpp"
+#include "common/thread_safety.hpp"
 #include "core/planner.hpp"
 #include "engine/join_store.hpp"
 #include "engine/tuple.hpp"
@@ -474,16 +475,22 @@ class LiveEngine {
   std::vector<std::unique_ptr<LaneSet>> lane_sets_[2];
   std::vector<ProducerSlot> producer_slots_;  ///< [max_producers]+fallback
   std::atomic<std::uint32_t> producers_registered_{0};
-  std::mutex fallback_mutex_;  ///< serializes unregistered producers
+  /// Serializes unregistered producers. A pure serialization capability
+  /// (it guards the fallback lane's producer side and the fallback
+  /// ProducerSlot, which are indexed, not named, so GUARDED_BY cannot
+  /// express them); see docs/static_analysis.md.
+  Mutex fallback_mutex_;
 
   /// Current routing table; readers load the pointer (no lock) inside
   /// their producer critical section, the monitor swaps it under
   /// route_mutex_ and reclaims after a grace period. route_mutex_ also
   /// pins worker slots against concurrent crash()/respawn(), and in
   /// legacy mode serializes the whole push path (the measured
-  /// pre-optimization behavior).
+  /// pre-optimization behavior). route_table_ itself is deliberately
+  /// NOT GUARDED_BY(route_mutex_): the data plane reads it lock-free by
+  /// design; the mutex only serializes writers.
   std::atomic<const RouteTable*> route_table_;
-  mutable std::mutex route_mutex_;
+  mutable Mutex route_mutex_;
 
   std::thread monitor_thread_;
   std::atomic<bool> stopping_{false};

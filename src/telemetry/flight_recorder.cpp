@@ -8,9 +8,10 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_safety.hpp"
 #include "telemetry/clock.hpp"
 #endif
 
@@ -52,6 +53,10 @@ namespace {
 
 constexpr std::size_t kLabelBytes = 32;
 
+// FASTJOIN_HOT_PATH_BEGIN
+// Slot / ThreadRing are written from the data plane (flight_record
+// below): all-atomic fields, no locks, no allocation.
+
 /// One slot in a ring. All-atomic so the dumper's cross-thread reads
 /// are TSan-clean; relaxed everywhere because torn events are
 /// acceptable in a diagnostic artifact.
@@ -78,13 +83,15 @@ struct ThreadRing {
   }
 };
 
+// FASTJOIN_HOT_PATH_END
+
 struct Recorder {
-  std::mutex mu;  // ring registration/recycling only
-  std::vector<std::unique_ptr<ThreadRing>> rings;
+  Mutex mu;  // ring registration/recycling only
+  std::vector<std::unique_ptr<ThreadRing>> rings GUARDED_BY(mu);
   std::atomic<std::uint64_t> total{0};
 
-  ThreadRing* acquire(std::uint32_t tid) {
-    std::lock_guard<std::mutex> lock(mu);
+  ThreadRing* acquire(std::uint32_t tid) EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (rings.size() >= kFlightMaxRings) {
       // Recycle the least-recently-retired ring; a live set this large
       // means we are churning workers, and the oldest corpse is the
@@ -142,6 +149,10 @@ void set_thread_label(const char* label) {
   ring.label[kLabelBytes - 1] = '\0';
 }
 
+// FASTJOIN_HOT_PATH_BEGIN
+// Per-batch record call on the data plane: relaxed stores into the
+// caller's own ring, wait-free (ring acquisition above is once per
+// thread, outside this region).
 void flight_record(FlightEvent ev, std::uint64_t a, std::uint64_t b) {
   ThreadRing& ring = thread_ring();
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
@@ -154,6 +165,7 @@ void flight_record(FlightEvent ev, std::uint64_t a, std::uint64_t b) {
   ring.head.store(h + 1, std::memory_order_release);
   recorder().total.fetch_add(1, std::memory_order_relaxed);
 }
+// FASTJOIN_HOT_PATH_END
 
 std::uint64_t flight_recorded_total() {
   return recorder().total.load(std::memory_order_relaxed);
@@ -161,7 +173,7 @@ std::uint64_t flight_recorded_total() {
 
 void flight_dump(std::ostream& os) {
   Recorder& rec = recorder();
-  std::lock_guard<std::mutex> lock(rec.mu);
+  MutexLock lock(rec.mu);
   os << "=== flight recorder dump @ " << now_ns() << " ns ("
      << rec.rings.size() << " thread rings, "
      << rec.total.load(std::memory_order_relaxed)

@@ -97,7 +97,7 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : counters_) {
     if (e->name == name) return e->metric;
   }
@@ -107,7 +107,7 @@ Counter& MetricRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : gauges_) {
     if (e->name == name) return e->metric;
   }
@@ -117,7 +117,7 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
 
 ConcurrentHistogram& MetricRegistry::histogram(
     std::string_view name, const HistogramParams& params) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : histograms_) {
     if (e->name == name) return e->metric;
   }
@@ -127,7 +127,7 @@ ConcurrentHistogram& MetricRegistry::histogram(
 }
 
 MetricsSnapshot MetricRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.at_ns = now_ns();
   snap.counters.reserve(counters_.size());
@@ -147,7 +147,7 @@ MetricsSnapshot MetricRegistry::snapshot() const {
 }
 
 void MetricRegistry::sample(std::uint64_t at_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto t = static_cast<SimTime>(at_ns);
   for (auto& e : counters_) {
     if (e->series.size() >= kMaxSeriesPoints) continue;
@@ -166,7 +166,7 @@ void MetricRegistry::sample(std::uint64_t at_ns) {
 }
 
 const TimeSeries* MetricRegistry::series(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& e : counters_) {
     if (e->name == name) return &e->series;
   }
@@ -180,7 +180,7 @@ const TimeSeries* MetricRegistry::series(std::string_view name) const {
 }
 
 void MetricRegistry::reset_series() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : counters_) e->series = TimeSeries{e->name};
   for (auto& e : gauges_) e->series = TimeSeries{e->name};
   for (auto& e : histograms_) e->series = TimeSeries{e->name};

@@ -32,11 +32,18 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.hpp"
+#include "common/thread_safety.hpp"
 #include "telemetry/clock.hpp"
 
 namespace fastjoin::telemetry {
+
+// FASTJOIN_HOT_PATH_BEGIN
+// Counter / Gauge / ConcurrentHistogram updates run on the per-tuple
+// data plane: fastjoin-lint forbids mutexes, condition variables, and
+// allocation-in-loop in this region. (MetricRegistry, below the END
+// marker, is registration/sampling-rate code and may lock.)
 
 /// Wait-free sharded counter. Threads hash to shards by their dense
 /// telemetry thread index, so steady-state updates never contend.
@@ -109,6 +116,8 @@ class ConcurrentHistogram {
   std::atomic<double> max_seen_{0.0};
 };
 
+// FASTJOIN_HOT_PATH_END
+
 /// One named metric's value at snapshot time.
 struct MetricValue {
   std::string name;
@@ -135,26 +144,27 @@ class MetricRegistry {
  public:
   /// Find-or-create by name. References stay valid for the registry's
   /// lifetime; resolve once at setup, then update lock-free.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mu_);
   ConcurrentHistogram& histogram(std::string_view name,
-                                 const HistogramParams& params = {});
+                                 const HistogramParams& params = {})
+      EXCLUDES(mu_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const EXCLUDES(mu_);
 
   /// Append every metric's current value to its TimeSeries at time
   /// `at_ns` (defaults to now). Intended to be driven by one
   /// low-frequency thread (the engine monitor); series longer than
   /// kMaxSeriesPoints stop growing so long-lived processes stay
   /// bounded.
-  void sample(std::uint64_t at_ns = now_ns());
+  void sample(std::uint64_t at_ns = now_ns()) EXCLUDES(mu_);
 
   /// Recorded series for a metric (nullptr when never sampled).
-  const TimeSeries* series(std::string_view name) const;
+  const TimeSeries* series(std::string_view name) const EXCLUDES(mu_);
 
   /// Drop all recorded series points (metric values are untouched).
   /// Tests and benches use this to isolate runs on the global registry.
-  void reset_series();
+  void reset_series() EXCLUDES(mu_);
 
   static constexpr std::size_t kMaxSeriesPoints = 1 << 16;
 
@@ -177,10 +187,11 @@ class MetricRegistry {
     T metric;
     TimeSeries series;
   };
-  mutable std::mutex mu_;  // registration + sampling; never hot-path
-  std::deque<std::unique_ptr<Entry<Counter>>> counters_;
-  std::deque<std::unique_ptr<Entry<Gauge>>> gauges_;
-  std::deque<std::unique_ptr<Entry<ConcurrentHistogram>>> histograms_;
+  mutable Mutex mu_;  // registration + sampling; never hot-path
+  std::deque<std::unique_ptr<Entry<Counter>>> counters_ GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<Entry<Gauge>>> gauges_ GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<Entry<ConcurrentHistogram>>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace fastjoin::telemetry

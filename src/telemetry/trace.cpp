@@ -9,7 +9,7 @@ namespace fastjoin::telemetry {
 
 std::uint64_t TraceLog::begin(std::string_view name,
                               std::string_view cat) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= kMaxSpans) {
     ++dropped_;
     return kInvalid;
@@ -24,7 +24,7 @@ std::uint64_t TraceLog::begin(std::string_view name,
 }
 
 void TraceLog::end(std::uint64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handle >= spans_.size()) return;
   TraceSpan& s = spans_[handle];
   if (!s.open) return;
@@ -34,13 +34,13 @@ void TraceLog::end(std::uint64_t handle) {
 
 void TraceLog::arg(std::uint64_t handle, std::string_view key,
                    std::int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handle >= spans_.size()) return;
   spans_[handle].args.push_back({std::string(key), value});
 }
 
 void TraceLog::instant(std::string_view name, std::string_view cat) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= kMaxSpans) {
     ++dropped_;
     return;
@@ -56,17 +56,17 @@ void TraceLog::instant(std::string_view name, std::string_view cat) {
 }
 
 std::size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::uint64_t TraceLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceLog::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }
@@ -86,7 +86,7 @@ void json_escape(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void TraceLog::write_chrome_trace(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t now = now_ns();
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;

@@ -20,9 +20,10 @@
 
 #ifndef FASTJOIN_NO_TELEMETRY
 
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_safety.hpp"
 #include "telemetry/clock.hpp"
 
 namespace fastjoin::telemetry {
@@ -51,31 +52,32 @@ class TraceLog {
 
   /// Open a span on the calling thread's track. Returns a handle for
   /// end()/arg(); kInvalid when the log is full (all ops on it no-op).
-  std::uint64_t begin(std::string_view name, std::string_view cat);
-  void end(std::uint64_t handle);
+  std::uint64_t begin(std::string_view name, std::string_view cat)
+      EXCLUDES(mu_);
+  void end(std::uint64_t handle) EXCLUDES(mu_);
   /// Attach a numeric argument (visible in the Perfetto side panel).
-  void arg(std::uint64_t handle, std::string_view key,
-           std::int64_t value);
+  void arg(std::uint64_t handle, std::string_view key, std::int64_t value)
+      EXCLUDES(mu_);
   /// Zero-duration marker.
-  void instant(std::string_view name, std::string_view cat);
+  void instant(std::string_view name, std::string_view cat) EXCLUDES(mu_);
 
   static constexpr std::uint64_t kInvalid = ~0ull;
 
-  std::size_t size() const;
-  std::uint64_t dropped() const;
-  void clear();
+  std::size_t size() const EXCLUDES(mu_);
+  std::uint64_t dropped() const EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
 
   /// Write the Chrome Trace Event JSON. Open spans are emitted with
   /// their current duration.
-  void write_chrome_trace(std::ostream& os) const;
-  bool write_chrome_trace(const std::string& path) const;
+  void write_chrome_trace(std::ostream& os) const EXCLUDES(mu_);
+  bool write_chrome_trace(const std::string& path) const EXCLUDES(mu_);
 
   static TraceLog& global();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: opens in the constructor, closes in the destructor.

@@ -1,0 +1,22 @@
+// Fixture: the same violations as atomic_order_bad.cpp, each carrying
+// an inline allow() — the rule must report nothing.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+int ok_load() {
+  return counter.load();  // fastjoin-lint: allow(atomic-order): fixture
+}
+
+void ok_rmw() {
+  // fastjoin-lint: allow(atomic-order): preceding-line form
+  counter.fetch_add(1);
+}
+
+void ok_increment() {
+  counter++;  // fastjoin-lint: allow(atomic-order): fixture
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: every access here should trip the atomic-order rule.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+std::atomic<bool> flag_{false};
+std::atomic_flag spin = ATOMIC_FLAG_INIT;
+
+int bad_load() { return counter.load(); }
+void bad_store(int v) { counter.store(v); }
+void bad_rmw() { counter.fetch_add(1); }
+void bad_cas(int& e) { counter.compare_exchange_weak(e, e + 1); }
+void bad_spin() { while (spin.test_and_set()) {} }
+void bad_increment() { counter++; }
+void bad_prefix() { ++counter; }
+void bad_plus_assign() { counter += 2; }
+void bad_plain_assign() { flag_ = true; }
+
+}  // namespace fixture

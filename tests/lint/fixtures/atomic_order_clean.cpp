@@ -1,0 +1,30 @@
+// Fixture: explicit-order atomics and non-atomic `load()`/`store()`
+// methods (the InstanceLoad shape) — the rule must report nothing.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+
+// A non-atomic class whose method names collide with std::atomic's.
+struct InstanceLoadLike {
+  std::uint64_t load() const { return records; }
+  void store(std::uint64_t v) { records = v; }
+  std::uint64_t records = 0;
+};
+
+std::uint64_t clean() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  counter.store(7, std::memory_order_release);
+  InstanceLoadLike l;
+  l.store(counter.load(std::memory_order_acquire));
+  // Multi-line call with the order on the continuation line.
+  counter.fetch_add(2,
+                    std::memory_order_relaxed);
+  // A local shadowing the atomic's name is not an atomic access.
+  const auto counter2 = l.load();
+  return l.load() + counter2;
+}
+
+}  // namespace fixture

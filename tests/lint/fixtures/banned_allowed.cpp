@@ -1,0 +1,15 @@
+// Fixture: banned APIs with allow() escapes — must report nothing.
+#include <cstdlib>
+// fastjoin-lint: allow(banned-api): fixture for the escape hatch
+#include <ctime>
+
+namespace fixture {
+
+// fastjoin-lint: allow(banned-api): fixture — MMIO-style register
+volatile int hardware_reg = 0;
+
+int ok_prng() {
+  return rand();  // fastjoin-lint: allow(banned-api): fixture
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: each line here trips banned-api.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+volatile int spin_flag = 0;
+
+int bad_prng() { return rand(); }
+void bad_seed() { srand(42); }
+
+}  // namespace fixture

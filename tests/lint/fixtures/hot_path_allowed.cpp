@@ -1,0 +1,11 @@
+// FASTJOIN_HOT_PATH
+// Fixture: hot-path file whose single blocking primitive carries an
+// allow() — the rule must report nothing.
+#include <mutex>
+
+namespace fixture {
+
+// fastjoin-lint: allow(hot-path-blocking): fixture for the escape hatch
+std::mutex mu;
+
+}  // namespace fixture

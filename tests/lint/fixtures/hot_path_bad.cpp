@@ -1,0 +1,20 @@
+// FASTJOIN_HOT_PATH
+// Fixture: whole-file hot-path tag; the mutex, the lock guard and the
+// allocations inside the loop must all trip hot-path-blocking.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::mutex mu;
+
+void bad(std::vector<int>& out, int n) {
+  std::lock_guard<std::mutex> lock(mu);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);
+    auto* p = new int(i);
+    delete p;
+  }
+}
+
+}  // namespace fixture

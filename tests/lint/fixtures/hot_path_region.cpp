@@ -1,0 +1,19 @@
+// Fixture: BEGIN/END region markers — the mutex inside the region
+// trips hot-path-blocking; the one after END does not. Allocation in a
+// loop outside any region is also fine.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+// FASTJOIN_HOT_PATH_BEGIN
+std::mutex in_region_mu;  // finding
+// FASTJOIN_HOT_PATH_END
+
+std::mutex out_of_region_mu;  // no finding
+
+void cold(std::vector<int>& out, int n) {
+  for (int i = 0; i < n; ++i) out.push_back(i);  // no finding
+}
+
+}  // namespace fixture

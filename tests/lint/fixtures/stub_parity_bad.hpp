@@ -1,0 +1,29 @@
+// Fixture: the stub branch is missing Widget::extra() and the whole
+// Gadget class — both must trip stub-parity.
+#pragma once
+
+namespace fixture {
+
+#ifndef FASTJOIN_NO_TELEMETRY
+
+class Widget {
+ public:
+  void poke() {}
+  int extra() const { return 1; }
+};
+
+class Gadget {
+ public:
+  void spin() {}
+};
+
+#else  // FASTJOIN_NO_TELEMETRY
+
+class Widget {
+ public:
+  void poke() {}
+};
+
+#endif  // FASTJOIN_NO_TELEMETRY
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: real and stub branches declare the same classes with the
+// same public methods (private helpers and call sites inside inline
+// bodies don't count) — stub-parity must report nothing.
+#pragma once
+
+namespace fixture {
+
+#ifndef FASTJOIN_NO_TELEMETRY
+
+inline int helper_call() { return 2; }
+
+class Widget {
+ public:
+  Widget() = default;
+  void poke() { value_ = helper_call(); }
+  int value() const { return value_; }
+
+ private:
+  int only_in_real_() const { return value_; }
+  int value_ = 0;
+};
+
+#else  // FASTJOIN_NO_TELEMETRY
+
+inline int helper_call() { return 0; }
+
+class Widget {
+ public:
+  Widget() = default;
+  void poke() {}
+  int value() const { return 0; }
+};
+
+#endif  // FASTJOIN_NO_TELEMETRY
+
+}  // namespace fixture

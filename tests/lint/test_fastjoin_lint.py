@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/lint/fastjoin_lint.py.
+
+Each rule gets three assertions: it FIRES on a seeded-violation
+fixture, it stays QUIET on a clean fixture, and an inline
+`fastjoin-lint: allow(<rule>)` SUPPRESSES it. On top of that the
+baseline machinery is round-tripped (baselined findings pass, new ones
+still fail) and the shipped tree is asserted clean under the committed
+baseline — so tier-1 ctest gates lint cleanliness.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+LINT = os.path.join(REPO, "scripts", "lint", "fastjoin_lint.py")
+FIXTURES = os.path.join(REPO, "tests", "lint", "fixtures")
+BASELINE = os.path.join(REPO, "scripts", "lint",
+                        "fastjoin_lint_baseline.json")
+
+failures = []
+
+
+def run_lint(*args):
+    """Run the linter; returns (exit_code, findings_list)."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
+                                     delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, LINT, "--json", out_path, *args],
+            capture_output=True, text=True)
+        with open(out_path, encoding="utf-8") as f:
+            findings = json.load(f)["findings"]
+        return proc.returncode, findings, proc.stdout + proc.stderr
+    finally:
+        os.unlink(out_path)
+
+
+def check(label, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {label}")
+    if not cond:
+        failures.append(label)
+        if detail:
+            print(f"       {detail}")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def expect(name, rule, count, exact_lines=None):
+    code, findings, log = run_lint(fixture(name))
+    got = [f for f in findings if f["rule"] == rule]
+    other = [f for f in findings if f["rule"] != rule]
+    check(f"{name}: {rule} fires {count}x", len(got) == count,
+          f"got {len(got)}: {json.dumps(got, indent=2)}\n{log}")
+    check(f"{name}: no other rules fire", not other,
+          json.dumps(other, indent=2))
+    check(f"{name}: exit {'1' if count else '0'}",
+          code == (1 if count else 0), f"exit={code}\n{log}")
+    if exact_lines is not None:
+        check(f"{name}: findings on lines {exact_lines}",
+              sorted(f["line"] for f in got) == sorted(exact_lines),
+              f"got lines {[f['line'] for f in got]}")
+
+
+def main():
+    # --- atomic-order -----------------------------------------------
+    expect("atomic_order_bad.cpp", "atomic-order", 9)
+    expect("atomic_order_allowed.cpp", "atomic-order", 0)
+    expect("atomic_order_clean.cpp", "atomic-order", 0)
+
+    # --- hot-path-blocking ------------------------------------------
+    expect("hot_path_bad.cpp", "hot-path-blocking", 4)
+    expect("hot_path_region.cpp", "hot-path-blocking", 1,
+           exact_lines=[10])
+    expect("hot_path_allowed.cpp", "hot-path-blocking", 0)
+
+    # --- stub-parity ------------------------------------------------
+    expect("stub_parity_bad.hpp", "stub-parity", 2)
+    expect("stub_parity_good.hpp", "stub-parity", 0)
+
+    # --- banned-api -------------------------------------------------
+    expect("banned_bad.cpp", "banned-api", 4)
+    expect("banned_allowed.cpp", "banned-api", 0)
+
+    # --- baseline machinery -----------------------------------------
+    with tempfile.TemporaryDirectory() as td:
+        bl = os.path.join(td, "baseline.json")
+        code, _, log = run_lint(fixture("banned_bad.cpp"),
+                                "--baseline", bl, "--update-baseline")
+        check("baseline: --update-baseline exits 0", code == 0, log)
+        code, findings, log = run_lint(fixture("banned_bad.cpp"),
+                                       "--baseline", bl)
+        baselined = [f for f in findings if f["baselined"]]
+        check("baseline: old findings tolerated (exit 0)", code == 0,
+              log)
+        check("baseline: findings marked baselined",
+              len(baselined) == 4, json.dumps(findings, indent=2))
+        code, _, log = run_lint(fixture("banned_bad.cpp"),
+                                fixture("atomic_order_bad.cpp"),
+                                "--baseline", bl)
+        check("baseline: NEW findings still fail (exit 1)", code == 1,
+              log)
+
+    # --- the shipped tree is clean ----------------------------------
+    code, findings, log = run_lint(os.path.join(REPO, "src"),
+                                   "--baseline", BASELINE)
+    fresh = [f for f in findings if not f["baselined"]]
+    check("src/ tree: clean under committed baseline", code == 0,
+          f"exit={code}, new findings: {json.dumps(fresh, indent=2)}")
+
+    print(f"\n{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
