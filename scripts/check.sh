@@ -11,6 +11,9 @@
 #   scripts/check.sh --static   # fastjoin-lint + clang-tidy +
 #                               # -Werror=thread-safety build (clang legs
 #                               # skip with a notice when clang is absent)
+#   scripts/check.sh --protocol # deterministic protocol checker: full
+#                               # exploration on a fixed seed plus extra
+#                               # random seeds, self-test included
 #
 # The sanitizer passes rebuild into build-{tsan,asan,ubsan}/ (separate
 # caches) and run the test_runtime, test_ingest and test_telemetry
@@ -25,15 +28,24 @@ run_asan=1
 run_ubsan=1
 run_notel=1
 run_static=1
+run_protocol=1
 case "${1:-}" in
-  --tier1)  run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
-  --tsan)   run_tier1=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
-  --asan)   run_tier1=0; run_tsan=0; run_ubsan=0; run_notel=0; run_static=0 ;;
-  --ubsan)  run_tier1=0; run_tsan=0; run_asan=0; run_notel=0; run_static=0 ;;
-  --notel)  run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_static=0 ;;
-  --static) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0 ;;
+  --tier1)  run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0
+            run_protocol=0 ;;
+  --tsan)   run_tier1=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0
+            run_protocol=0 ;;
+  --asan)   run_tier1=0; run_tsan=0; run_ubsan=0; run_notel=0; run_static=0
+            run_protocol=0 ;;
+  --ubsan)  run_tier1=0; run_tsan=0; run_asan=0; run_notel=0; run_static=0
+            run_protocol=0 ;;
+  --notel)  run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_static=0
+            run_protocol=0 ;;
+  --static) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0
+            run_protocol=0 ;;
+  --protocol) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0
+            run_static=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tsan|--asan|--ubsan|--notel|--static]" >&2
+  *) echo "usage: $0 [--tier1|--tsan|--asan|--ubsan|--notel|--static|--protocol]" >&2
      exit 2 ;;
 esac
 
@@ -100,6 +112,25 @@ if [[ $run_static -eq 1 ]]; then
     echo "clang++ not installed; skipping thread-safety build" \
          "(the CI static-analysis job runs this leg)"
   fi
+fi
+
+if [[ $run_protocol -eq 1 ]]; then
+  echo "== protocol: deterministic-schedule checker =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target protocol_check
+  artifacts=build/protocol-artifacts
+  mkdir -p "$artifacts"
+  # Self-test first: a deliberately broken transition must be caught,
+  # shrunk, and replayed from its dumped artifact.
+  ./build/tools/protocol_check --self-test --artifact-dir "$artifacts"
+  # Full exploration on the pinned seed (the one CI history compares
+  # against), then a few extra seeds for schedule diversity. Seeds are
+  # arbitrary but fixed so a red run is reproducible from the log line.
+  for seed in 1 7 1337 990131; do
+    echo "-- protocol_check --seed $seed"
+    ./build/tools/protocol_check --seed "$seed" --artifact-dir "$artifacts"
+  done
+  echo "protocol: all seeds clean (artifacts, if any, in $artifacts)"
 fi
 
 echo "check.sh: all requested passes green"

@@ -24,6 +24,13 @@ lines (stdlib only, no libclang). Rules:
                      volatile-as-synchronization, no wall-clock/date
                      includes (<ctime>, <sys/time.h>) in src/ — steady
                      clocks only.
+  protocol-clock     files tagged `// FASTJOIN_PROTOCOL_FILE` (the
+                     migration/replay control plane and its model) must
+                     not read steady_clock::now() or sleep directly —
+                     time goes through the injectable Clock
+                     (common/clock.hpp) so the protocol checker can run
+                     it under virtual time. clk_->sleep_for(...) is
+                     fine; std::this_thread::sleep_for is not.
 
 Escape hatch: `// fastjoin-lint: allow(<rule>)` on the offending line or
 the line directly above suppresses that rule there (add a one-line
@@ -668,6 +675,43 @@ def check_banned_api(sf: SourceFile, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Rule: protocol-clock
+# ---------------------------------------------------------------------------
+
+PROTOCOL_TAG = "FASTJOIN_PROTOCOL_FILE"
+
+# Direct clock reads and raw sleeps. Deliberately narrow: sleeps routed
+# through the injectable Clock (`clk_->sleep_for(...)`) must stay legal,
+# so only the this_thread-qualified forms and the C sleep family are
+# banned; `steady_clock::time_point` as a type is fine, only ::now() is
+# a wall-clock read.
+PROTOCOL_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bthis_thread\s*::\s*(?:sleep_for|sleep_until)\s*\("
+    r"|(?<![\w:.>])(?:usleep|nanosleep)\s*\(")
+
+
+def check_protocol_clock(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "protocol-clock"
+    head = "\n".join(sf.raw_lines[:5])
+    if PROTOCOL_TAG not in head:
+        return
+    for idx, line in enumerate(sf.code_lines):
+        m = PROTOCOL_CLOCK_RE.search(line)
+        if not m:
+            continue
+        if sf.allowed(idx, rule):
+            continue
+        findings.append(Finding(
+            sf.path, idx + 1, rule,
+            f"direct wall-clock/sleep `{m.group(0).rstrip('(').strip()}` "
+            f"in a {PROTOCOL_TAG}; route time through the injectable "
+            f"Clock (common/clock.hpp) so the protocol checker can run "
+            f"this path under virtual time",
+            sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -695,6 +739,7 @@ def run(paths: list[str]) -> list[Finding]:
         check_hot_path(sf, findings)
         check_stub_parity(sf, findings)
         check_banned_api(sf, findings)
+        check_protocol_clock(sf, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

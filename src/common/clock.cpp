@@ -1,0 +1,28 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace fastjoin {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  std::chrono::nanoseconds now() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+
+  void sleep_for(std::chrono::nanoseconds d) override {
+    if (d.count() > 0) std::this_thread::sleep_for(d);
+  }
+};
+
+}  // namespace
+
+Clock& real_clock() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace fastjoin

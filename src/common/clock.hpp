@@ -1,0 +1,76 @@
+// Injectable time source for the supervised-migration / replay
+// protocol paths.
+//
+// Everything the protocol does with time — `migration_timeout`
+// deadlines, bounded-exponential reply backoff, producer blocked-wait
+// pacing — goes through a `Clock` so the deterministic protocol
+// checker (src/protocol/) and virtual-time tests can run the exact
+// same code with no wall-clock sleeps. Production uses `real_clock()`;
+// tests and the explorer inject a `VirtualClock` whose `sleep_for`
+// advances virtual time instantly instead of blocking the thread.
+//
+// This is deliberately NOT telemetry/clock.hpp: that one is a shared
+// timestamp epoch for artifacts and must stay wall-clock; this one is
+// a behavioural seam that changes how long code *waits*.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace fastjoin {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotone time. Only differences are meaningful; the epoch is
+  /// implementation-defined (process start for the real clock, zero
+  /// for a fresh VirtualClock).
+  virtual std::chrono::nanoseconds now() = 0;
+
+  /// Wait for `d` of this clock's time. The real clock blocks the
+  /// calling thread; a virtual clock advances `now()` and returns
+  /// immediately, so waiters make progress without wall-clock delay.
+  virtual void sleep_for(std::chrono::nanoseconds d) = 0;
+};
+
+/// Process-wide steady-clock-backed singleton. All `LiveConfig`s with
+/// a null `clock` use this.
+Clock& real_clock();
+
+/// Deterministic clock for tests and the protocol explorer: `now()`
+/// is a counter, `sleep_for` bumps it atomically and never blocks.
+/// Safe for concurrent use from many threads (time stays monotone;
+/// concurrent sleepers interleave their advances, which is exactly
+/// the semantics the checker wants).
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::chrono::nanoseconds start =
+                            std::chrono::nanoseconds{0})
+      : now_ns_(start.count()) {}
+
+  std::chrono::nanoseconds now() override {
+    return std::chrono::nanoseconds{
+        now_ns_.load(std::memory_order_relaxed)};
+  }
+
+  void sleep_for(std::chrono::nanoseconds d) override {
+    if (d.count() > 0) {
+      now_ns_.fetch_add(d.count(), std::memory_order_relaxed);
+    }
+    // A virtual sleeper still cedes the core: loops that would block on
+    // the real clock become yield-loops, not hard spins, so the threads
+    // they are waiting on keep running.
+    std::this_thread::yield();
+  }
+
+  /// Explicit advance for tests that drive time by hand.
+  void advance(std::chrono::nanoseconds d) { sleep_for(d); }
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+};
+
+}  // namespace fastjoin

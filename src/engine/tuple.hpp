@@ -47,6 +47,11 @@ struct MigrationBatch {
   std::vector<KeyId> keys;
   std::vector<std::pair<KeyId, StoredTuple>> stored;
   std::vector<Record> pending;  ///< in arrival order
+  /// The source worker's extraction counter when this batch was cut.
+  /// Echoed back in TakeForwardReq so a request that outlived its
+  /// migration (timeout + new attempt) cannot clear a forwarding set
+  /// installed by a later extraction.
+  std::uint64_t extract_epoch = 0;
 };
 
 }  // namespace fastjoin

@@ -1,0 +1,371 @@
+// FASTJOIN_PROTOCOL_FILE: see explorer.hpp.
+#include "protocol/explorer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace fastjoin::protocol {
+
+namespace {
+
+std::uint64_t hash_schedule(const std::vector<Event>& path) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& e : path) {
+    h ^= (static_cast<std::uint64_t>(e.kind) << 40) ^
+         (static_cast<std::uint64_t>(e.a) << 20) ^ e.b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool contains(const std::vector<Event>& v, const Event& e) {
+  return std::find(v.begin(), v.end(), e) != v.end();
+}
+
+}  // namespace
+
+Explorer::Explorer(const Model& model, const ExplorerConfig& cfg)
+    : model_(model), cfg_(cfg) {}
+
+bool Explorer::budget_exhausted() const {
+  return cfg_.max_schedules > 0 && stats_.schedules >= cfg_.max_schedules;
+}
+
+void Explorer::note_fault(const State& before, const Event& e) {
+  if (e.kind != EvKind::kCrash && e.kind != EvKind::kDelay) return;
+  const auto& mon = before.mon;
+  std::string phase = mon_phase_name(mon.phase);
+  std::string fault;
+  if (e.kind == EvKind::kDelay) {
+    fault = "delay";
+  } else if (mon.phase != MonPhase::kIdle && e.a == mon.src) {
+    fault = "crash-src";
+  } else if (mon.phase != MonPhase::kIdle && e.a == mon.dst) {
+    fault = "crash-dst";
+  } else {
+    fault = "crash";
+  }
+  ++stats_.coverage[phase + "/" + fault];
+}
+
+std::optional<Counterexample> Explorer::finish(
+    const State& s, const std::vector<Event>& path,
+    std::uint64_t walk_seed) {
+  State t = s;
+  auto v = model_.drain_and_check(t);
+  if (schedule_hashes_.insert(hash_schedule(path)).second) {
+    ++stats_.schedules;
+  }
+  if (v) {
+    Counterexample ce;
+    ce.violation = *v;
+    ce.schedule = path;
+    ce.walk_seed = walk_seed;
+    if (cfg_.shrink) {
+      ce.schedule = shrink(ce.schedule, ce.violation.invariant);
+      // Re-derive the (possibly sharper) violation of the shrunk form.
+      std::vector<Event> applied;
+      if (auto sv = run_schedule(ce.schedule, &applied)) {
+        ce.violation = *sv;
+        ce.schedule = applied;
+      }
+    }
+    return ce;
+  }
+  return std::nullopt;
+}
+
+std::optional<Counterexample> Explorer::directed_sweep() {
+  struct Target {
+    MonPhase phase;
+    enum { kCrashSrc, kCrashDst, kCrashOther, kDelay } fault;
+  };
+  std::vector<Target> targets;
+  const MonPhase phases[] = {MonPhase::kSelectWait, MonPhase::kHoldWait,
+                             MonPhase::kRouted, MonPhase::kForwardWait,
+                             MonPhase::kAbsorb, MonPhase::kRelease};
+  for (MonPhase p : phases) {
+    targets.push_back({p, Target::kCrashSrc});
+    targets.push_back({p, Target::kCrashDst});
+    targets.push_back({p, Target::kCrashOther});
+    const bool wait_phase = p == MonPhase::kSelectWait ||
+                            p == MonPhase::kHoldWait ||
+                            p == MonPhase::kForwardWait;
+    if (wait_phase) targets.push_back({p, Target::kDelay});
+  }
+
+  for (const auto& tgt : targets) {
+    State s = model_.initial();
+    std::vector<Event> path;
+    bool reached = false;
+    // Drive deterministically (first enabled non-fault event) until
+    // the monitor sits in the target phase.
+    for (std::uint32_t step = 0; step < 4096; ++step) {
+      if (s.mon.phase == tgt.phase) {
+        reached = true;
+        break;
+      }
+      auto evs = model_.enabled(s, /*drain=*/false);
+      const Event* pick = nullptr;
+      for (const auto& e : evs) {
+        if (e.kind == EvKind::kCrash || e.kind == EvKind::kDelay ||
+            e.kind == EvKind::kCheckpoint) {
+          continue;
+        }
+        pick = &e;
+        break;
+      }
+      if (pick == nullptr) break;
+      path.push_back(*pick);
+      ++stats_.events;
+      if (auto v = model_.apply(s, *pick)) {
+        Counterexample ce{*v, path, 0};
+        return ce;
+      }
+    }
+    if (!reached) continue;  // e.g. phase needs a reply timing we skip
+
+    Event fault{EvKind::kCrash, 0, 0};
+    switch (tgt.fault) {
+      case Target::kCrashSrc: fault.a = s.mon.src; break;
+      case Target::kCrashDst: fault.a = s.mon.dst; break;
+      case Target::kCrashOther: {
+        std::uint32_t other = 0;
+        for (std::uint32_t w = 0; w < model_.config().workers; ++w) {
+          if (w != s.mon.src && w != s.mon.dst) other = w;
+        }
+        fault.a = other;
+        break;
+      }
+      case Target::kDelay: fault = {EvKind::kDelay, 0, 0}; break;
+    }
+    auto evs = model_.enabled(s, /*drain=*/false);
+    if (!contains(evs, fault)) continue;  // budget or state disallows
+    note_fault(s, fault);
+    path.push_back(fault);
+    ++stats_.events;
+    auto v = model_.apply(s, fault);
+    if (!v) {
+      if (auto ce = finish(s, path, 0)) return ce;
+    } else {
+      return Counterexample{*v, path, 0};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Counterexample> Explorer::dfs() {
+  State s = model_.initial();
+  std::vector<Event> path;
+  visited_.clear();
+  return dfs_rec(s, {}, cfg_.max_depth, path);
+}
+
+std::optional<Counterexample> Explorer::dfs_rec(
+    const State& s, const std::vector<Event>& sleep, std::uint32_t depth,
+    std::vector<Event>& path) {
+  if (budget_exhausted()) return std::nullopt;
+  auto enabled = model_.enabled(s, /*drain=*/false);
+  if (depth == 0 || enabled.empty()) {
+    return finish(s, path, 0);
+  }
+  std::vector<Event> explored;
+  for (const auto& e : enabled) {
+    if (budget_exhausted()) return std::nullopt;
+    if (contains(sleep, e)) {
+      ++stats_.sleep_skips;
+      continue;
+    }
+    State t = s;
+    note_fault(s, e);
+    ++stats_.events;
+    auto v = model_.apply(t, e);
+    path.push_back(e);
+    if (v) {
+      Counterexample ce{*v, path, 0};
+      if (cfg_.shrink) {
+        ce.schedule = shrink(ce.schedule, ce.violation.invariant);
+        std::vector<Event> applied;
+        if (auto sv = run_schedule(ce.schedule, &applied)) {
+          ce.violation = *sv;
+          ce.schedule = applied;
+        }
+      }
+      path.pop_back();
+      return ce;
+    }
+    const std::uint64_t dig = model_.digest(t);
+    auto it = visited_.find(dig);
+    if (it != visited_.end() && it->second >= depth) {
+      ++stats_.dedup_skips;
+      path.pop_back();
+      explored.push_back(e);
+      continue;
+    }
+    if (visited_.size() < 4'000'000) visited_[dig] = depth;
+    std::vector<Event> next_sleep;
+    for (const auto& x : sleep) {
+      if (model_.independent(x, e)) next_sleep.push_back(x);
+    }
+    for (const auto& x : explored) {
+      if (model_.independent(x, e)) next_sleep.push_back(x);
+    }
+    if (auto ce = dfs_rec(t, next_sleep, depth - 1, path)) {
+      path.pop_back();
+      return ce;
+    }
+    path.pop_back();
+    explored.push_back(e);
+  }
+  return std::nullopt;
+}
+
+std::optional<Counterexample> Explorer::random_walks(
+    std::uint64_t walks) {
+  for (std::uint64_t i = 0; i < walks; ++i) {
+    const std::uint64_t seed = cfg_.seed + i;
+    Xoshiro256 rng{seed};
+    State s = model_.initial();
+    std::vector<Event> path;
+    std::optional<Violation> v;
+    for (std::uint32_t step = 0; step < cfg_.walk_steps; ++step) {
+      auto evs = model_.enabled(s, /*drain=*/false);
+      if (evs.empty()) break;
+      const Event e = evs[rng.next_below(evs.size())];
+      note_fault(s, e);
+      path.push_back(e);
+      ++stats_.events;
+      v = model_.apply(s, e);
+      if (v) break;
+    }
+    if (v) {
+      Counterexample ce{*v, path, seed};
+      if (cfg_.shrink) {
+        ce.schedule = shrink(ce.schedule, ce.violation.invariant);
+        std::vector<Event> applied;
+        if (auto sv = run_schedule(ce.schedule, &applied)) {
+          ce.violation = *sv;
+          ce.schedule = applied;
+        }
+      }
+      return ce;
+    }
+    if (auto ce = finish(s, path, seed)) return ce;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Explorer::run_schedule(
+    const std::vector<Event>& sched, std::vector<Event>* applied,
+    State* final_state) {
+  State s = model_.initial();
+  for (const auto& e : sched) {
+    auto evs = model_.enabled(s, /*drain=*/false);
+    if (!contains(evs, e)) continue;  // shrink tolerance
+    if (applied) applied->push_back(e);
+    ++stats_.events;
+    if (auto v = model_.apply(s, e)) {
+      if (final_state) *final_state = std::move(s);
+      return v;
+    }
+  }
+  auto v = model_.drain_and_check(s);
+  if (final_state) *final_state = std::move(s);
+  return v;
+}
+
+std::vector<Event> Explorer::shrink(const std::vector<Event>& sched,
+                                    const std::string& invariant) {
+  std::vector<Event> best = sched;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      std::vector<Event> cand = best;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      auto v = run_schedule(cand);
+      if (v && v->invariant == invariant) {
+        best = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string format_trace(const Model& model, const Counterexample& ce) {
+  const auto& cfg = model.config();
+  std::ostringstream os;
+  os << "# fastjoin protocol_check counterexample\n";
+  os << "config workers=" << cfg.workers << " producers=" << cfg.producers
+     << " num_keys=" << cfg.num_keys << " num_records=" << cfg.num_records
+     << " replay=" << (cfg.replay ? 1 : 0)
+     << " max_crashes=" << cfg.max_crashes
+     << " max_delays=" << cfg.max_delays
+     << " max_checkpoints=" << cfg.max_checkpoints
+     << " max_migrations=" << cfg.max_migrations
+     << " stream_seed=" << cfg.stream_seed
+     << " skip_hold_ack=" << (cfg.skip_hold_ack ? 1 : 0)
+     << " skip_absorb_dedup=" << (cfg.skip_absorb_dedup ? 1 : 0) << "\n";
+  os << "invariant " << ce.violation.invariant << "\n";
+  os << "detail " << ce.violation.detail << "\n";
+  os << "walk_seed " << ce.walk_seed << "\n";
+  for (const auto& e : ce.schedule) {
+    os << "event " << static_cast<int>(e.kind) << " " << e.a << " " << e.b
+       << "  # " << event_name(e) << "\n";
+  }
+  return os.str();
+}
+
+bool parse_trace(const std::string& text, ModelConfig* cfg,
+                 std::vector<Event>* schedule, std::string* invariant) {
+  std::istringstream is(text);
+  std::string line;
+  bool have_config = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "config") {
+      std::string kv;
+      while (ls >> kv) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string k = kv.substr(0, eq);
+        const std::uint64_t v = std::strtoull(kv.c_str() + eq + 1,
+                                              nullptr, 10);
+        if (k == "workers") cfg->workers = static_cast<std::uint32_t>(v);
+        else if (k == "producers") cfg->producers = static_cast<std::uint32_t>(v);
+        else if (k == "num_keys") cfg->num_keys = static_cast<std::uint32_t>(v);
+        else if (k == "num_records") cfg->num_records = static_cast<std::uint32_t>(v);
+        else if (k == "replay") cfg->replay = v != 0;
+        else if (k == "max_crashes") cfg->max_crashes = static_cast<std::uint32_t>(v);
+        else if (k == "max_delays") cfg->max_delays = static_cast<std::uint32_t>(v);
+        else if (k == "max_checkpoints") cfg->max_checkpoints = static_cast<std::uint32_t>(v);
+        else if (k == "max_migrations") cfg->max_migrations = static_cast<std::uint32_t>(v);
+        else if (k == "stream_seed") cfg->stream_seed = v;
+        else if (k == "skip_hold_ack") cfg->skip_hold_ack = v != 0;
+        else if (k == "skip_absorb_dedup") cfg->skip_absorb_dedup = v != 0;
+      }
+      have_config = true;
+    } else if (tag == "invariant") {
+      if (invariant) ls >> *invariant;
+    } else if (tag == "event") {
+      int kind = 0;
+      std::uint32_t a = 0, b = 0;
+      if (!(ls >> kind >> a >> b)) return false;
+      if (kind < 0 || kind > static_cast<int>(EvKind::kRespawn)) {
+        return false;
+      }
+      schedule->push_back({static_cast<EvKind>(kind), a, b});
+    }
+  }
+  return have_config;
+}
+
+}  // namespace fastjoin::protocol

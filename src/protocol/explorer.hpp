@@ -1,0 +1,110 @@
+// FASTJOIN_PROTOCOL_FILE: schedule explorer for the protocol model.
+//
+// Three complementary strategies over Model's event interleavings:
+//  * directed_sweep(): deterministically drives the migration to each
+//    phase and injects each fault kind there — guarantees the
+//    phase × {crash-src, crash-dst, crash-other, delay} grid is covered
+//    regardless of search luck.
+//  * dfs(): bounded-depth exhaustive enumeration with sleep-set
+//    pruning (independent-event reorderings explored once) and
+//    visited-state deduplication.
+//  * random_walks(): seeded Xoshiro256 walks for schedule volume and
+//    depths the DFS budget cannot reach.
+//
+// After the choice prefix every schedule is run to quiescence by
+// Model::drain_and_check, so each counted schedule ends with the full
+// invariant suite. On a violation the explorer shrinks the schedule
+// (ddmin-style, preserving the invariant name) and the caller can dump
+// a replayable trace artifact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/model.hpp"
+
+namespace fastjoin::protocol {
+
+struct ExplorerConfig {
+  std::uint32_t max_depth = 12;      ///< choice events before the drain
+  std::uint64_t max_schedules = 0;   ///< 0 = no cap (DFS budget)
+  std::uint32_t walk_steps = 48;     ///< choice events per random walk
+  std::uint64_t seed = 1;            ///< base seed for random walks
+  bool shrink = true;
+};
+
+struct Counterexample {
+  Violation violation;
+  std::vector<Event> schedule;  ///< choice prefix (drain not included)
+  std::uint64_t walk_seed = 0;  ///< 0 when found by DFS/directed
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;    ///< distinct completed schedules
+  std::uint64_t events = 0;       ///< events applied (incl. drains)
+  std::uint64_t sleep_skips = 0;  ///< subtrees pruned by sleep sets
+  std::uint64_t dedup_skips = 0;  ///< subtrees pruned by state dedup
+  /// "phase/fault" -> times injected, e.g. "hold-wait/crash-dst".
+  std::map<std::string, std::uint64_t> coverage;
+};
+
+class Explorer {
+ public:
+  Explorer(const Model& model, const ExplorerConfig& cfg);
+
+  /// Deterministic phase × fault grid. Returns the first
+  /// counterexample, if any.
+  std::optional<Counterexample> directed_sweep();
+
+  /// Bounded exhaustive search. Honors cfg.max_schedules.
+  std::optional<Counterexample> dfs();
+
+  /// `walks` seeded random walks (seeds cfg.seed, cfg.seed+1, ...).
+  std::optional<Counterexample> random_walks(std::uint64_t walks);
+
+  const ExploreStats& stats() const { return stats_; }
+
+  /// Replay a schedule: apply each event if it is currently enabled
+  /// (unmatched events are skipped — this is what makes shrinking
+  /// candidates replayable), then drain and run the final checks.
+  /// `applied`/`final_state` are optional out-params.
+  std::optional<Violation> run_schedule(const std::vector<Event>& sched,
+                                        std::vector<Event>* applied = nullptr,
+                                        State* final_state = nullptr);
+
+  /// ddmin-style minimization: greedily drop events while the replay
+  /// still violates the same invariant.
+  std::vector<Event> shrink(const std::vector<Event>& sched,
+                            const std::string& invariant);
+
+ private:
+  std::optional<Counterexample> dfs_rec(const State& s,
+                                        const std::vector<Event>& sleep,
+                                        std::uint32_t depth,
+                                        std::vector<Event>& path);
+  std::optional<Counterexample> finish(const State& s,
+                                       const std::vector<Event>& path,
+                                       std::uint64_t walk_seed);
+  void note_fault(const State& before, const Event& e);
+  bool budget_exhausted() const;
+
+  const Model& model_;
+  ExplorerConfig cfg_;
+  ExploreStats stats_;
+  std::unordered_map<std::uint64_t, std::uint32_t> visited_;
+  std::set<std::uint64_t> schedule_hashes_;
+};
+
+/// Human-readable, machine-parsable counterexample artifact.
+std::string format_trace(const Model& model, const Counterexample& ce);
+/// Parse a trace produced by format_trace back into a config +
+/// schedule. Returns false on malformed input.
+bool parse_trace(const std::string& text, ModelConfig* cfg,
+                 std::vector<Event>* schedule, std::string* invariant);
+
+}  // namespace fastjoin::protocol

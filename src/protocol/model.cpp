@@ -1,0 +1,1299 @@
+// FASTJOIN_PROTOCOL_FILE: see model.hpp.
+#include "protocol/model.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace fastjoin::protocol {
+
+namespace {
+
+constexpr std::uint32_t kNoOverride = 0xffffffffu;
+constexpr std::uint64_t kStepNs = 1'000;  // every event costs 1 us
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+bool bucket_has_seq(const std::vector<PRecord>& bucket,
+                    std::uint32_t seq) {
+  for (const auto& r : bucket) {
+    if (r.seq == seq) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* mon_phase_name(MonPhase p) {
+  switch (p) {
+    case MonPhase::kIdle: return "idle";
+    case MonPhase::kSelectWait: return "select-wait";
+    case MonPhase::kHoldWait: return "hold-wait";
+    case MonPhase::kRouted: return "routed";
+    case MonPhase::kForwardWait: return "forward-wait";
+    case MonPhase::kAbsorb: return "absorb";
+    case MonPhase::kRelease: return "release";
+  }
+  return "?";
+}
+
+std::string event_name(const Event& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case EvKind::kPush: os << "push(p" << e.a << ")"; break;
+    case EvKind::kData: os << "data(w" << e.a << ",p" << e.b << ")"; break;
+    case EvKind::kCtrl: os << "ctrl(w" << e.a << ")"; break;
+    case EvKind::kMonitor: os << "monitor"; break;
+    case EvKind::kCheckpoint: os << "checkpoint"; break;
+    case EvKind::kCrash: os << "crash(w" << e.a << ")"; break;
+    case EvKind::kDelay: os << "delay"; break;
+    case EvKind::kRespawn: os << "respawn(w" << e.a << ")"; break;
+  }
+  return os.str();
+}
+
+Model::Model(const ModelConfig& cfg) : cfg_(cfg) {
+  // Seeded skewed stream: key 0 is hot (so the monitor's argmax/argmin
+  // pair selection has something to migrate), keys are producer-affine
+  // (partition = key mod producers) so per-key order is well defined.
+  Xoshiro256 rng{cfg_.stream_seed};
+  stream_.reserve(cfg_.num_records);
+  by_producer_.resize(cfg_.producers);
+  for (std::uint32_t i = 0; i < cfg_.num_records; ++i) {
+    PRecord r;
+    r.key = (rng.next_below(2) == 0)
+                ? 0u
+                : static_cast<std::uint32_t>(rng.next_below(cfg_.num_keys));
+    r.seq = i;
+    r.store_side = rng.next_below(2) == 0;
+    stream_.push_back(r);
+    by_producer_[r.key % cfg_.producers].push_back(i);
+  }
+}
+
+State Model::initial() const {
+  State s;
+  s.workers.resize(cfg_.workers);
+  for (auto& w : s.workers) {
+    w.lanes.resize(cfg_.producers);
+    w.consumed.assign(cfg_.producers, 0);
+  }
+  s.log.resize(cfg_.producers);
+  s.cursor.assign(cfg_.producers, 0);
+  s.backlog.resize(cfg_.workers);
+  return s;
+}
+
+std::uint32_t Model::route(const State& s, std::uint32_t key) const {
+  auto it = s.overrides.find(key);
+  if (it != s.overrides.end()) return it->second;
+  return key % cfg_.workers;
+}
+
+std::vector<std::uint64_t> Model::capture_barrier(const State& s,
+                                                  std::uint32_t w) const {
+  std::vector<std::uint64_t> b(cfg_.producers, 0);
+  for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+    b[p] = s.workers[w].lanes[p].pushed;
+  }
+  return b;
+}
+
+bool Model::send_ctrl(State& s, std::uint32_t w, Ctrl c) const {
+  if (s.workers[w].crashed) return false;
+  s.workers[w].ctrl.push_back(std::move(c));
+  return true;
+}
+
+void Model::ledger_batch(State& s, const Batch& b) const {
+  for (const auto& [key, rec] : b.stored) {
+    (void)key;
+    s.lost.insert(rec.seq);
+  }
+}
+
+void Model::ledger_records(State& s,
+                           const std::vector<PRecord>& recs) const {
+  for (const auto& r : recs) s.lost.insert(r.seq);
+}
+
+std::optional<Violation> Model::emit(State& s, std::uint32_t r_seq,
+                                     std::uint32_t s_seq) const {
+  if (!s.emitted.insert({r_seq, s_seq}).second) {
+    std::ostringstream os;
+    os << "pair (r" << r_seq << ", s" << s_seq << ") emitted twice";
+    return Violation{"duplicate-emission", os.str()};
+  }
+  return std::nullopt;
+}
+
+// Full processing of one record at worker `w` (LiveEngine `process`):
+// store-side records are inserted blindly — a duplicate here IS a
+// protocol bug — and probe-side records emit against every strictly
+// preceding stored tuple of their key.
+std::optional<Violation> Model::worker_process(State& s, std::uint32_t w,
+                                               const PRecord& rec) const {
+  auto& wk = s.workers[w];
+  if (rec.store_side) {
+    auto& bucket = wk.store[rec.key];
+    if (bucket_has_seq(bucket, rec.seq)) {
+      std::ostringstream os;
+      os << "store r" << rec.seq << " (key " << rec.key
+         << ") inserted twice at w" << w;
+      return Violation{"store-duplicate", os.str()};
+    }
+    bucket.push_back(rec);
+    return std::nullopt;
+  }
+  auto it = wk.store.find(rec.key);
+  if (it != wk.store.end()) {
+    for (const auto& r : it->second) {
+      if (r.seq < rec.seq) {
+        if (auto v = emit(s, r.seq, rec.seq)) return v;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Seq-deduped merge (JoinInstance::merge_tuple): used by Absorb and
+// Abort re-merges, where meeting an already-present tuple is expected.
+// With skip_absorb_dedup injected the blind insert surfaces as a
+// store-duplicate the checker must catch.
+std::optional<Violation> Model::worker_merge(State& s, std::uint32_t w,
+                                             std::uint32_t key,
+                                             const PRecord& rec,
+                                             const char* what) const {
+  auto& bucket = s.workers[w].store[key];
+  const bool dup = bucket_has_seq(bucket, rec.seq);
+  if (dup && !cfg_.skip_absorb_dedup) return std::nullopt;
+  bucket.push_back(rec);
+  if (dup) {
+    std::ostringstream os;
+    os << what << " re-merged r" << rec.seq << " without dedup at w" << w;
+    return Violation{"store-duplicate", os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Model::worker_handle_ctrl(State& s,
+                                                   std::uint32_t w) const {
+  auto& wk = s.workers[w];
+  Ctrl c = std::move(wk.ctrl.front());
+  wk.ctrl.pop_front();
+  auto& mon = s.mon;
+  // A reply is live only if it answers the *current* request (in the
+  // engine this is a per-request promise/future pair).
+  const bool reply_live = c.epoch == mon.started;
+
+  switch (c.kind) {
+    case CtrlKind::kSelectExtract: {
+      // Extract the heaviest key (ties to the smallest id).
+      std::uint32_t best = 0;
+      std::size_t best_n = 0;
+      for (const auto& [k, recs] : wk.store) {
+        if (recs.size() > best_n) {
+          best = k;
+          best_n = recs.size();
+        }
+      }
+      Batch b;
+      wk.pending_extract.clear();
+      if (best_n > 0) {
+        b.keys.push_back(best);
+        for (const auto& r : wk.store[best]) b.stored.push_back({best, r});
+        wk.pending_extract[best] = wk.store[best];
+        wk.store.erase(best);
+        wk.forwarding.insert(best);
+      }
+      if (reply_live && mon.phase == MonPhase::kSelectWait && mon.src == w) {
+        mon.batch = std::move(b);
+        mon.have_batch = true;
+      }
+      break;
+    }
+    case CtrlKind::kHold: {
+      for (auto k : c.keys) wk.held.insert(k);
+      if (reply_live && mon.phase == MonPhase::kHoldWait && mon.dst == w) {
+        mon.hold_acked = true;
+      }
+      break;
+    }
+    case CtrlKind::kTakeForward: {
+      // Honor the take only while the monitor is still waiting for it.
+      // A stale request (the monitor timed out and the Abort is queued
+      // right behind us) must be a strict no-op: clearing the forward
+      // buffer here would discard diverted records the coming Abort
+      // re-processes, and nothing would ledger them (found by the
+      // schedule explorer).
+      if (reply_live && mon.phase == MonPhase::kForwardWait &&
+          mon.src == w) {
+        wk.forwarding.clear();
+        mon.forwarded = std::move(wk.fwd_buf);
+        mon.have_forwarded = true;
+        wk.fwd_buf.clear();
+      }
+      break;
+    }
+    case CtrlKind::kAbsorb: {
+      for (const auto& [key, rec] : c.batch.stored) {
+        if (auto v = worker_merge(s, w, key, rec, "absorb")) return v;
+      }
+      break;
+    }
+    case CtrlKind::kRelease: {
+      wk.held.clear();
+      // Flush the barrier in stream (seq) order, not arrival order:
+      // the held buffer interleaves lane arrivals with retargeted
+      // replay from a recovered source, which can put a probe ahead of
+      // the smaller-seq store it should match (found by the schedule
+      // explorer). Seq order is the per-key delivery order the
+      // completeness invariant is defined over.
+      std::vector<PRecord> flush = c.forwarded;
+      flush.insert(flush.end(), wk.held_buf.begin(), wk.held_buf.end());
+      wk.held_buf.clear();
+      std::stable_sort(
+          flush.begin(), flush.end(),
+          [](const PRecord& a, const PRecord& b) { return a.seq < b.seq; });
+      // A divert buffer can interleave exactly-once lane records with
+      // at-least-once retargeted replay (which may duplicate a record
+      // the absorb already carried), so store-side entries merge
+      // seq-deduped. Probes stay strict: a duplicated probe duplicates
+      // emissions, which the emission invariant catches end to end.
+      for (const auto& r : flush) {
+        if (r.store_side) {
+          if (auto v = worker_merge(s, w, r.key, r, "release-flush"))
+            return v;
+        } else if (auto v = worker_process(s, w, r)) {
+          return v;
+        }
+      }
+      break;
+    }
+    case CtrlKind::kAbort: {
+      // Re-merge the extracted batch (seq-deduped: the tuples may have
+      // been restored already by a crash replay), stop diverting, then
+      // replay forwarded records and the local forward buffer.
+      for (const auto& [key, rec] : c.batch.stored) {
+        if (auto v = worker_merge(s, w, key, rec, "abort")) return v;
+      }
+      wk.pending_extract.clear();
+      wk.forwarding.clear();
+      // Same stream-order flush as Release: the forward buffer can
+      // hold retargeted replay from a recovered target next to lane
+      // arrivals.
+      std::vector<PRecord> flush;
+      if (c.has_forwarded) flush = c.forwarded;
+      flush.insert(flush.end(), wk.fwd_buf.begin(), wk.fwd_buf.end());
+      wk.fwd_buf.clear();
+      std::stable_sort(
+          flush.begin(), flush.end(),
+          [](const PRecord& a, const PRecord& b) { return a.seq < b.seq; });
+      // Same dedup rationale as the Release flush.
+      for (const auto& r : flush) {
+        if (r.store_side) {
+          if (auto v = worker_merge(s, w, r.key, r, "abort-flush"))
+            return v;
+        } else if (auto v = worker_process(s, w, r)) {
+          return v;
+        }
+      }
+      break;
+    }
+    case CtrlKind::kCheckpoint: {
+      wk.has_ckpt = true;
+      wk.ckpt_store = wk.store;
+      // Fold the in-flight extracted batch back in (seq-deduped): the
+      // snapshot's offsets cover those records, so a snapshot without
+      // them would shadow the batch — a post-crash restore would
+      // neither hold nor replay it (found by the schedule explorer).
+      for (const auto& [key, recs] : wk.pending_extract) {
+        auto& bucket = wk.ckpt_store[key];
+        for (const auto& r : recs) {
+          if (!bucket_has_seq(bucket, r.seq)) bucket.push_back(r);
+        }
+      }
+      wk.ckpt_offsets = wk.consumed;
+      break;
+    }
+    case CtrlKind::kReplay: {
+      // Retargeted deliveries go through the same divert checks as lane
+      // data; store-side ones seq-dedup (replay_store), probe-side ones
+      // were verifiably never served and process normally.
+      for (const auto& r : c.replay) {
+        if (wk.forwarding.count(r.key)) {
+          wk.fwd_buf.push_back(r);
+          continue;
+        }
+        if (wk.held.count(r.key)) {
+          wk.held_buf.push_back(r);
+          continue;
+        }
+        if (r.store_side) {
+          auto& bucket = wk.store[r.key];
+          if (!bucket_has_seq(bucket, r.seq)) bucket.push_back(r);
+        } else {
+          if (auto v = worker_process(s, w, r)) return v;
+        }
+      }
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Model::apply_crash(State& s,
+                                            std::uint32_t w) const {
+  auto& wk = s.workers[w];
+  wk.crashed = true;
+  wk.lanes_open = false;
+  // All loss accounting and queue forensics happen at respawn, exactly
+  // like LiveEngine (crash() only closes the slot; respawn() drains).
+  return std::nullopt;
+}
+
+std::optional<Violation> Model::apply_respawn(State& s,
+                                              std::uint32_t w) const {
+  WorkerState dead = std::move(s.workers[w]);
+  auto& mon = s.mon;
+
+  // Buffered diverted records die with the worker.
+  ledger_records(s, dead.fwd_buf);
+  ledger_records(s, dead.held_buf);
+
+  // Queue forensics (drain_dead_queue): break promises the monitor is
+  // still waiting on, charge dead control payloads to the ledger,
+  // salvage replay deliveries.
+  std::vector<PRecord> salvaged;
+  for (auto& c : dead.ctrl) {
+    const bool reply_live = c.epoch == mon.started;
+    switch (c.kind) {
+      case CtrlKind::kSelectExtract:
+        if (reply_live && mon.phase == MonPhase::kSelectWait &&
+            mon.src == w) {
+          mon.reply_dead = true;
+        }
+        break;
+      case CtrlKind::kHold:
+        if (reply_live && mon.phase == MonPhase::kHoldWait &&
+            mon.dst == w) {
+          mon.reply_dead = true;
+        }
+        break;
+      case CtrlKind::kTakeForward:
+        if (reply_live && mon.phase == MonPhase::kForwardWait &&
+            mon.src == w) {
+          mon.reply_dead = true;
+        }
+        break;
+      case CtrlKind::kAbsorb:
+        // Unrecoverable: routing points here, the log entries point at
+        // the source, and the source's restore filter skips keys routed
+        // away — so neither side's replay resurrects these tuples.
+        ledger_batch(s, c.batch);
+        break;
+      case CtrlKind::kRelease:
+        ledger_records(s, c.forwarded);
+        break;
+      case CtrlKind::kAbort:
+        // The batch itself is restored by checkpoint+replay after the
+        // rollback (the log still owns every stored record and routing
+        // points back at the source); the forwarded probes are not:
+        // their offsets sit below the consumed marks, so replay
+        // suppresses them.
+        if (c.has_forwarded) ledger_records(s, c.forwarded);
+        if (!cfg_.replay) ledger_batch(s, c.batch);
+        break;
+      case CtrlKind::kCheckpoint:
+        break;
+      case CtrlKind::kReplay:
+        if (cfg_.replay) {
+          salvaged.insert(salvaged.end(), c.replay.begin(),
+                          c.replay.end());
+        } else {
+          ledger_records(s, c.replay);
+        }
+        break;
+    }
+  }
+
+  // Lane residue: advance the popped watermarks so barrier arithmetic
+  // stays coherent. With replay on, the residue is re-driven from the
+  // log; without it, the records are lost.
+  for (auto& lane : dead.lanes) {
+    lane.popped += lane.q.size();
+    if (!cfg_.replay) {
+      for (const auto& d : lane.q) s.lost.insert(d.rec.seq);
+    }
+    lane.q.clear();
+  }
+
+  WorkerState fresh;
+  fresh.gen = dead.gen + 1;
+  fresh.lanes = std::move(dead.lanes);  // keeps pushed/popped counters
+  fresh.consumed.assign(cfg_.producers, 0);
+  fresh.has_ckpt = dead.has_ckpt;
+  fresh.ckpt_store = dead.ckpt_store;
+  fresh.ckpt_offsets = dead.ckpt_offsets;
+
+  // If this slot is the TARGET of an in-flight migration whose hold is
+  // already supposed to be installed, re-install it BEFORE replay and
+  // before the lanes reopen. Without this the fresh worker serves
+  // rerouted probes against a store that does not have the batch yet
+  // (Absorb arrives later) — silently missing pairs with nothing in
+  // the drop ledger. The pending Release flushes the held buffer.
+  const bool inflight_dst =
+      mon.dst == w &&
+      ((mon.phase == MonPhase::kHoldWait && mon.hold_acked) ||
+       mon.phase == MonPhase::kRouted ||
+       mon.phase == MonPhase::kForwardWait ||
+       mon.phase == MonPhase::kAbsorb || mon.phase == MonPhase::kRelease);
+  if (inflight_dst) {
+    for (auto k : mon.batch.keys) fresh.held.insert(k);
+  }
+
+  // Checkpoint restore, filtered by the *current* routing table.
+  if (fresh.has_ckpt) {
+    for (const auto& [key, recs] : fresh.ckpt_store) {
+      if (route(s, key) == w) fresh.store[key] = recs;
+    }
+  }
+
+  std::map<std::uint32_t, std::vector<PRecord>> retarget;
+  std::optional<Violation> viol;
+  if (cfg_.replay) {
+    std::vector<std::uint64_t> from =
+        fresh.has_ckpt ? fresh.ckpt_offsets
+                       : std::vector<std::uint64_t>(cfg_.producers, 0);
+    const auto& marks = dead.consumed;
+    std::set<std::uint32_t> own_log;  // seqs durable in this slot's entries
+    // k-way merge of the log partitions in global (seq) order.
+    struct Pos {
+      std::uint32_t p;
+      std::uint64_t off;
+    };
+    std::vector<Pos> heads;
+    for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+      heads.push_back({p, from[p]});
+    }
+    for (;;) {
+      int pick = -1;
+      std::uint32_t best_seq = 0;
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        const auto& h = heads[i];
+        if (h.off >= s.log[h.p].size()) continue;
+        std::uint32_t seq = s.log[h.p][h.off].rec.seq;
+        if (pick < 0 || seq < best_seq) {
+          pick = static_cast<int>(i);
+          best_seq = seq;
+        }
+      }
+      if (pick < 0) break;
+      auto& h = heads[static_cast<std::size_t>(pick)];
+      const LogEntry le = s.log[h.p][h.off];
+      const bool fresh_band = h.off >= marks[h.p];
+      ++h.off;
+      if (le.dst != w) continue;
+      own_log.insert(le.rec.seq);
+      const PRecord& rec = le.rec;
+      const std::uint32_t cur = route(s, rec.key);
+      // Divert first, exactly like the lane drain: a re-installed hold
+      // must capture replayed records of the migrating key too.
+      if (cur == w && fresh.held.count(rec.key)) {
+        if (rec.store_side || fresh_band) fresh.held_buf.push_back(rec);
+        if (!rec.store_side && !fresh_band) ++s.suppressed;
+        continue;
+      }
+      if (rec.store_side) {
+        if (cur == w) {
+          auto& bucket = fresh.store[rec.key];
+          if (!bucket_has_seq(bucket, rec.seq)) {
+            bucket.push_back(rec);
+            ++s.replayed;
+          }
+        } else {
+          // Store-side records retarget regardless of band: a
+          // stale-band store may have been consumed into the dead
+          // worker's forward buffer and died with it, and re-merging
+          // at the current owner is idempotent (seq-deduped). Probes
+          // stay band-gated — replaying a served probe would duplicate
+          // emissions.
+          retarget[cur].push_back(rec);
+          ++s.retargeted;
+        }
+      } else {
+        if (!fresh_band) {
+          ++s.suppressed;
+        } else if (cur == w) {
+          // Probe against the rebuilt store; emissions here are real.
+          auto it = fresh.store.find(rec.key);
+          if (it != fresh.store.end()) {
+            for (const auto& r : it->second) {
+              if (r.seq < rec.seq) {
+                if (auto v = emit(s, r.seq, rec.seq)) {
+                  if (!viol) viol = v;
+                }
+              }
+            }
+          }
+          ++s.replayed;
+        } else {
+          retarget[cur].push_back(rec);
+          ++s.retargeted;
+        }
+      }
+    }
+    for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+      fresh.consumed[p] = s.log[p].size();
+    }
+    // Crash-after-absorb accounting. A tuple migrated INTO this slot
+    // is durable only in its origin partition — logged under the
+    // SOURCE worker's dst marker — and in checkpoint images. The merge
+    // above scans this slot's own entries only, so an absorbed tuple
+    // that the checkpoint restore did not resurrect has no remaining
+    // driver: the source is alive (its log is not replayed) and
+    // exactly-once replay cannot re-read another worker's partitions.
+    // The loss window is bounded by the checkpoint cadence; charge it
+    // to the drop ledger so the miss is explained, not silent.
+    for (const auto& [key, recs] : dead.store) {
+      for (const auto& rec : recs) {
+        if (own_log.count(rec.seq)) continue;
+        if (route(s, key) == w) {
+          const auto it = fresh.store.find(key);
+          if (it != fresh.store.end() &&
+              bucket_has_seq(it->second, rec.seq)) {
+            continue;
+          }
+        }
+        s.lost.insert(rec.seq);
+      }
+    }
+  } else {
+    // No log: whatever the dead store had beyond the restored image is
+    // gone (records consumed after the snapshot).
+    for (const auto& [key, recs] : dead.store) {
+      if (route(s, key) != w) continue;
+      const auto& have = fresh.store[key];
+      for (const auto& rec : recs) {
+        if (!bucket_has_seq(have, rec.seq)) s.lost.insert(rec.seq);
+      }
+    }
+  }
+
+  // Salvaged replay deliveries re-route by the current table: live
+  // targets get a fresh ReplayReq, dead ones (and this slot itself)
+  // park in the retarget backlog.
+  if (cfg_.replay) {
+    for (const auto& rec : salvaged) {
+      const std::uint32_t cur = route(s, rec.key);
+      if (cur != w && !s.workers[cur].crashed) {
+        retarget[cur].push_back(rec);
+      } else {
+        s.backlog[cur].push_back(rec);
+      }
+    }
+  }
+
+  for (auto& [t, recs] : retarget) {
+    if (t != w && !s.workers[t].crashed) {
+      Ctrl c;
+      c.kind = CtrlKind::kReplay;
+      c.replay = std::move(recs);
+      send_ctrl(s, t, std::move(c));
+    } else {
+      s.backlog[t].insert(s.backlog[t].end(), recs.begin(), recs.end());
+    }
+  }
+
+  s.workers[w] = std::move(fresh);
+  s.workers[w].crashed = false;
+  s.workers[w].lanes_open = true;
+
+  // Flush this slot's parked backlog into the fresh worker.
+  if (!s.backlog[w].empty()) {
+    Ctrl c;
+    c.kind = CtrlKind::kReplay;
+    c.replay = std::move(s.backlog[w]);
+    s.backlog[w].clear();
+    send_ctrl(s, w, std::move(c));
+  }
+  return viol;
+}
+
+std::optional<Violation> Model::apply_monitor(State& s) const {
+  auto& mon = s.mon;
+  const auto timeout = [&] { return s.now_ns >= mon.deadline_ns; };
+
+  // Abort helper: notify the source (re-merge + stop diverting). A
+  // failed send means the source is itself down; with replay on the
+  // batch is rebuilt from the log after its respawn, without it (and
+  // for already-consumed forwarded probes either way) the records are
+  // genuinely lost.
+  auto abort_to_src = [&](bool replay_pending, bool with_forwarded) {
+    Ctrl c;
+    c.kind = CtrlKind::kAbort;
+    c.epoch = mon.started;
+    c.batch = mon.batch;
+    c.replay_pending = replay_pending;
+    c.has_forwarded = with_forwarded;
+    if (with_forwarded) c.forwarded = mon.forwarded;
+    if (!send_ctrl(s, mon.src, std::move(c))) {
+      if (!cfg_.replay) ledger_batch(s, mon.batch);
+      if (with_forwarded) ledger_records(s, mon.forwarded);
+    } else if (!cfg_.replay &&
+               s.workers[mon.src].gen != mon.src_gen) {
+      // Delivered, but to a slot rebuilt since the extraction. The
+      // fresh slot had no forwarding set, so probes for the batch's
+      // keys may already have been served against the missing bucket,
+      // and without the log nothing re-drives them. The re-merge still
+      // lands (future probes match); the batch is superset-ledgered to
+      // explain any pair that slipped through the window.
+      ledger_batch(s, mon.batch);
+    }
+    ++mon.aborted;
+    mon.phase = MonPhase::kIdle;
+  };
+  auto rollback_routes = [&] {
+    for (const auto& [k, prev] : mon.prev_over) {
+      if (prev == kNoOverride) {
+        s.overrides.erase(k);
+      } else {
+        s.overrides[k] = prev;
+      }
+    }
+  };
+
+  switch (mon.phase) {
+    case MonPhase::kIdle: {
+      // Skew pair selection: heaviest store -> lightest store.
+      std::uint32_t src = 0, dst = 0;
+      std::size_t src_n = 0;
+      std::size_t dst_n = SIZE_MAX;
+      for (std::uint32_t i = 0; i < cfg_.workers; ++i) {
+        if (s.workers[i].crashed) continue;
+        std::size_t n = 0;
+        for (const auto& [k, recs] : s.workers[i].store) n += recs.size();
+        if (n > src_n) {
+          src = i;
+          src_n = n;
+        }
+        if (n < dst_n) {
+          dst = i;
+          dst_n = n;
+        }
+      }
+      mon.src = src;
+      mon.dst = dst;
+      mon.src_gen = s.workers[src].gen;
+      ++mon.started;
+      mon.have_batch = false;
+      mon.hold_acked = false;
+      mon.have_forwarded = false;
+      mon.reply_dead = false;
+      mon.batch = Batch{};
+      mon.forwarded.clear();
+      mon.prev_over.clear();
+      mon.deadline_ns = s.now_ns + cfg_.migration_timeout_ns;
+      Ctrl c;
+      c.kind = CtrlKind::kSelectExtract;
+      c.epoch = mon.started;
+      c.barrier = capture_barrier(s, src);
+      send_ctrl(s, src, std::move(c));
+      mon.phase = MonPhase::kSelectWait;
+      break;
+    }
+    case MonPhase::kSelectWait: {
+      if (mon.have_batch) {
+        if (mon.batch.keys.empty()) {
+          // Nothing extractable: nothing was installed, just give up.
+          ++mon.aborted;
+          mon.phase = MonPhase::kIdle;
+          break;
+        }
+        Ctrl c;
+        c.kind = CtrlKind::kHold;
+        c.epoch = mon.started;
+        c.keys = mon.batch.keys;
+        if (!send_ctrl(s, mon.dst, std::move(c))) {
+          // Target died before the hold: abort at the source; routing
+          // was never touched, the pending probes were never seen by
+          // the target.
+          abort_to_src(/*replay_pending=*/true, /*with_forwarded=*/false);
+          break;
+        }
+        mon.hold_acked = cfg_.skip_hold_ack;  // injected bug: don't wait
+        mon.reply_dead = false;
+        mon.deadline_ns = s.now_ns + cfg_.migration_timeout_ns;
+        mon.phase = MonPhase::kHoldWait;
+      } else if (mon.reply_dead) {
+        // Source's queue died with the request unprocessed: nothing was
+        // extracted, nothing to roll back.
+        ++mon.aborted;
+        mon.phase = MonPhase::kIdle;
+      } else if (timeout()) {
+        if (!s.workers[mon.src].crashed) apply_crash(s, mon.src);
+        ++mon.aborted;
+        mon.phase = MonPhase::kIdle;
+      }
+      break;
+    }
+    case MonPhase::kHoldWait: {
+      if (mon.hold_acked) {
+        if (s.workers[mon.src].gen != mon.src_gen) {
+          // The source slot was rebuilt since the extraction: the batch
+          // belongs to a worker generation that no longer exists and
+          // the fresh source's replay restored the tuples from the log.
+          // Publishing would strand them — abort instead; the abort
+          // re-merge seq-dedups against the restored copies. The target
+          // is alive and holding, so release its hold explicitly (an
+          // empty Release: no forwarded records, just un-divert).
+          Ctrl r;
+          r.kind = CtrlKind::kRelease;
+          r.epoch = mon.started;
+          r.has_forwarded = false;
+          send_ctrl(s, mon.dst, std::move(r));
+          abort_to_src(/*replay_pending=*/true, /*with_forwarded=*/false);
+          break;
+        }
+        // RoutePublish: save the prior overrides, flip the key.
+        for (auto k : mon.batch.keys) {
+          auto it = s.overrides.find(k);
+          mon.prev_over.push_back(
+              {k, it == s.overrides.end() ? kNoOverride : it->second});
+          if (k % cfg_.workers == mon.dst) {
+            s.overrides.erase(k);
+          } else {
+            s.overrides[k] = mon.dst;
+          }
+        }
+        mon.phase = MonPhase::kRouted;
+      } else if (mon.reply_dead) {
+        abort_to_src(/*replay_pending=*/true, /*with_forwarded=*/false);
+      } else if (timeout()) {
+        if (!s.workers[mon.dst].crashed) apply_crash(s, mon.dst);
+        abort_to_src(/*replay_pending=*/true, /*with_forwarded=*/false);
+      }
+      break;
+    }
+    case MonPhase::kRouted: {
+      Ctrl c;
+      c.kind = CtrlKind::kTakeForward;
+      c.epoch = mon.started;
+      c.barrier = capture_barrier(s, mon.src);
+      if (!send_ctrl(s, mon.src, std::move(c))) {
+        // Source died after the routes flipped: roll FORWARD with an
+        // empty forward buffer (its replay redelivers the diverted
+        // records to the new owner).
+        mon.forwarded.clear();
+        mon.have_forwarded = true;
+        mon.phase = MonPhase::kAbsorb;
+        break;
+      }
+      mon.have_forwarded = false;
+      mon.reply_dead = false;
+      mon.deadline_ns = s.now_ns + cfg_.migration_timeout_ns;
+      mon.phase = MonPhase::kForwardWait;
+      break;
+    }
+    case MonPhase::kForwardWait: {
+      if (mon.have_forwarded) {
+        mon.phase = MonPhase::kAbsorb;
+      } else if (mon.reply_dead) {
+        mon.forwarded.clear();
+        mon.have_forwarded = true;
+        mon.phase = MonPhase::kAbsorb;
+      } else if (timeout()) {
+        if (!s.workers[mon.src].crashed) apply_crash(s, mon.src);
+        mon.forwarded.clear();
+        mon.have_forwarded = true;
+        mon.phase = MonPhase::kAbsorb;
+      }
+      break;
+    }
+    case MonPhase::kAbsorb: {
+      if (s.workers[mon.src].crashed) break;  // gated in enabled()
+      Ctrl a;
+      a.kind = CtrlKind::kAbsorb;
+      a.epoch = mon.started;
+      a.batch = mon.batch;
+      if (!send_ctrl(s, mon.dst, std::move(a))) {
+        // Target crashed before the absorb. Roll the routing back
+        // FIRST so the target's recovery replay retargets by the
+        // restored table, resupervise it (its retargets enqueue at the
+        // source AHEAD of the abort, so the abort's flush sees them),
+        // then abort at the source. Phase goes idle before the respawn
+        // so no in-flight hold is re-installed on the fresh target.
+        rollback_routes();
+        mon.phase = MonPhase::kIdle;
+        if (auto v = apply_respawn(s, mon.dst)) return v;
+        abort_to_src(/*replay_pending=*/true, /*with_forwarded=*/true);
+        break;
+      }
+      mon.phase = MonPhase::kRelease;
+      break;
+    }
+    case MonPhase::kRelease: {
+      if (s.workers[mon.src].crashed) break;  // gated in enabled()
+      Ctrl r;
+      r.kind = CtrlKind::kRelease;
+      r.epoch = mon.started;
+      r.has_forwarded = true;
+      r.forwarded = mon.forwarded;
+      if (!send_ctrl(s, mon.dst, std::move(r))) {
+        // Target crashed between the two sends: the absorb may have
+        // been served, so its pending probes are not replayed. Same
+        // ordering as the absorb failure: rollback, resupervise the
+        // target, then abort.
+        rollback_routes();
+        mon.phase = MonPhase::kIdle;
+        if (auto v = apply_respawn(s, mon.dst)) return v;
+        abort_to_src(/*replay_pending=*/false, /*with_forwarded=*/true);
+        break;
+      }
+      ++mon.done;
+      mon.phase = MonPhase::kIdle;
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Event> Model::enabled(const State& s, bool drain) const {
+  std::vector<Event> out;
+  const auto& mon = s.mon;
+
+  // Respawns first: the drain driver applies events in list order.
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    if (s.workers[w].crashed) out.push_back({EvKind::kRespawn, w, 0});
+  }
+
+  // Monitor progress.
+  bool mon_ready = false;
+  switch (mon.phase) {
+    case MonPhase::kIdle: {
+      if (drain || mon.started >= cfg_.max_migrations) break;
+      bool any_crashed = false;
+      for (const auto& w : s.workers) any_crashed |= w.crashed;
+      if (any_crashed) break;  // supervise() runs before try_migrate
+      std::size_t max_n = 0;
+      std::size_t min_n = SIZE_MAX;
+      for (const auto& w : s.workers) {
+        std::size_t n = 0;
+        for (const auto& [k, recs] : w.store) n += recs.size();
+        max_n = std::max(max_n, n);
+        min_n = std::min(min_n, n);
+      }
+      mon_ready = cfg_.workers >= 2 && max_n > min_n;
+      break;
+    }
+    case MonPhase::kSelectWait:
+      mon_ready = mon.have_batch || mon.reply_dead ||
+                  s.now_ns >= mon.deadline_ns;
+      break;
+    case MonPhase::kHoldWait:
+      mon_ready = mon.hold_acked || mon.reply_dead ||
+                  s.now_ns >= mon.deadline_ns;
+      break;
+    case MonPhase::kForwardWait:
+      mon_ready = mon.have_forwarded || mon.reply_dead ||
+                  s.now_ns >= mon.deadline_ns;
+      break;
+    case MonPhase::kRouted:
+      mon_ready = true;
+      break;
+    case MonPhase::kAbsorb:
+    case MonPhase::kRelease:
+      // Completion barrier: while the source slot is down (roll-forward
+      // after a source death, or a crash injected between the sends),
+      // the monitor does not absorb/release. The source must be
+      // resupervised first so its recovery replay — retargeted to the
+      // new owner — is enqueued BEFORE the Release drops the hold
+      // barrier; otherwise the target serves probes that the replayed
+      // stores should have matched (found by the schedule explorer).
+      mon_ready = !s.workers[mon.src].crashed;
+      break;
+  }
+  if (mon_ready) out.push_back({EvKind::kMonitor, 0, 0});
+
+  // Worker control.
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    const auto& wk = s.workers[w];
+    if (wk.crashed || wk.ctrl.empty()) continue;
+    const auto& barrier = wk.ctrl.front().barrier;
+    bool ok = true;
+    for (std::uint32_t p = 0; p < barrier.size(); ++p) {
+      if (wk.lanes[p].popped < barrier[p]) ok = false;
+    }
+    if (ok) out.push_back({EvKind::kCtrl, w, 0});
+  }
+
+  // Worker data.
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    const auto& wk = s.workers[w];
+    if (wk.crashed) continue;
+    for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+      if (!wk.lanes[p].q.empty()) out.push_back({EvKind::kData, w, p});
+    }
+  }
+
+  // Producers.
+  for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+    if (s.cursor[p] >= by_producer_[p].size()) continue;
+    const PRecord& rec = stream_[by_producer_[p][s.cursor[p]]];
+    const std::uint32_t dst = route(s, rec.key);
+    // With replay on, a closed slot blocks the producer (the respawn
+    // reopens it); without it the push drops — still an event.
+    if (cfg_.replay && !s.workers[dst].lanes_open) continue;
+    out.push_back({EvKind::kPush, p, 0});
+  }
+
+  if (!drain) {
+    if (s.checkpoints < cfg_.max_checkpoints) {
+      out.push_back({EvKind::kCheckpoint, 0, 0});
+    }
+    if (s.crashes < cfg_.max_crashes) {
+      for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+        if (!s.workers[w].crashed) out.push_back({EvKind::kCrash, w, 0});
+      }
+    }
+    const bool waiting = (mon.phase == MonPhase::kSelectWait &&
+                          !mon.have_batch && !mon.reply_dead) ||
+                         (mon.phase == MonPhase::kHoldWait &&
+                          !mon.hold_acked && !mon.reply_dead) ||
+                         (mon.phase == MonPhase::kForwardWait &&
+                          !mon.have_forwarded && !mon.reply_dead);
+    if (waiting && s.delays < cfg_.max_delays &&
+        s.now_ns < mon.deadline_ns) {
+      out.push_back({EvKind::kDelay, 0, 0});
+    }
+  }
+  return out;
+}
+
+std::optional<Violation> Model::apply(State& s, const Event& e) const {
+  s.now_ns += kStepNs;
+  std::optional<Violation> viol;
+  switch (e.kind) {
+    case EvKind::kPush: {
+      const std::uint32_t p = e.a;
+      const PRecord rec = stream_[by_producer_[p][s.cursor[p]]];
+      ++s.cursor[p];
+      const std::uint32_t dst = route(s, rec.key);
+      const std::uint64_t offset = s.log[p].size();
+      s.log[p].push_back({rec, dst});
+      auto& wk = s.workers[dst];
+      if (!wk.lanes_open) {
+        // Non-replay mode only: the delivery is dropped on the floor
+        // and charged to the ledger (note_drop in the engine).
+        s.lost.insert(rec.seq);
+        break;
+      }
+      wk.lanes[p].q.push_back({rec, p, offset});
+      ++wk.lanes[p].pushed;
+      break;
+    }
+    case EvKind::kData: {
+      auto& wk = s.workers[e.a];
+      auto& lane = wk.lanes[e.b];
+      const Delivery d = lane.q.front();
+      lane.q.pop_front();
+      ++lane.popped;
+      if (cfg_.replay) {
+        if (d.offset < wk.consumed[e.b]) break;  // replay already served
+        wk.consumed[e.b] = d.offset + 1;
+      }
+      if (wk.forwarding.count(d.rec.key)) {
+        wk.fwd_buf.push_back(d.rec);
+      } else if (wk.held.count(d.rec.key)) {
+        wk.held_buf.push_back(d.rec);
+      } else {
+        viol = worker_process(s, e.a, d.rec);
+      }
+      break;
+    }
+    case EvKind::kCtrl:
+      viol = worker_handle_ctrl(s, e.a);
+      break;
+    case EvKind::kMonitor:
+      viol = apply_monitor(s);
+      break;
+    case EvKind::kCheckpoint: {
+      ++s.checkpoints;
+      for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+        if (s.workers[w].crashed) continue;
+        Ctrl c;
+        c.kind = CtrlKind::kCheckpoint;
+        // The engine's checkpoint is lane-prefix consistent: it runs
+        // in-thread behind whatever was already queued; no barrier.
+        send_ctrl(s, w, std::move(c));
+      }
+      break;
+    }
+    case EvKind::kCrash:
+      ++s.crashes;
+      viol = apply_crash(s, e.a);
+      break;
+    case EvKind::kDelay:
+      ++s.delays;
+      s.now_ns = std::max(s.now_ns, s.mon.deadline_ns);
+      break;
+    case EvKind::kRespawn:
+      viol = apply_respawn(s, e.a);
+      break;
+  }
+  if (viol) return viol;
+  return structural_check(s);
+}
+
+std::optional<Violation> Model::structural_check(const State& s) const {
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    const auto& wk = s.workers[w];
+    for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+      const auto& lane = wk.lanes[p];
+      if (lane.popped > lane.pushed ||
+          lane.pushed - lane.popped != lane.q.size()) {
+        std::ostringstream os;
+        os << "lane (w" << w << ",p" << p << ") watermark skew: pushed "
+           << lane.pushed << " popped " << lane.popped << " queued "
+           << lane.q.size();
+        return Violation{"watermark-regression", os.str()};
+      }
+      if (cfg_.replay && wk.consumed[p] > s.log[p].size()) {
+        std::ostringstream os;
+        os << "w" << w << " consumed[" << p << "]=" << wk.consumed[p]
+           << " beyond log end " << s.log[p].size();
+        return Violation{"watermark-regression", os.str()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Model::quiescent(const State& s) const {
+  for (std::uint32_t p = 0; p < cfg_.producers; ++p) {
+    if (s.cursor[p] < by_producer_[p].size()) return false;
+  }
+  for (const auto& wk : s.workers) {
+    if (wk.crashed || !wk.ctrl.empty()) return false;
+    for (const auto& lane : wk.lanes) {
+      if (!lane.q.empty()) return false;
+    }
+  }
+  for (const auto& b : s.backlog) {
+    if (!b.empty()) return false;
+  }
+  return s.mon.phase == MonPhase::kIdle;
+}
+
+std::optional<Violation> Model::drain_and_check(State& s) const {
+  // Generous bound: every record is pushed, delivered, and possibly
+  // replayed a constant number of times.
+  const std::uint64_t cap =
+      10'000 + 50ull * cfg_.num_records * (cfg_.workers + 1);
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    auto evs = enabled(s, /*drain=*/true);
+    if (evs.empty()) {
+      if (quiescent(s)) return final_check(s);
+      std::ostringstream os;
+      os << "no enabled event but not quiescent (mon phase "
+         << mon_phase_name(s.mon.phase) << ")";
+      return Violation{"wedged", os.str()};
+    }
+    if (auto v = apply(s, evs.front())) return v;
+  }
+  return Violation{"wedged", "drain did not reach quiescence"};
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> Model::expected_pairs()
+    const {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (const auto& probe : stream_) {
+    if (probe.store_side) continue;
+    for (const auto& r : stream_) {
+      if (r.store_side && r.key == probe.key && r.seq < probe.seq) {
+        out.insert({r.seq, probe.seq});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Violation> Model::final_check(const State& s) const {
+  // Abort-epoch consistency: no diversion machinery survives
+  // quiescence.
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    const auto& wk = s.workers[w];
+    if (!wk.forwarding.empty() || !wk.held.empty() ||
+        !wk.fwd_buf.empty() || !wk.held_buf.empty()) {
+      std::ostringstream os;
+      os << "w" << w << " still diverting at quiescence (forwarding "
+         << wk.forwarding.size() << ", held " << wk.held.size()
+         << ", fwd_buf " << wk.fwd_buf.size() << ", held_buf "
+         << wk.held_buf.size() << ")";
+      return Violation{"abort-epoch", os.str()};
+    }
+    // Routing/store consistency: every live stored tuple is reachable.
+    for (const auto& [key, recs] : wk.store) {
+      if (!recs.empty() && route(s, key) != w) {
+        std::ostringstream os;
+        os << "key " << key << " stored at w" << w << " but routed to w"
+           << route(s, key);
+        return Violation{"orphan-store", os.str()};
+      }
+    }
+  }
+  // Bounded loss with an exact ledger: every expected-but-missing pair
+  // must be explained by a ledgered record; with an empty ledger the
+  // emitted set must equal the expected set exactly.
+  const auto expected = expected_pairs();
+  for (const auto& pr : expected) {
+    if (s.emitted.count(pr)) continue;
+    if (s.lost.count(pr.first) || s.lost.count(pr.second)) continue;
+    std::ostringstream os;
+    os << "pair (r" << pr.first << ", s" << pr.second
+       << ") missing with neither record in the drop ledger";
+    return Violation{"exact-ledger", os.str()};
+  }
+  for (const auto& pr : s.emitted) {
+    if (!expected.count(pr)) {
+      std::ostringstream os;
+      os << "pair (r" << pr.first << ", s" << pr.second
+         << ") emitted but never expected";
+      return Violation{"phantom-emission", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+bool Model::independent(const Event& x, const Event& y) const {
+  auto global = [](const Event& e) {
+    switch (e.kind) {
+      case EvKind::kMonitor:
+      case EvKind::kCheckpoint:
+      case EvKind::kCrash:
+      case EvKind::kDelay:
+      case EvKind::kRespawn:
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (global(x) || global(y)) return false;
+  const Event& a = static_cast<int>(x.kind) <= static_cast<int>(y.kind)
+                       ? x
+                       : y;
+  const Event& b = static_cast<int>(x.kind) <= static_cast<int>(y.kind)
+                       ? y
+                       : x;
+  if (a.kind == EvKind::kPush && b.kind == EvKind::kPush) {
+    return a.a != b.a;
+  }
+  if (a.kind == EvKind::kPush && b.kind == EvKind::kData) {
+    return a.a != b.b;  // different partitions: different lanes
+  }
+  if (a.kind == EvKind::kPush && b.kind == EvKind::kCtrl) return true;
+  if (a.kind == EvKind::kData && b.kind == EvKind::kData) {
+    return a.a != b.a;
+  }
+  if (a.kind == EvKind::kData && b.kind == EvKind::kCtrl) {
+    return a.a != b.a;
+  }
+  // Two ctrl handlers may both write monitor reply flags.
+  return false;
+}
+
+std::uint64_t Model::digest(const State& s) const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&](std::uint64_t v) { h = fnv_mix(h, v); };
+  auto mix_rec = [&](const PRecord& r) {
+    mix(r.key);
+    mix(r.seq);
+    mix(r.store_side ? 1 : 0);
+  };
+  for (const auto& wk : s.workers) {
+    mix(0x5157);
+    mix(wk.crashed ? 1 : 0);
+    mix(wk.lanes_open ? 1 : 0);
+    mix(wk.gen);
+    for (const auto& c : wk.ctrl) {
+      mix(static_cast<std::uint64_t>(c.kind));
+      mix(c.epoch);
+      mix(c.keys.size());
+      mix(c.forwarded.size());
+      for (const auto& [k, r] : c.batch.stored) {
+        mix(k);
+        mix_rec(r);
+      }
+      for (const auto& r : c.replay) mix_rec(r);
+    }
+    for (const auto& lane : wk.lanes) {
+      mix(lane.pushed);
+      mix(lane.popped);
+      for (const auto& d : lane.q) {
+        mix_rec(d.rec);
+        mix(d.offset);
+      }
+    }
+    for (const auto& [k, recs] : wk.store) {
+      mix(k);
+      for (const auto& r : recs) mix_rec(r);
+    }
+    for (auto k : wk.forwarding) mix(k);
+    for (auto k : wk.held) mix(k);
+    for (const auto& r : wk.fwd_buf) mix_rec(r);
+    for (const auto& r : wk.held_buf) mix_rec(r);
+    for (auto c : wk.consumed) mix(c);
+    for (const auto& [k, recs] : wk.pending_extract) {
+      mix(k);
+      mix(recs.size());
+    }
+    mix(wk.has_ckpt ? 1 : 0);
+    for (const auto& [k, recs] : wk.ckpt_store) {
+      mix(k);
+      mix(recs.size());
+    }
+  }
+  mix(static_cast<std::uint64_t>(s.mon.phase));
+  mix(s.mon.src);
+  mix(s.mon.dst);
+  mix(s.mon.started);
+  mix(s.mon.src_gen);
+  mix(s.mon.have_batch ? 1 : 0);
+  mix(s.mon.hold_acked ? 1 : 0);
+  mix(s.mon.reply_dead ? 1 : 0);
+  mix(s.mon.have_forwarded ? 1 : 0);
+  mix(s.mon.batch.stored.size());
+  mix(s.mon.forwarded.size());
+  for (const auto& [k, d] : s.overrides) {
+    mix(k);
+    mix(d);
+  }
+  for (auto c : s.cursor) mix(c);
+  for (const auto& part : s.log) {
+    mix(0xa9);
+    for (const auto& le : part) {
+      mix_rec(le.rec);
+      mix(le.dst);
+    }
+  }
+  for (const auto& pr : s.emitted) {
+    mix(pr.first);
+    mix(pr.second);
+  }
+  for (auto seq : s.lost) mix(seq);
+  for (const auto& b : s.backlog) {
+    mix(0xb1);
+    for (const auto& r : b) mix_rec(r);
+  }
+  mix(s.crashes);
+  mix(s.delays);
+  mix(s.checkpoints);
+  return h;
+}
+
+}  // namespace fastjoin::protocol

@@ -1,3 +1,11 @@
+// FASTJOIN_PROTOCOL_FILE: this file implements the supervised
+// migration / replay protocol. Every wait that the protocol depends on
+// (timeout deadlines, reply backoff, blocked producers, monitor timers)
+// must go through the injectable Clock so the deterministic checker in
+// src/protocol/ and virtual-time tests exercise the same code paths.
+// fastjoin-lint's protocol-clock rule enforces this; wall-clock reads
+// that are telemetry-only (latency stamps, recovery timing, simulated
+// work) carry explicit allow() escapes.
 #include "runtime/live_engine.hpp"
 
 #include <algorithm>
@@ -56,9 +64,9 @@ namespace {
 /// Busy-wait for `ns` nanoseconds (simulated per-match work).
 void spin_for(std::uint64_t ns) {
   if (ns == 0) return;
-  const auto end =
+  const auto end =  // fastjoin-lint: allow(protocol-clock) simulated work, not a protocol wait
       std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
-  while (std::chrono::steady_clock::now() < end) {
+  while (std::chrono::steady_clock::now() < end) {  // fastjoin-lint: allow(protocol-clock) simulated work
   }
 }
 
@@ -76,7 +84,7 @@ class Backoff {
       std::this_thread::yield();
       return;
     }
-    std::this_thread::sleep_for(sleep_);
+    std::this_thread::sleep_for(sleep_);  // fastjoin-lint: allow(protocol-clock) data-plane idle backoff, not a protocol wait
     sleep_ = std::min(sleep_ * 2, std::chrono::microseconds(1000));
   }
   void reset() {
@@ -92,6 +100,19 @@ class Backoff {
 /// Records popped from one lane per drain pass: large enough to amortize
 /// the ring index update, small enough to keep control latency bounded.
 constexpr std::size_t kDrainBatch = 128;
+
+/// Producer-side wait jitter: uniform in [base/2, base] from a
+/// thread-local stream (producers are arbitrary caller threads, so the
+/// monitor's rng cannot serve them). Spreads blocked-producer retries
+/// so a crashed slot's waiters don't storm the respawned worker in
+/// lockstep.
+std::chrono::nanoseconds producer_jittered(std::chrono::nanoseconds base) {
+  thread_local Xoshiro256 rng{
+      0xda3e39cb94b95bdbULL ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id())};
+  const auto half = static_cast<std::uint64_t>(base.count()) / 2;
+  return std::chrono::nanoseconds(half + rng.next_below(half + 1));
+}
 }  // namespace
 
 const char* migration_phase_name(MigrationPhase p) {
@@ -150,7 +171,7 @@ class LiveEngine::Worker {
   /// Kill this worker: the thread exits at the next message boundary,
   /// discarding its queues; the store is lost. Thread-safe.
   void crash() {
-    crashed_at_ = std::chrono::steady_clock::now();
+    crashed_at_ = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) recovery-time telemetry
     crashed_.store(true, std::memory_order_release);
     queue_.close();
   }
@@ -201,6 +222,18 @@ class LiveEngine::Worker {
   std::uint64_t buffered_count() const {
     return buffered_.load(std::memory_order_relaxed);
   }
+  /// Post-join only: the dead store, scanned by the respawn to charge
+  /// absorbed-but-unreplayable tuples to the loss ledger.
+  const JoinStore& dead_store() const { return store_; }
+  /// Pre-start only: does the rebuilt store already hold this tuple?
+  bool store_has(KeyId key, std::uint64_t seq) const {
+    if (const auto* bucket = store_.find(key)) {
+      for (const auto& st : *bucket) {
+        if (st.seq == seq) return true;
+      }
+    }
+    return false;
+  }
   /// Re-process one store-side delivery during replay. Sequence-deduped
   /// against the restored store: a tuple that arrived via the
   /// checkpoint or a migration batch is not inserted twice (stored
@@ -221,21 +254,59 @@ class LiveEngine::Worker {
     stored_count_.store(store_.size(), std::memory_order_relaxed);
     if (fresh) stores_done_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Pre-start re-installation of a migration hold (respawn path only;
+  /// the worker thread must not be running). Used when the slot being
+  /// rebuilt is the target of an in-flight migration: the hold must be
+  /// back in place before replay runs and before the lanes reopen, so
+  /// rerouted probes keep parking in the held buffer until the Absorb
+  /// and Release arrive.
+  void preinstall_hold(const std::vector<KeyId>& keys) {
+    held_keys_.insert(keys.begin(), keys.end());
+  }
   /// Re-process one probe-side delivery the crashed worker never
-  /// served: full processing including emission.
-  void replay_probe(const Record& rec) { process(rec); }
+  /// served: full processing including emission. Rides the same divert
+  /// checks as live data — with a re-installed hold the probe must wait
+  /// in the held buffer for the migration batch, not race it.
+  void replay_probe(const Record& rec) {
+    if (!forwarding_keys_.empty() && forwarding_keys_.count(rec.key)) {
+      forward_buffer_.push_back(rec);
+      note_buffered();
+      return;
+    }
+    if (!held_keys_.empty() && held_keys_.count(rec.key)) {
+      held_buffer_.push_back(rec);
+      note_buffered();
+      return;
+    }
+    process(rec);
+  }
   /// After stop_and_join() on a crashed worker: count the deliveries
   /// that died unprocessed in its control queue. DataMsg envelopes
   /// exist in legacy mode only (laned data rides the lanes); absorb /
-  /// release / abort / replay payloads carry records that were already
-  /// extracted into migration machinery.
+  /// release / abort payloads carry records that were already extracted
+  /// into migration machinery. ReplayReq payloads are NOT a loss: they
+  /// came out of the log during a dead peer's recovery and are
+  /// idempotent to re-deliver (store-side records seq-dedup, probe-side
+  /// ones were verifiably never served), so a double fault — this
+  /// worker dying while a peer's replay deliveries sat in its queue —
+  /// hands them back to the supervisor via `salvaged` and the respawn
+  /// re-enters replay through the retarget backlog.
   void drain_dead_queue(std::uint64_t& data_msgs,
-                        std::uint64_t& buffered_records) {
+                        std::uint64_t& buffered_records,
+                        std::vector<ReplayDelivery>& salvaged) {
     while (auto env = queue_.try_pop()) {
       if (std::holds_alternative<DataMsg>(env->msg)) {
         ++data_msgs;
       } else if (const auto* a = std::get_if<AbsorbReq>(&env->msg)) {
-        buffered_records += a->batch->pending.size();
+        // A dead Absorb loses the batch's stored tuples too, not just
+        // its pending probes: the routing table already points at this
+        // worker, the log entries still carry the *source's* id, and
+        // the source's restore filter skips keys routed away — so
+        // neither side's replay will resurrect them. Charge them to the
+        // ledger or the drop accounting under-counts in the window
+        // between a committed migration and the absorb being served.
+        buffered_records +=
+            a->batch->pending.size() + a->batch->stored.size();
       } else if (const auto* r = std::get_if<ReleaseReq>(&env->msg)) {
         if (r->forwarded) buffered_records += r->forwarded->size();
       } else if (const auto* ab =
@@ -244,8 +315,10 @@ class LiveEngine::Worker {
           buffered_records += ab->batch->pending.size();
         }
         if (ab->forwarded) buffered_records += ab->forwarded->size();
-      } else if (const auto* rp = std::get_if<ReplayReq>(&env->msg)) {
-        buffered_records += rp->deliveries.size();
+      } else if (auto* rp = std::get_if<ReplayReq>(&env->msg)) {
+        salvaged.insert(salvaged.end(),
+                        std::make_move_iterator(rp->deliveries.begin()),
+                        std::make_move_iterator(rp->deliveries.end()));
       }
     }
   }
@@ -504,7 +577,7 @@ class LiveEngine::Worker {
     if (pushed_at != kUnsampled) {
       const auto dt =
           std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - pushed_at)
+              std::chrono::steady_clock::now() - pushed_at)  // fastjoin-lint: allow(protocol-clock) latency telemetry
               .count();
       const auto ns =
           static_cast<double>(std::max<std::int64_t>(dt, 1));
@@ -542,11 +615,24 @@ class LiveEngine::Worker {
 
     const KeySelectionResult sel = select_keys(in, engine_.cfg_.planner);
 
+    // Shadow copy of what this extraction removes from the store
+    // ("checkpoint shadowing"): a checkpoint cut between the extraction
+    // and the migration's commit/abort would otherwise snapshot a store
+    // missing the batch, and a crash in that window restores from that
+    // snapshot while replay suppresses the batch's deliveries (they sit
+    // below the consumed watermarks). Folded into every checkpoint;
+    // cleared by the abort re-merge or the next extraction. A stale
+    // shadow after a committed migration is harmless: the restore
+    // filter skips keys routed away, and re-merges seq-dedup.
+    pending_extract_.clear();
+    ++extract_epoch_;
     auto batch = std::make_shared<MigrationBatch>();
+    batch->extract_epoch = extract_epoch_;
     for (const auto& kl : sel.selection) {
       batch->keys.push_back(kl.key);
       for (auto& st : store_.extract_key(kl.key)) {
         batch->stored.emplace_back(kl.key, st);
+        pending_extract_.emplace_back(kl.key, st);
       }
       forwarding_keys_.insert(kl.key);
       probe_window_.erase(kl.key);
@@ -558,6 +644,15 @@ class LiveEngine::Worker {
   }
 
   void handle(TakeForwardReq req) {
+    if (req.extract_epoch != extract_epoch_) {
+      // Stale request from a migration this slot no longer remembers
+      // (the slot was rebuilt, or a newer extraction installed the
+      // current forwarding set). Clearing the set here would strand the
+      // records the NEWER migration is diverting — strict no-op, but
+      // still answer so a waiting monitor is not left hanging.
+      req.reply.set_value(std::make_shared<std::vector<Record>>());
+      return;
+    }
     forwarding_keys_.clear();
     auto out = std::make_shared<std::vector<Record>>();
     out->swap(forward_buffer_);
@@ -608,11 +703,31 @@ class LiveEngine::Worker {
     tel::flight_record(tel::FlightEvent::kCtrlRelease, fid(),
                        req.forwarded->size());
     held_keys_.clear();
-    for (const auto& rec : *req.forwarded) process(rec);
-    std::vector<Record> held;
-    held.swap(held_buffer_);
+    // Replay the divert buffers in stream order, not arrival order: the
+    // forwarded batch and the held buffer interleave (a record diverted
+    // at the source can precede one that took the rerouted path), and a
+    // probe must see exactly the stores that precede it. Store-side
+    // records merge seq-deduped — recovery retargets are at-least-once,
+    // so a tuple may already be here via the absorb batch or a
+    // ReplayReq.
+    std::vector<Record> flush;
+    flush.reserve(req.forwarded->size() + held_buffer_.size());
+    flush.insert(flush.end(), req.forwarded->begin(),
+                 req.forwarded->end());
+    flush.insert(flush.end(), held_buffer_.begin(), held_buffer_.end());
+    held_buffer_.clear();
     note_buffered();
-    for (const auto& rec : held) process(rec);
+    std::stable_sort(flush.begin(), flush.end(),
+                     [](const Record& a, const Record& b) {
+                       return precedes(a, b);
+                     });
+    for (const auto& rec : flush) {
+      if (rec.side == store_side_) {
+        replay_store(rec, /*fresh=*/true);
+      } else {
+        process(rec);
+      }
+    }
   }
 
   /// Source-side migration abort. Per-key order is preserved: batch
@@ -626,17 +741,35 @@ class LiveEngine::Worker {
       merge_tuple(key, st);
     }
     stored_count_.store(store_.size(), std::memory_order_relaxed);
+    pending_extract_.clear();  // the batch is back in the store
     forwarding_keys_.clear();
     if (req.replay_pending) {
       for (const auto& rec : req.batch->pending) process(rec);
     }
+    // Stream-ordered, store-deduped flush — same reasoning as the
+    // Release handler: collected-forwarded and the local forward buffer
+    // interleave, and retargeted recovery deliveries may have landed
+    // copies of the store-side records here already.
+    std::vector<Record> flush;
     if (req.forwarded) {
-      for (const auto& rec : *req.forwarded) process(rec);
+      flush.insert(flush.end(), req.forwarded->begin(),
+                   req.forwarded->end());
     }
-    std::vector<Record> fwd;
-    fwd.swap(forward_buffer_);
+    flush.insert(flush.end(), forward_buffer_.begin(),
+                 forward_buffer_.end());
+    forward_buffer_.clear();
     note_buffered();
-    for (const auto& rec : fwd) process(rec);
+    std::stable_sort(flush.begin(), flush.end(),
+                     [](const Record& a, const Record& b) {
+                       return precedes(a, b);
+                     });
+    for (const auto& rec : flush) {
+      if (rec.side == store_side_) {
+        replay_store(rec, /*fresh=*/true);
+      } else {
+        process(rec);
+      }
+    }
   }
 
   void handle(CheckpointReq) {
@@ -648,6 +781,26 @@ class LiveEngine::Worker {
       if (const auto* bucket = store_.find(k)) {
         for (const auto& st : *bucket) snap->tuples.emplace_back(k, st);
       }
+    }
+    // Fold in the extraction shadow: tuples cut for an in-flight
+    // migration are out of the store but not yet safe anywhere else —
+    // a snapshot without them plus replay's consumed-watermark
+    // suppression would lose them if the migration aborts into a crash.
+    // Seq-deduped against the live store (the abort re-merge clears the
+    // shadow, but a Release-committed batch leaves it populated until
+    // the next extraction).
+    for (const auto& [k, st] : pending_extract_) {
+      if (const auto* bucket = store_.find(k)) {
+        bool have = false;
+        for (const auto& cur : *bucket) {
+          if (cur.seq == st.seq) {
+            have = true;
+            break;
+          }
+        }
+        if (have) continue;
+      }
+      snap->tuples.emplace_back(k, st);
     }
     // The offsets are captured in-thread with the store snapshot, so
     // the pair is exactly consistent: the store reflects precisely the
@@ -692,6 +845,11 @@ class LiveEngine::Worker {
   std::vector<Record> forward_buffer_;
   std::unordered_set<KeyId> held_keys_;
   std::vector<Record> held_buffer_;
+  /// Shadow of the last extracted batch (see handle(SelectExtractReq));
+  /// folded into checkpoints, cleared by abort or the next extraction.
+  std::vector<std::pair<KeyId, StoredTuple>> pending_extract_;
+  /// Monotone extraction counter; TakeForwardReq must echo it.
+  std::uint64_t extract_epoch_ = 0;
   LogHistogram latency_{1.0, 1e12, 16};
 
   std::atomic<bool> crashed_{false};
@@ -714,7 +872,9 @@ class LiveEngine::Worker {
   std::atomic<std::uint64_t> buffered_{0};
 };
 
-LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
+LiveEngine::LiveEngine(const LiveConfig& cfg)
+    : cfg_(cfg),
+      clk_(cfg.clock != nullptr ? cfg.clock : &real_clock()) {
   route_table_.store(new RouteTable{}, std::memory_order_release);
   const std::size_t n_slots = cfg_.max_producers + 1;  // +1 fallback
   producer_slots_ = std::vector<ProducerSlot>(n_slots);
@@ -735,6 +895,7 @@ LiveEngine::LiveEngine(const LiveConfig& cfg) : cfg_(cfg) {
   for (int g = 0; g < 2; ++g) {
     workers_[g].reserve(cfg_.instances);
     retarget_backlog_[g].resize(cfg_.instances);
+    slot_gen_[g].assign(cfg_.instances, 0);
     if (laned()) lane_sets_[g].reserve(cfg_.instances);
     for (InstanceId i = 0; i < cfg_.instances; ++i) {
       LaneSet* ls = nullptr;
@@ -832,7 +993,7 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
         // afterwards is consumed live (or recognized as covered by the
         // fresh worker's watermark). This wait is what turns bounded
         // loss into records_dropped == 0.
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        clk_->sleep_for(producer_jittered(std::chrono::microseconds(50)));
         continue;
       }
       note_drop(1);
@@ -860,7 +1021,7 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
                            tel::flight_id(static_cast<int>(group), id),
                            lane_idx);
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      clk_->sleep_for(producer_jittered(std::chrono::microseconds(50)));
     }
   }
 }
@@ -923,7 +1084,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
         const Record& rec = recs[r0 + i];
         auto stamp = kUnsampled;
         if (every != 0 && slot.sample_tick++ % every == 0) {
-          stamp = std::chrono::steady_clock::now();
+          stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
         }
         const DataMsg msg{rec, stamp, part, base + i};
         bool ok =
@@ -942,7 +1103,7 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
     const Record& rec = recs[r];
     auto stamp = kUnsampled;
     if (every != 0 && slot.sample_tick++ % every == 0) {
-      stamp = std::chrono::steady_clock::now();
+      stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
     }
     const InstanceId store_dst = route(*rt, rec.side, rec.key);
     const InstanceId probe_dst =
@@ -975,7 +1136,7 @@ std::size_t LiveEngine::push_batch_legacy(const Record* recs,
     const Record& rec = recs[r];
     auto stamp = kUnsampled;
     if (every != 0 && slot.sample_tick++ % every == 0) {
-      stamp = std::chrono::steady_clock::now();
+      stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
     }
     const InstanceId store_dst = route(rt, rec.side, rec.key);
     const InstanceId probe_dst =
@@ -1044,7 +1205,7 @@ void LiveEngine::wait_for_producers() {
         // a crash lands between a supervision pass and a routing
         // publish.
         if (log_ != nullptr && cfg_.ingest.replay) supervise();
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        clk_->sleep_for(jittered(std::chrono::microseconds(50)));
       }
     }
   }
@@ -1092,20 +1253,37 @@ void LiveEngine::chaos_hook(Side group, InstanceId src, InstanceId dst,
   cfg_.chaos(group, src, dst, phase);
 }
 
+std::chrono::nanoseconds LiveEngine::jittered(
+    std::chrono::nanoseconds base) {
+  if (base.count() <= 1) return base;
+  const auto half = static_cast<std::uint64_t>(base.count()) / 2;
+  return std::chrono::nanoseconds(
+      half + backoff_rng_.next_below(half + 1));
+}
+
 template <typename T>
 std::shared_ptr<T> LiveEngine::await_reply(
     std::future<std::shared_ptr<T>>& fut, Side group, InstanceId id) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + cfg_.migration_timeout;
+  const auto deadline = clk_->now() + cfg_.migration_timeout;
   auto slice = std::chrono::milliseconds(1);
   for (;;) {
-    if (fut.wait_for(slice) == std::future_status::ready) {
+    // Jittered bounded exponential backoff: each wait slice is uniform
+    // in [slice/2, slice], so repeated supervised waits cannot fall
+    // into lockstep with worker-side periodic activity (synchronized
+    // retry storms). Under a VirtualClock the future is only polled
+    // and the slice elapses on virtual time — no wall-clock sleep.
+    const auto wait = jittered(slice);
+    const bool real_wait = clk_ == &real_clock();
+    const auto status =
+        fut.wait_for(real_wait ? wait : std::chrono::nanoseconds{0});
+    if (status == std::future_status::ready) {
       try {
         return fut.get();
       } catch (const std::future_error&) {
         return nullptr;  // promise died unfulfilled with the worker
       }
     }
+    if (!real_wait) clk_->sleep_for(wait);
     // Keep supervising while blocked: a backlogged worker can take
     // seconds to reach our request, and crashed workers elsewhere must
     // not wait for it. If the awaited worker itself crashed, respawning
@@ -1114,7 +1292,7 @@ std::shared_ptr<T> LiveEngine::await_reply(
     // runs its abort path (against the already-respawned worker, which
     // accepts the abort batch).
     supervise();
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (clk_->now() >= deadline) {
       FJ_WARN("live") << side_name(group) << "-" << id
                       << " unresponsive for migration reply after "
                       << cfg_.migration_timeout.count()
@@ -1178,6 +1356,12 @@ bool LiveEngine::try_migrate(Side group) {
                      tel::flight_id(g, pair->src),
                      tel::flight_id(g, pair->dst));
 
+  // The source's respawn generation at extraction time. supervise()
+  // runs inside every supervised wait below, so the source slot can be
+  // rebuilt while the monitor holds the extracted batch; the generation
+  // is re-checked before the routing publish (see below).
+  const std::uint64_t src_gen = slot_gen_[g][pair->src];
+
   // 1. Select + extract at the source (supervised wait). The barrier
   // makes the selection see every record routed here before this
   // moment, like the old shared-FIFO enqueue did.
@@ -1210,12 +1394,37 @@ bool LiveEngine::try_migrate(Side group) {
   }
   if (batch->keys.empty()) {
     TakeForwardReq tf;  // clears the (empty) forwarding set
+    tf.extract_epoch = batch->extract_epoch;
     auto f = tf.reply.get_future();
     if (worker(group, pair->src).send(std::move(tf))) {
       await_reply(f, group, pair->src);
     }
     return false;
   }
+
+  // Abort-delivery accounting, mirroring the checker's abort_to_src.
+  // A failed send loses the batch when the log cannot re-drive it, and
+  // loses any collected-forwarded records either way (their offsets sit
+  // below the consumed watermarks, so replay suppresses them). A send
+  // that lands on a slot REBUILT since the extraction arrives after the
+  // fresh slot may already have served probes against the missing
+  // bucket; without the log nothing re-drives those pairs, so the batch
+  // is superset-charged to the ledger (the re-merge itself still lands
+  // and seq-dedups).
+  const bool can_replay = log_ != nullptr && cfg_.ingest.replay;
+  auto send_abort = [&](bool replay_pending,
+                        std::shared_ptr<std::vector<Record>> fwd) {
+    if (!worker(group, pair->src)
+             .send(AbortMigrationReq{batch, replay_pending, fwd})) {
+      if (!can_replay) {
+        buffered_lost_ += batch->stored.size() +
+                          (replay_pending ? batch->pending.size() : 0);
+      }
+      if (fwd) buffered_lost_ += fwd->size();
+    } else if (!can_replay && slot_gen_[g][pair->src] != src_gen) {
+      buffered_lost_ += batch->stored.size();
+    }
+  };
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kSelected);
 
@@ -1231,6 +1440,11 @@ bool LiveEngine::try_migrate(Side group) {
     HoldReq hold;
     hold.keys = batch->keys;
     hold_future = hold.reply.get_future();
+    // Record the in-flight hold BEFORE the send: the target can crash
+    // and be respawned (inside await_reply's supervise()) at any point
+    // from here until the Release/Abort, and its rebuild must
+    // re-install the hold. Cleared on every exit path below.
+    inflight_hold_ = {true, g, pair->dst, batch->keys};
     hold_sent = worker(group, pair->dst).send(std::move(hold));
   }
   std::shared_ptr<HoldAck> ack;
@@ -1243,10 +1457,16 @@ bool LiveEngine::try_migrate(Side group) {
     // Target crashed (or went unresponsive and was declared dead)
     // before the hold was installed: full rollback at the source.
     // Routing was never changed, so the source re-merges the batch and
-    // replays pending plus its forward buffer locally.
+    // replays pending plus its forward buffer locally. If the target
+    // was already respawned inside the wait, its rebuild re-installed
+    // the hold (the HoldReq itself may have died in the dead queue) —
+    // release it with an empty buffer; on a worker without the hold
+    // this is a no-op.
     tel::ScopedSpan span("abort", "migration");
-    worker(group, pair->src)
-        .send(AbortMigrationReq{batch, /*replay_pending=*/true, nullptr});
+    inflight_hold_.active = false;
+    worker(group, pair->dst)
+        .send(ReleaseReq{std::make_shared<std::vector<Record>>()});
+    send_abort(/*replay_pending=*/true, nullptr);
     ++migrations_aborted_;
     live_metrics().migrations_aborted.add(1);
     tel::flight_record(tel::FlightEvent::kMigrationAbort,
@@ -1258,6 +1478,34 @@ bool LiveEngine::try_migrate(Side group) {
   }
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kHeld);
+
+  // Last check before the point of no return: if the source slot was
+  // rebuilt while the monitor waited (it crashed after extracting and
+  // supervise() respawned it inside await_reply), the fresh source has
+  // already regenerated the batch's tuples from checkpoint + log
+  // replay — the log entries still carry its id and the keys still
+  // route there. Publishing would fork the keys' history between the
+  // monitor's batch copy and the restored copies: probes served at the
+  // fresh source in the meantime saw a store the target will never
+  // have. Abort instead: release the target's hold and hand the batch
+  // back to the fresh source, whose merge seq-dedups against the
+  // replay-restored tuples.
+  if (slot_gen_[g][pair->src] != src_gen) {
+    tel::ScopedSpan span("abort", "migration");
+    inflight_hold_.active = false;
+    worker(group, pair->dst)
+        .send(ReleaseReq{std::make_shared<std::vector<Record>>()});
+    send_abort(/*replay_pending=*/true, nullptr);
+    ++migrations_aborted_;
+    live_metrics().migrations_aborted.add(1);
+    tel::flight_record(tel::FlightEvent::kMigrationAbort,
+                       tel::flight_id(g, pair->src),
+                       tel::flight_id(g, pair->dst));
+    FJ_WARN("live") << "aborted migration " << pair->src << "->"
+                    << pair->dst
+                    << " (source slot rebuilt before RoutePublish)";
+    return false;
+  }
 
   // 3. Routing update: copy-on-write publish of a new table, then a
   // producer grace period, remembering the prior override state for
@@ -1296,6 +1544,7 @@ bool LiveEngine::try_migrate(Side group) {
   {
     tel::ScopedSpan span("transfer", "migration");
     TakeForwardReq tf;
+    tf.extract_epoch = batch->extract_epoch;
     auto fwd_future = tf.reply.get_future();
     if (worker(group, pair->src)
             .send(std::move(tf),
@@ -1318,6 +1567,15 @@ bool LiveEngine::try_migrate(Side group) {
 
   chaos_hook(group, pair->src, pair->dst, MigrationPhase::kForwarded);
 
+  // Completion barrier (the checker's enabled() gate on kAbsorb /
+  // kRelease): never commit while the source slot is down. Its recovery
+  // replay retargets records for the migrated keys to the target, and
+  // respawning it HERE makes those retargets enqueue behind the hold —
+  // they park in the target's held buffer and drain in the
+  // Release-driven flush — instead of racing the commit after the hold
+  // is gone.
+  if (worker(group, pair->src).crashed()) supervise();
+
   // 5. Target merges and replays, preserving per-key order.
   bool absorb_ok, release_ok;
   {
@@ -1329,18 +1587,23 @@ bool LiveEngine::try_migrate(Side group) {
   }
   if (!absorb_ok || !release_ok) {
     tel::ScopedSpan span("abort", "migration");
-    // Target crashed mid-absorb: roll back. The abort message is
-    // enqueued at the source BEFORE the routing rollback so records
-    // re-routed to the source drain behind the replay (the abort
-    // itself needs no barrier: any data ahead of it was routed here
-    // under the current table and is processed first either way). When
-    // the absorb was already enqueued the target may have served some
-    // pending records, so they are not replayed (re-inserting *stored*
-    // tuples is always safe: they emit nothing by themselves and each
-    // probe routes to exactly one instance).
-    worker(group, pair->src)
-        .send(AbortMigrationReq{batch, /*replay_pending=*/!absorb_ok,
-                                forwarded});
+    // The target is dead and the routing is about to roll back, so its
+    // eventual respawn must NOT re-install the hold: no rerouted
+    // records will arrive and no Release would ever clear it.
+    inflight_hold_.active = false;
+    // Target crashed mid-absorb: roll back, in the order the checker
+    // proved out. Routes first, so everything that happens next sees
+    // the batch's keys back at the source. Then respawn the dead target
+    // NOW — its recovery replay retargets the batch-keys' records to
+    // the source, where the still-installed forwarding set diverts them
+    // into the forward buffer. The abort goes out last and flushes that
+    // buffer after the re-merge, so retargeted probes see the restored
+    // bucket. (Any order of data vs the abort at the source is safe for
+    // the same reason: pre-abort arrivals divert, post-abort arrivals
+    // meet the re-merged store. When the absorb was already enqueued
+    // the target may have served some pending records, so they are not
+    // replayed; re-inserting *stored* tuples is always safe — they emit
+    // nothing by themselves and re-merges seq-dedup.)
     publish_routes([&](RouteTable& t) {
       auto& ov = t.overrides[g];
       for (const auto& [k, p] : prev) {
@@ -1351,6 +1614,8 @@ bool LiveEngine::try_migrate(Side group) {
         }
       }
     });
+    supervise();
+    send_abort(/*replay_pending=*/!absorb_ok, forwarded);
     ++migrations_aborted_;
     live_metrics().migrations_aborted.add(1);
     tel::flight_record(tel::FlightEvent::kMigrationAbort,
@@ -1361,6 +1626,10 @@ bool LiveEngine::try_migrate(Side group) {
                        "routing rolled back";
     return false;
   }
+  // Absorb + Release are enqueued: if the target dies before serving
+  // them, the dead-queue drain ledgers their payloads — the hold no
+  // longer needs re-installing on a rebuild.
+  inflight_hold_.active = false;
   tuples_migrated_.fetch_add(batch->stored.size() + forwarded->size(),
                              std::memory_order_relaxed);
   ++migrations_;
@@ -1417,9 +1686,45 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   {
     std::uint64_t dead_data = 0;
     std::uint64_t dead_buffered = 0;
-    old->drain_dead_queue(dead_data, dead_buffered);
+    std::vector<ReplayDelivery> salvaged;
+    old->drain_dead_queue(dead_data, dead_buffered, salvaged);
     if (dead_data > 0) note_drop(dead_data);
     buffered_lost_ += dead_buffered;
+    if (!salvaged.empty()) {
+      if (replaying) {
+        // Double fault: this worker died while a dead peer's replay
+        // deliveries were still queued here. Re-enter replay cleanly —
+        // re-route each delivery to the key's *current* owner (routing
+        // may have rolled forward while it sat in the dead queue) and
+        // either send it on or park it in that slot's retarget backlog
+        // for its own respawn, instead of leaking the deliveries (or
+        // leaving a wedged recovery for the migration_timeout
+        // deadlock-breaker to clean up).
+        std::vector<std::vector<ReplayDelivery>> by_owner(
+            workers_[g].size());
+        for (auto& d : salvaged) {
+          by_owner[route_current(group, d.rec.key)].push_back(
+              std::move(d));
+        }
+        for (InstanceId t = 0; t < by_owner.size(); ++t) {
+          auto& batch = by_owner[t];
+          if (batch.empty()) continue;
+          if (t != id && !workers_[g][t]->crashed()) {
+            ReplayReq rr;
+            rr.deliveries = batch;  // copy: re-parked on a lost race
+            if (workers_[g][t]->send(std::move(rr))) continue;
+          }
+          // This very slot (flushed to the fresh worker below), a dead
+          // target, or a send that lost the race with a fresh crash.
+          auto& backlog = retarget_backlog_[g][t];
+          backlog.insert(backlog.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+        }
+      } else {
+        buffered_lost_ += salvaged.size();
+      }
+    }
   }
 
   LaneSet* ls = laned() ? lane_sets_[g][id].get() : nullptr;
@@ -1451,6 +1756,20 @@ void LiveEngine::respawn(Side group, InstanceId id) {
                                         cfg_.queue_capacity,
                                         cfg_.window_subwindows, ls,
                                         ingest_parts);
+  slot_gen_[g][id]++;
+  if (inflight_hold_.active && inflight_hold_.group == g &&
+      inflight_hold_.dst == id) {
+    // This slot is the target of an in-flight migration: the hold died
+    // with the old worker, but the routing table may already (or soon)
+    // divert the batch's keys here while the Absorb is still on its
+    // way. Re-install the hold before replay and before the lanes
+    // reopen so those probes park in the held buffer instead of being
+    // served against a store that does not have the batch yet.
+    fresh->preinstall_hold(inflight_hold_.keys);
+    FJ_INFO("live") << side_name(group) << "-" << id
+                    << " respawned mid-migration; hold re-installed on "
+                    << inflight_hold_.keys.size() << " keys";
+  }
   std::uint64_t restored = 0;
   {
     // The routing lock both gives a stable routing view for the restore
@@ -1479,6 +1798,31 @@ void LiveEngine::respawn(Side group, InstanceId id) {
     }
     if (marks.size() != ingest_parts) marks.assign(ingest_parts, 0);
     replay_worker(group, id, *fresh, from, marks);
+    // Crash-after-absorb accounting (the checker model's respawn
+    // ledger): a tuple migrated INTO this slot is logged under its
+    // ORIGINAL owner's id, so the replay pass above never scans it, and
+    // the checkpoint image is its only other durable copy. Whatever the
+    // rebuild did not resurrect is genuinely gone — the source is alive
+    // (its log is not being replayed) and exactly-once replay cannot
+    // re-read another worker's partitions. Charge it to the ledger so
+    // the loss is bounded-and-explained, not silent; the window is
+    // bounded by the checkpoint cadence.
+    std::uint64_t absorbed_lost = 0;
+    for (KeyId k : old->dead_store().keys()) {
+      if (route_current(group, k) != id) continue;
+      if (const auto* bucket = old->dead_store().find(k)) {
+        for (const auto& st : *bucket) {
+          if (!fresh->store_has(k, st.seq)) ++absorbed_lost;
+        }
+      }
+    }
+    if (absorbed_lost > 0) {
+      buffered_lost_ += absorbed_lost;
+      FJ_WARN("live") << side_name(group) << "-" << id << ": "
+                      << absorbed_lost
+                      << " absorbed tuple(s) unrecoverable by replay "
+                         "(migrated in after the last checkpoint)";
+    }
   }
   {
     MutexLock lock(route_mutex_);
@@ -1491,15 +1835,17 @@ void LiveEngine::respawn(Side group, InstanceId id) {
   // it was down.
   if (replaying && !retarget_backlog_[g][id].empty()) {
     ReplayReq rr;
-    rr.deliveries.swap(retarget_backlog_[g][id]);
-    const std::size_t cnt = rr.deliveries.size();
-    if (!workers_[g][id]->send(std::move(rr))) {
-      buffered_lost_ += cnt;  // crashed again in the send window
+    rr.deliveries = retarget_backlog_[g][id];  // copy: kept parked on
+                                               // a lost race
+    if (workers_[g][id]->send(std::move(rr))) {
+      retarget_backlog_[g][id].clear();
     }
+    // else: crashed again inside the send window; the backlog stays
+    // parked and the next respawn re-enters replay with it.
   }
   ++recoveries_;
   tuples_restored_ += restored;
-  recovery_time_total_ += std::chrono::steady_clock::now() - crashed_at;
+  recovery_time_total_ += std::chrono::steady_clock::now() - crashed_at;  // fastjoin-lint: allow(protocol-clock) recovery-time telemetry
   live_metrics().recoveries.add(1);
   span.arg("restored", static_cast<std::int64_t>(restored));
   tel::flight_record(tel::FlightEvent::kRespawn,
@@ -1550,20 +1896,25 @@ void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
   // batches so a long replay never builds one giant message.
   std::vector<std::vector<ReplayDelivery>> retarget(workers_[g].size());
   auto flush_retarget = [&](InstanceId tid) {
-    if (retarget[tid].empty()) return;
-    ReplayReq rr;
-    rr.deliveries.swap(retarget[tid]);
-    const std::size_t cnt = rr.deliveries.size();
+    auto& pending = retarget[tid];
+    if (pending.empty()) return;
     Worker& tw = *workers_[g][tid];
-    if (tw.crashed()) {
-      // The target is down too; park the batch for its own respawn.
-      auto& backlog = retarget_backlog_[g][tid];
-      backlog.insert(backlog.end(),
-                     std::make_move_iterator(rr.deliveries.begin()),
-                     std::make_move_iterator(rr.deliveries.end()));
-    } else if (!tw.send(std::move(rr))) {
-      buffered_lost_ += cnt;  // crashed inside the send window
+    if (!tw.crashed()) {
+      ReplayReq rr;
+      rr.deliveries = pending;  // copy: re-parked if the send loses
+                                // the race with a fresh crash
+      if (tw.send(std::move(rr))) {
+        pending.clear();
+        return;
+      }
     }
+    // The target is down too (or died inside the send window); park
+    // the batch for its own respawn, which re-enters replay with it.
+    auto& backlog = retarget_backlog_[g][tid];
+    backlog.insert(backlog.end(),
+                   std::make_move_iterator(pending.begin()),
+                   std::make_move_iterator(pending.end()));
+    pending.clear();
   };
   // The routing lock gives a stable view for the retarget decisions; the
   // monitor thread (migration orchestrator) is the caller, so routes
@@ -1597,17 +1948,21 @@ void LiveEngine::replay_worker(Side group, InstanceId id, Worker& fresh,
         // already holding the consumed-band copies.
         fresh.replay_store(rec, fresh_band);
         ++records_replayed_;
-      } else if (fresh_band) {
-        // The key migrated away after this record was published and the
-        // crash ate the delivery before it could join the migration
-        // batch — hand it to the current owner.
+      } else {
+        // The key migrated away. Retarget regardless of the consumed
+        // band: a fresh-band delivery never reached this worker, and a
+        // consumed-band stored copy USUALLY travelled in the migration
+        // batch — but it may instead have died in the dead worker's
+        // forward buffer (diverted after the extraction, collected by
+        // no one). Re-merging at the current owner is idempotent
+        // (ReplayReq store deliveries seq-dedup), so the at-least-once
+        // retarget is safe; probes stay band-gated below because
+        // re-serving one would mint duplicate emissions.
         retarget[cur].push_back(ReplayDelivery{rec, true});
         ++replay_retargeted_;
         ++records_replayed_;
         if (retarget[cur].size() >= 1024) flush_retarget(cur);
       }
-      // else: consumed before the crash AND migrated since — the stored
-      // copy travelled in the migration batch; nothing to redo.
     } else if (rec.side != group && lr.probe_dst == id) {
       if (!fresh_band) {
         // Already probed — its matches were emitted before the crash;
@@ -1666,11 +2021,10 @@ void LiveEngine::truncate_ingest() {
 
 void LiveEngine::monitor_loop() {
   tel::set_thread_label("monitor");
-  auto next_window = std::chrono::steady_clock::now() + cfg_.subwindow_len;
-  auto next_checkpoint =
-      std::chrono::steady_clock::now() + cfg_.checkpoint_period;
+  auto next_window = clk_->now() + cfg_.subwindow_len;
+  auto next_checkpoint = clk_->now() + cfg_.checkpoint_period;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(cfg_.monitor_period);
+    clk_->sleep_for(cfg_.monitor_period);
     if (stopping_.load(std::memory_order_relaxed)) break;
     supervise();
     // Periodic aggregation: every registered metric's current value is
@@ -1680,7 +2034,7 @@ void LiveEngine::monitor_loop() {
       try_migrate(Side::kR);
       try_migrate(Side::kS);
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = clk_->now();
     if (cfg_.window_subwindows > 0 && now >= next_window) {
       next_window += cfg_.subwindow_len;
       for (int g = 0; g < 2; ++g) {

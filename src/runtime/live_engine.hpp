@@ -94,10 +94,12 @@
 #include <variant>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/hash.hpp"
 #include "common/histogram.hpp"
 #include "common/mutex.hpp"
 #include "common/queues.hpp"
+#include "common/rng.hpp"
 #include "common/thread_safety.hpp"
 #include "core/planner.hpp"
 #include "engine/join_store.hpp"
@@ -175,6 +177,13 @@ struct LiveConfig {
   /// worst queue drain time or a saturated-but-healthy worker gets
   /// force-crashed.
   std::chrono::milliseconds migration_timeout{30'000};
+  /// Time source for every protocol wait: migration reply backoff,
+  /// producer blocked-waits on a crashed slot, the grace-period and
+  /// monitor-tick sleeps, and the migration_timeout deadline itself.
+  /// Null selects the process-wide real clock. Tests and the protocol
+  /// checker inject a VirtualClock so timeouts and backoff fire on
+  /// virtual time with no wall-clock sleeps. Must outlive the engine.
+  Clock* clock = nullptr;
   /// Chaos hook: called from the monitor thread at each migration phase
   /// transition. Tests use it to crash() workers at precise protocol
   /// points. Must be thread-compatible with calls into this engine's
@@ -322,6 +331,12 @@ class LiveEngine {
     std::promise<std::shared_ptr<MigrationBatch>> reply;
   };
   struct TakeForwardReq {
+    /// Must match the worker's current extraction epoch
+    /// (MigrationBatch::extract_epoch of the batch this migration cut);
+    /// a stale request is answered empty WITHOUT touching the
+    /// forwarding set or the forward buffer — the diverted records
+    /// belong to whichever migration installed the current set.
+    std::uint64_t extract_epoch = 0;
     std::promise<std::shared_ptr<std::vector<Record>>> reply;
   };
   struct HoldAck {};
@@ -442,6 +457,11 @@ class LiveEngine {
                                  Side group, InstanceId id);
   void chaos_hook(Side group, InstanceId src, InstanceId dst,
                   MigrationPhase phase);
+  /// Uniform duration in [base/2, base]: de-synchronizes the monitor's
+  /// retry cadence from worker-side periodic activity so a whole fleet
+  /// of waits cannot retry in lockstep. Monitor thread only (uses
+  /// backoff_rng_).
+  std::chrono::nanoseconds jittered(std::chrono::nanoseconds base);
   void note_drop(std::uint64_t n);
   Worker& worker(Side group, InstanceId id);
 
@@ -470,6 +490,10 @@ class LiveEngine {
   bool laned() const { return cfg_.data_plane == DataPlane::kLaned; }
 
   LiveConfig cfg_;
+  Clock* clk_;  ///< cfg_.clock or the real clock; never null
+  /// Backoff jitter source for the monitor's supervised waits
+  /// (monitor thread only; producers use a thread-local twin).
+  Xoshiro256 backoff_rng_{0x9e3779b97f4a7c15ull};
   std::function<void(const MatchPair&)> on_match_;
   std::vector<std::unique_ptr<Worker>> workers_[2];
   std::vector<std::unique_ptr<LaneSet>> lane_sets_[2];
@@ -526,6 +550,29 @@ class LiveEngine {
     LogHistogram latency{1.0, 1e12, 16};
   } retired_;
   std::vector<std::uint64_t> probe_marks_[2];
+  /// Per-slot respawn generation, bumped by respawn(). try_migrate
+  /// records the source's generation at extraction time and re-checks
+  /// it before the routing publish: a source slot rebuilt in between
+  /// (supervise() runs inside the supervised waits) has already
+  /// regenerated the extracted tuples from checkpoint + log replay, so
+  /// publishing would fork the key's history between the monitor's
+  /// batch copy and the fresh source's restored copy. Monitor thread
+  /// only.
+  std::vector<std::uint64_t> slot_gen_[2];
+  /// The one migration hold that may be installed at a target right now
+  /// (set when the HoldReq is sent, cleared when the target is released
+  /// or the migration aborts). respawn() consults it so a target
+  /// rebuilt mid-migration gets the hold re-installed before its lanes
+  /// reopen — without it the fresh target serves rerouted probes
+  /// against a store that does not have the batch yet (the Absorb
+  /// arrives later), silently missing pairs with nothing in the drop
+  /// ledger to explain them. Monitor thread only.
+  struct InflightHold {
+    bool active = false;
+    int group = 0;
+    InstanceId dst = 0;
+    std::vector<KeyId> keys;
+  } inflight_hold_;
   double last_li_ = 1.0;
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};

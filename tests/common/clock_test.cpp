@@ -1,0 +1,86 @@
+// Tests for the injectable protocol time source (common/clock.hpp):
+// the real-clock singleton, VirtualClock semantics, and the contract
+// the supervised-wait code depends on (sleep_for advances virtual time
+// without blocking).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace fastjoin {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Clock, RealClockIsMonotoneAndSingleton) {
+  Clock& a = real_clock();
+  Clock& b = real_clock();
+  EXPECT_EQ(&a, &b);
+  const auto t0 = a.now();
+  const auto t1 = a.now();
+  EXPECT_GE(t1.count(), t0.count());
+}
+
+TEST(Clock, RealClockSleepActuallyWaits) {
+  Clock& c = real_clock();
+  const auto t0 = c.now();
+  c.sleep_for(2ms);
+  EXPECT_GE((c.now() - t0).count(), std::chrono::nanoseconds(2ms).count());
+}
+
+TEST(VirtualClock, StartsAtGivenOrigin) {
+  VirtualClock zero;
+  EXPECT_EQ(zero.now().count(), 0);
+  VirtualClock later(5s);
+  EXPECT_EQ(later.now(), std::chrono::nanoseconds(5s));
+}
+
+TEST(VirtualClock, SleepAdvancesInstantly) {
+  VirtualClock clk;
+  const auto wall0 = std::chrono::steady_clock::now();
+  clk.sleep_for(30s);  // a real sleep here would hang the test
+  const auto wall = std::chrono::steady_clock::now() - wall0;
+  EXPECT_EQ(clk.now(), std::chrono::nanoseconds(30s));
+  EXPECT_LT(wall, 1s);
+}
+
+TEST(VirtualClock, NegativeAndZeroSleepsDoNotMoveTime) {
+  VirtualClock clk(1ms);
+  clk.sleep_for(0ns);
+  clk.sleep_for(-5ms);
+  EXPECT_EQ(clk.now(), std::chrono::nanoseconds(1ms));
+}
+
+TEST(VirtualClock, AdvanceIsCumulative) {
+  VirtualClock clk;
+  clk.advance(10ms);
+  clk.advance(5ms);
+  EXPECT_EQ(clk.now(), std::chrono::nanoseconds(15ms));
+}
+
+TEST(VirtualClock, ConcurrentSleepersStayMonotoneAndSumExactly) {
+  VirtualClock clk;
+  constexpr int kThreads = 8;
+  constexpr int kSleeps = 1000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&clk] {
+      auto last = clk.now();
+      for (int i = 0; i < kSleeps; ++i) {
+        clk.sleep_for(1us);
+        const auto now = clk.now();
+        EXPECT_GE(now.count(), last.count());
+        last = now;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(clk.now(), std::chrono::nanoseconds(1us) * kThreads * kSleeps);
+}
+
+}  // namespace
+}  // namespace fastjoin

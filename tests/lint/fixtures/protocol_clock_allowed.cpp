@@ -1,0 +1,21 @@
+// FASTJOIN_PROTOCOL_FILE: fixture — same wall-clock reads, all
+// justified with inline allow() annotations (telemetry, not a protocol
+// wait), plus the legal patterns the rule must never flag.
+#include <chrono>
+#include <thread>
+
+struct Clock {
+  void sleep_for(std::chrono::nanoseconds d);
+  std::chrono::nanoseconds now();
+};
+
+void protocol_wait(Clock* clk_) {
+  auto t0 = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
+  // fastjoin-lint: allow(protocol-clock) recovery-time telemetry
+  auto t1 = std::chrono::steady_clock::now();
+  clk_->sleep_for(std::chrono::microseconds(50));  // injectable: legal
+  std::chrono::steady_clock::time_point tp{};  // type use only: legal
+  (void)t0;
+  (void)t1;
+  (void)tp;
+}

@@ -1,0 +1,13 @@
+// FASTJOIN_PROTOCOL_FILE: fixture — a protocol-tagged file reading
+// wall clocks and sleeping directly instead of going through the
+// injectable Clock.
+#include <chrono>
+#include <thread>
+
+void protocol_wait() {
+  auto deadline = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto stamp = std::chrono::system_clock::now();
+  (void)deadline;
+  (void)stamp;
+}

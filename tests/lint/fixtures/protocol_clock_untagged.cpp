@@ -1,0 +1,11 @@
+// Fixture — identical wall-clock reads to protocol_clock_bad.cpp but
+// WITHOUT the protocol-file tag: the rule is scoped to the protocol
+// control plane and must stay quiet here.
+#include <chrono>
+#include <thread>
+
+void ordinary_wait() {
+  auto deadline = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  (void)deadline;
+}

@@ -92,6 +92,12 @@ def main():
     expect("banned_bad.cpp", "banned-api", 4)
     expect("banned_allowed.cpp", "banned-api", 0)
 
+    # --- protocol-clock ---------------------------------------------
+    expect("protocol_clock_bad.cpp", "protocol-clock", 3,
+           exact_lines=[8, 9, 10])
+    expect("protocol_clock_allowed.cpp", "protocol-clock", 0)
+    expect("protocol_clock_untagged.cpp", "protocol-clock", 0)
+
     # --- baseline machinery -----------------------------------------
     with tempfile.TemporaryDirectory() as td:
         bl = os.path.join(td, "baseline.json")

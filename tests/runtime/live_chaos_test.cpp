@@ -358,6 +358,182 @@ TEST(LiveChaosReplay, AbortReinjectionAfterSourceRespawn) {
   EXPECT_GE(log.unique(), expected / 2);
 }
 
+// --- Double-fault matrix: a second crash lands while the first one's
+// recovery (replay or checkpoint) is still in flight. With ingest
+// replay on, the drop ledger must stay exact through both faults:
+// records_dropped == 0 (every delivery is either served once or
+// re-driven from the log), zero duplicate emissions, and the
+// supervisor must recover both victims without wedging. ---------------
+
+enum class SecondFault {
+  /// Crash the *other* migration endpoint at the same phase: the
+  /// second victim dies while the supervisor is inside the first
+  /// victim's respawn/replay (supervise() runs in the await loops), so
+  /// replay deliveries retargeted at it die in its queue and must be
+  /// salvaged, not leaked.
+  kOtherEndpointDuringReplay,
+  /// Crash a bystander after the next checkpoint round lands: the
+  /// second recovery restores from a snapshot taken between the two
+  /// faults, exercising checkpoint + replay layering.
+  kBystanderDuringCheckpoint,
+};
+
+void run_double_fault(MigrationPhase phase, SecondFault mode) {
+  LiveConfig cfg;
+  cfg.instances = 4;
+  cfg.balancer = true;
+  cfg.planner.theta = 1.2;
+  cfg.min_heaviest_load = 10.0;
+  cfg.monitor_period = std::chrono::milliseconds(1);
+  cfg.checkpoint_period = std::chrono::milliseconds(5);
+  cfg.migration_timeout = std::chrono::milliseconds(2000);
+  cfg.ingest.enabled = true;
+
+  LiveEngine* eng = nullptr;
+  std::atomic<bool> first_fired{false};
+  std::atomic<bool> second_fired{false};
+  std::atomic<int> victim_group{-1};
+  std::atomic<std::uint32_t> bystander{0};
+  cfg.chaos = [&](Side group, InstanceId src, InstanceId dst,
+                  MigrationPhase at) {
+    if (at != phase || !eng->running()) return;
+    if (!first_fired.exchange(true)) {
+      victim_group = static_cast<int>(group);
+      for (InstanceId w = 0; w < cfg.instances; ++w) {
+        if (w != src && w != dst) bystander = w;
+      }
+      eng->crash(group, dst);
+      if (mode == SecondFault::kOtherEndpointDuringReplay &&
+          !second_fired.exchange(true)) {
+        // The monitor discovers the dead target inside its next
+        // supervised wait and respawns it there; the source dies with
+        // that recovery (and any replay deliveries re-routed to it)
+        // in flight.
+        eng->crash(group, src);
+      }
+    }
+  };
+
+  LiveEngine engine(cfg);
+  eng = &engine;
+  MatchLog log;
+  log.attach(engine);
+  engine.start();
+
+  const auto trace = make_trace(27, 15'000, 200, 0.9);
+  for (const auto& rec : trace) engine.push(rec);
+  for (int i = 0; i < 1'000 && !first_fired.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (mode == SecondFault::kBystanderDuringCheckpoint &&
+      first_fired.load() && !second_fired.exchange(true)) {
+    // Let at least one checkpoint round land between the two faults.
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    engine.crash(static_cast<Side>(victim_group.load()),
+                 bystander.load());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto stats = engine.finish();
+
+  SCOPED_TRACE(std::string("phase=") + migration_phase_name(phase) +
+               (mode == SecondFault::kOtherEndpointDuringReplay
+                    ? " second=src-during-replay"
+                    : " second=bystander-during-checkpoint"));
+  EXPECT_TRUE(first_fired.load()) << "no migration fired";
+  EXPECT_GE(stats.crashes, 2u);
+  EXPECT_GE(stats.recoveries, 2u);
+  EXPECT_EQ(log.duplicates(), 0u);
+  // Ledger exactness through the double fault: the log re-drives every
+  // delivery, so the only permissible loss is records that died inside
+  // migration machinery (buffered_lost), never silent drops.
+  EXPECT_EQ(stats.records_dropped, 0u);
+  EXPECT_EQ(stats.ingest_appended, stats.records_in);
+  const std::uint64_t expected = expected_pairs(trace);
+  EXPECT_LE(log.unique(), expected);
+  EXPECT_GE(log.unique(), expected / 2);
+}
+
+TEST(LiveChaosDoubleFault, SelectedThenSrcDuringReplay) {
+  run_double_fault(MigrationPhase::kSelected,
+                   SecondFault::kOtherEndpointDuringReplay);
+}
+TEST(LiveChaosDoubleFault, HeldThenSrcDuringReplay) {
+  run_double_fault(MigrationPhase::kHeld,
+                   SecondFault::kOtherEndpointDuringReplay);
+}
+TEST(LiveChaosDoubleFault, RoutedThenSrcDuringReplay) {
+  run_double_fault(MigrationPhase::kRouted,
+                   SecondFault::kOtherEndpointDuringReplay);
+}
+TEST(LiveChaosDoubleFault, ForwardedThenSrcDuringReplay) {
+  run_double_fault(MigrationPhase::kForwarded,
+                   SecondFault::kOtherEndpointDuringReplay);
+}
+TEST(LiveChaosDoubleFault, SelectedThenBystanderDuringCheckpoint) {
+  run_double_fault(MigrationPhase::kSelected,
+                   SecondFault::kBystanderDuringCheckpoint);
+}
+TEST(LiveChaosDoubleFault, HeldThenBystanderDuringCheckpoint) {
+  run_double_fault(MigrationPhase::kHeld,
+                   SecondFault::kBystanderDuringCheckpoint);
+}
+TEST(LiveChaosDoubleFault, RoutedThenBystanderDuringCheckpoint) {
+  run_double_fault(MigrationPhase::kRouted,
+                   SecondFault::kBystanderDuringCheckpoint);
+}
+TEST(LiveChaosDoubleFault, ForwardedThenBystanderDuringCheckpoint) {
+  run_double_fault(MigrationPhase::kForwarded,
+                   SecondFault::kBystanderDuringCheckpoint);
+}
+
+// Regression for the double-fault replay path in respawn(): a worker
+// dies while a dead peer's replay deliveries (ReplayReq) are still
+// queued at it. Those deliveries came out of the log and are
+// idempotent, so the drain must salvage and re-route them to each
+// key's current owner (or park them for the slot's own respawn) — not
+// count them as losses and not leak them. Rapid same-side crash pairs
+// under ingest make that window easy to hit; the ledger must stay
+// exact regardless.
+TEST(LiveChaosReplay, DoubleFaultSalvagesQueuedReplayDeliveries) {
+  LiveConfig cfg;
+  cfg.instances = 3;
+  cfg.balancer = true;
+  cfg.planner.theta = 1.2;
+  cfg.min_heaviest_load = 10.0;
+  cfg.monitor_period = std::chrono::milliseconds(1);
+  cfg.checkpoint_period = std::chrono::milliseconds(4);
+  cfg.migration_timeout = std::chrono::milliseconds(2000);
+  cfg.ingest.enabled = true;
+  LiveEngine engine(cfg);
+  MatchLog log;
+  log.attach(engine);
+  engine.start();
+
+  const auto trace = make_trace(28, 30'000, 200, 1.1);
+  Xoshiro256 rng(77);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    engine.push(trace[i]);
+    if (i % 6'000 == 5'999) {
+      // Two crashes on the same side back to back: the second victim
+      // is a prime retarget destination for the first one's replay.
+      const Side side = static_cast<Side>(rng.next_below(2));
+      const InstanceId a =
+          static_cast<InstanceId>(rng.next_below(cfg.instances));
+      const InstanceId b = static_cast<InstanceId>((a + 1) % cfg.instances);
+      engine.crash(side, a);
+      engine.crash(side, b);
+      std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto stats = engine.finish();
+
+  EXPECT_GE(stats.crashes, 4u);
+  EXPECT_EQ(stats.records_dropped, 0u);
+  EXPECT_EQ(log.duplicates(), 0u);
+  EXPECT_LE(log.unique(), expected_pairs(trace));
+}
+
 TEST(LiveChaosReplay, RandomCrashesUnderBalancerLoseNoDeliveries) {
   LiveConfig cfg;
   cfg.instances = 3;
