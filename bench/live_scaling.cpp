@@ -1,0 +1,278 @@
+// Perf — live data-plane scaling sweep: records/sec/core across
+// producers × workers × skew, locked plane vs laned plane per cell.
+//
+// Where live_throughput defends the headline acceptance number at one
+// operating point, this sweep is the CI perf-smoke surface: a grid of
+// small cells whose laned/locked speedup ratios are compared against
+// the committed BENCH_live_scaling.json by scripts/perf_smoke.py.
+// Ratios, not absolute rec/s, are gated — shared CI runners disagree
+// wildly on absolute throughput but agree on whether the lock-free
+// plane still beats the locked one. Throughput is also reported per
+// core (normalized by the CPUs visible to the process) so numbers from
+// a 1-core container and an 8-core desktop land on one axis.
+//
+// Every cell runs the identical feed through both planes (best of
+// `reps` repetitions per plane — the locked plane's wall clock is
+// bimodal under balancer-migration timing, and capacity, not
+// scheduling luck, is the thing being tracked) and the join results
+// must match exactly across planes and reps; a mismatch fails the
+// bench regardless of the numbers.
+//
+// Usage: live_scaling [scale=1.0] [records=60000] [reps=3]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "datagen/keygen.hpp"
+#include "runtime/live_engine.hpp"
+#include "runtime/placement.hpp"
+#include "support/harness.hpp"
+#include "support/workloads.hpp"
+
+namespace fastjoin::bench {
+namespace {
+
+/// Disjoint-keyspace per-producer traces (same construction as
+/// live_throughput): the expected result set is independent of the
+/// producer interleaving, so locked and laned runs must agree exactly.
+std::vector<std::vector<Record>> make_traces(int n_producers,
+                                             std::uint64_t total,
+                                             int keys_per_producer,
+                                             double zipf) {
+  std::vector<std::vector<Record>> traces(n_producers);
+  const std::uint64_t per = total / n_producers;
+  for (int p = 0; p < n_producers; ++p) {
+    KeyStreamSpec spec;
+    spec.num_keys = keys_per_producer;
+    spec.zipf_s = zipf;
+    spec.seed = 2000 + static_cast<std::uint64_t>(p);
+    KeyGenerator gen(spec);
+    Xoshiro256 rng(spec.seed ^ 0xbeef);
+    auto& out = traces[p];
+    out.reserve(per);
+    std::uint64_t r_seq = 0, s_seq = 0;
+    for (std::uint64_t i = 0; i < per; ++i) {
+      Record rec;
+      rec.side = rng.next_below(2) ? Side::kS : Side::kR;
+      rec.key = gen() * static_cast<KeyId>(n_producers) +
+                static_cast<KeyId>(p);
+      rec.seq = rec.side == Side::kR ? r_seq++ : s_seq++;
+      rec.ts = i * n_producers + static_cast<std::uint64_t>(p);
+      rec.payload = rec.ts;
+      out.push_back(rec);
+    }
+  }
+  return traces;
+}
+
+struct RunResult {
+  double rps = 0.0;
+  double rps_per_core = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t results = 0;
+};
+
+RunResult run_one_rep(DataPlane plane, std::uint32_t instances,
+                      const std::vector<std::vector<Record>>& traces,
+                      std::size_t cores) {
+  std::uint64_t total = 0;
+  for (const auto& t : traces) total += t.size();
+
+  LiveConfig cfg;
+  cfg.instances = instances;
+  // Balancer off: migration timing doubles or halves a run's wall
+  // clock at random, which is exactly the noise a ratio-gated CI
+  // bench cannot afford. This sweep isolates data-plane plumbing
+  // cost; live_throughput keeps the balancer on for the end-to-end
+  // acceptance number.
+  cfg.balancer = false;
+  cfg.data_plane = plane;
+  cfg.latency_sample_every = 64;  // keep the clock off the hot path
+  LiveEngine engine(cfg);
+  engine.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(traces.size());
+  for (const auto& trace : traces) {
+    producers.emplace_back([&engine, &trace, plane] {
+      if (plane == DataPlane::kLegacyLocked) {
+        for (const auto& rec : trace) engine.push(rec);
+      } else {
+        const int id = engine.register_producer();
+        constexpr std::size_t kBatch = 256;
+        for (std::size_t i = 0; i < trace.size(); i += kBatch) {
+          const std::size_t n = std::min(kBatch, trace.size() - i);
+          engine.push_batch(trace.data() + i, n, id);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  const auto stats = engine.finish();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RunResult r;
+  r.wall_s = wall;
+  r.rps = static_cast<double>(total) / wall;
+  r.rps_per_core = r.rps / static_cast<double>(cores);
+  r.results = stats.results;
+  return r;
+}
+
+/// Best-of-N wrapper: a cell's number is its best repetition. The
+/// locked plane's single-run throughput is bimodal (balancer migration
+/// timing can double a run's wall clock), which made single-shot
+/// speedup ratios swing far beyond the CI gate's 0.9 tolerance;
+/// keeping the fastest leg per plane measures each plane's capacity
+/// rather than its worst scheduling luck. All reps must produce the
+/// same join results — any disagreement poisons the whole bench.
+RunResult run_once(DataPlane plane, std::uint32_t instances,
+                   const std::vector<std::vector<Record>>& traces,
+                   std::size_t cores, int reps, bool& results_agree) {
+  RunResult best;
+  for (int i = 0; i < reps; ++i) {
+    RunResult r = run_one_rep(plane, instances, traces, cores);
+    if (i > 0 && r.results != best.results) results_agree = false;
+    if (i == 0 || r.rps > best.rps) best = r;
+  }
+  return best;
+}
+
+std::string json_run(const RunResult& r) {
+  std::ostringstream os;
+  os << "{\"records_per_sec\": " << static_cast<std::uint64_t>(r.rps)
+     << ", \"records_per_sec_per_core\": "
+     << static_cast<std::uint64_t>(r.rps_per_core)
+     << ", \"wall_s\": " << r.wall_s << ", \"results\": " << r.results
+     << "}";
+  return os.str();
+}
+
+int run(int argc, char** argv) {
+  const Config cli = Config::from_args(argc, argv);
+  const double scale = cli_scale(cli);
+  const auto total = static_cast<std::uint64_t>(
+      cli.get_int("records", 60'000) * scale);
+  const int reps =
+      std::max(1, static_cast<int>(cli.get_int("reps", 3)));
+  const std::size_t cores =
+      std::max<std::size_t>(1, Topology::detect().cpus());
+
+  banner("Perf", "live data-plane scaling: producers x workers x skew");
+  std::cout << "records/run=" << total << "  reps=" << reps
+            << " (best kept)  cores=" << cores
+            << "  (override with records=N reps=K scale=X)\n\n";
+
+  const int kProducers[] = {1, 2, 4};
+  const std::uint32_t kWorkers[] = {2, 4, 8};
+  const double kSkews[] = {0.8, 1.2};
+
+  struct Cell {
+    int producers;
+    std::uint32_t workers;
+    double zipf;
+    RunResult locked, laned;
+  };
+  std::vector<Cell> grid;
+  bool results_agree = true;
+
+  for (const auto producers : kProducers) {
+    for (const auto workers : kWorkers) {
+      for (const auto zipf : kSkews) {
+        const auto traces = make_traces(producers, total, 400, zipf);
+        const auto locked = run_once(DataPlane::kLegacyLocked, workers,
+                                     traces, cores, reps, results_agree);
+        const auto laned = run_once(DataPlane::kLaned, workers, traces,
+                                    cores, reps, results_agree);
+        if (locked.results != laned.results) {
+          results_agree = false;
+          std::cerr << "RESULT MISMATCH at producers=" << producers
+                    << " workers=" << workers << " zipf=" << zipf
+                    << ": locked=" << locked.results
+                    << " laned=" << laned.results << "\n";
+        }
+        grid.push_back({producers, workers, zipf, locked, laned});
+      }
+    }
+  }
+
+  // The gated speedup divides every laned cell by ONE locked
+  // reference: the best locked run anywhere in the grid (the locked
+  // plane's best configuration, in practice a 2-worker cell). A
+  // per-cell locked denominator is useless for a ratio gate — a single
+  // locked run on an oversubscribed box is bimodal, 2N+1 threads
+  // convoying on one mutex land fast or slow on scheduler luck, and
+  // even a per-worker-count max still swung ~30% run to run at 8
+  // workers. The global max over reps x producers x workers x zipf
+  // samples is pinned by the stable low-thread-count cells, so the
+  // gated ratio inherits only the laned plane's (small) variance —
+  // which is the plane the gate exists to watch. Per-cell raw locked
+  // numbers stay in the JSON for forensics.
+  double locked_ref = 0.0;
+  for (const auto& c : grid) locked_ref = std::max(locked_ref, c.locked.rps);
+  if (locked_ref <= 0.0) locked_ref = 1.0;
+
+  Table t({"producers", "workers", "zipf", "locked rec/s/core",
+           "laned rec/s/core", "speedup vs ref"});
+  std::ostringstream cells;
+  bool first = true;
+  double worst_multi = 0.0;  // worst multi-producer speedup in the grid
+
+  for (const auto& c : grid) {
+    const double speedup = c.laned.rps / locked_ref;
+    if (c.producers > 1) {
+      worst_multi =
+          worst_multi == 0.0 ? speedup : std::min(worst_multi, speedup);
+    }
+    t.add_row({static_cast<std::int64_t>(c.producers),
+               static_cast<std::int64_t>(c.workers), c.zipf,
+               c.locked.rps_per_core, c.laned.rps_per_core, speedup});
+    if (!first) cells << ",\n";
+    first = false;
+    cells << "    {\"producers\": " << c.producers
+          << ", \"workers\": " << c.workers << ", \"zipf\": " << c.zipf
+          << ",\n     \"locked\": " << json_run(c.locked)
+          << ",\n     \"laned\": " << json_run(c.laned)
+          << ",\n     \"locked_ref_records_per_sec\": "
+          << static_cast<std::uint64_t>(locked_ref)
+          << ",\n     \"speedup\": " << speedup << "}";
+  }
+  t.print(std::cout);
+  std::cout << "\nworst multi-producer speedup in grid = " << worst_multi
+            << "x, results "
+            << (results_agree ? "identical" : "MISMATCH") << "\n";
+
+  std::ostringstream workload;
+  workload << "records=" << total << " reps=" << reps
+           << " producers={1,2,4} workers={2,4,8} zipf={0.8,1.2}";
+  std::ofstream json("BENCH_live_scaling.json");
+  json << "{\n  \"bench\": \"live_scaling\",\n  "
+       << json_meta(workload.str()) << ",\n"
+       << "  \"records_per_run\": " << total << ",\n"
+       << "  \"cores\": " << cores << ",\n"
+       << "  \"results_identical\": "
+       << (results_agree ? "true" : "false") << ",\n"
+       << "  \"worst_multi_producer_speedup\": " << worst_multi
+       << ",\n  \"cells\": [\n"
+       << cells.str() << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_live_scaling.json\n";
+  // Exactness is the bench's own gate; the perf regression gate (cell
+  // ratios vs the committed baseline) is scripts/perf_smoke.py.
+  return results_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fastjoin::bench
+
+int main(int argc, char** argv) {
+  return fastjoin::bench::run(argc, argv);
+}

@@ -1,7 +1,11 @@
 #include "support/harness.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 // Injected by bench/CMakeLists.txt; fall back gracefully when the
 // bench sources are compiled outside that scope.
@@ -66,9 +70,87 @@ double improvement_pct(double a, double b) {
   return b != 0.0 ? (a - b) / b * 100.0 : 0.0;
 }
 
+namespace {
+
+/// stdout of `cmd`, trailing whitespace trimmed; empty on any failure
+/// (no git, not a repo, ...). Provenance degrades gracefully to the
+/// compiled-in stamp in that case — it only *fails* when git answers
+/// and the answer contradicts the stamp.
+std::string capture(const char* cmd) {
+#if defined(_WIN32)
+  (void)cmd;
+  return {};
+#else
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  if (::pclose(pipe) != 0) return {};
+  while (!out.empty() &&
+         (out.back() == '\n' || out.back() == '\r' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+#endif
+}
+
+/// `git status --porcelain` paths that are NOT bench result files.
+/// BENCH_*.json are exempt because regenerating them is exactly what a
+/// bench run does — a tree that is dirty only with fresh results is
+/// still attributable to HEAD.
+std::vector<std::string> dirty_paths() {
+  const std::string status = capture("git status --porcelain 2>/dev/null");
+  std::vector<std::string> out;
+  std::istringstream lines(status);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.size() < 4) continue;
+    std::string path = line.substr(3);
+    const auto arrow = path.find(" -> ");  // renames: judge the target
+    if (arrow != std::string::npos) path = path.substr(arrow + 4);
+    const auto slash = path.rfind('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const bool bench_json =
+        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
+        base.compare(base.size() - 5, 5, ".json") == 0;
+    if (!bench_json) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string json_meta(const std::string& workload) {
+  std::string sha = FASTJOIN_GIT_SHA;
+  const bool allow_dirty = std::getenv("FASTJOIN_ALLOW_DIRTY") != nullptr;
+  const std::string head = capture("git rev-parse --short HEAD 2>/dev/null");
+  if (!head.empty()) {
+    const auto dirty = dirty_paths();
+    if (!dirty.empty() || head != sha) {
+      if (!allow_dirty) {
+        std::cerr << "\nPROVENANCE ERROR: refusing to stamp BENCH json\n";
+        if (head != sha) {
+          std::cerr << "  HEAD is " << head << " but the binary was "
+                    << "configured at " << sha
+                    << " — re-run cmake and rebuild so the stamp "
+                    << "matches the code.\n";
+        }
+        for (const auto& p : dirty) {
+          std::cerr << "  dirty: " << p << "\n";
+        }
+        std::cerr << "  (set FASTJOIN_ALLOW_DIRTY=1 to override; the "
+                  << "stamp is then marked +dirty)\n";
+        std::exit(2);
+      }
+      sha = head + "+dirty";
+    } else {
+      sha = head;
+    }
+  }
   std::ostringstream os;
-  os << "\"meta\": {\"git_sha\": \"" << FASTJOIN_GIT_SHA
+  os << "\"meta\": {\"git_sha\": \"" << sha
      << "\", \"build_type\": \"" << FASTJOIN_BUILD_TYPE
      << "\", \"workload\": \"" << workload << "\"}";
   return os.str();

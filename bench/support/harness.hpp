@@ -33,6 +33,12 @@ double improvement_pct(double a, double b);
 /// fragment carrying the emitting git SHA, the CMake build type, and
 /// the workload knobs, so number trajectories across PRs are
 /// attributable to a commit and configuration.
+///
+/// Fails loudly (exit 2) when the stamp would lie: the working tree is
+/// dirty beyond BENCH_*.json files themselves, or HEAD no longer
+/// matches the SHA baked in at CMake configure time (stale build). Set
+/// FASTJOIN_ALLOW_DIRTY=1 to override during development; the stamp is
+/// then suffixed "+dirty" so the JSON cannot masquerade as clean.
 std::string json_meta(const std::string& workload);
 
 }  // namespace fastjoin::bench

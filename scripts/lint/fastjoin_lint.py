@@ -31,6 +31,14 @@ lines (stdlib only, no libclang). Rules:
                      (common/clock.hpp) so the protocol checker can run
                      it under virtual time. clk_->sleep_for(...) is
                      fine; std::this_thread::sleep_for is not.
+  atomic-padding     in FASTJOIN_HOT_PATH files/regions, a std::atomic
+                     member declared without alignas() must not sit
+                     directly next to a plain data member: an RMW on
+                     the atomic invalidates the cache line carrying the
+                     hot field (the false-sharing regression class that
+                     cost SpscRing its close-flag padding). Atomics
+                     next to other atomics are not flagged — packed
+                     all-atomic records are a deliberate layout.
 
 Escape hatch: `// fastjoin-lint: allow(<rule>)` on the offending line or
 the line directly above suppresses that rule there (add a one-line
@@ -712,6 +720,76 @@ def check_protocol_clock(sf: SourceFile, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Rule: atomic-padding
+# ---------------------------------------------------------------------------
+
+# A member-declaration-shaped line: ends with ';', no parens (excludes
+# prototypes, macros, method bodies), not a brace/label/preprocessor
+# line. Arrays and =/{...} initializers included.
+MEMBER_DECL_RE = re.compile(
+    r"^[A-Za-z_][\w:<>,\s\*&]*\s[A-Za-z_]\w*"
+    r"(?:\s*\[[^\]]*\])?\s*(?:=[^;()]*|\{[^}()]*\})?\s*;\s*$")
+NON_MEMBER_STARTS = ("using ", "typedef ", "return", "friend ",
+                     "static_assert", "public", "private", "protected")
+
+
+def _member_decl_kind(code_line: str) -> str | None:
+    """'atomic' / 'plain' / None for a class-body line. Wrapped atomics
+    (containers/pointers OF atomics) count as plain: the member itself
+    is not the contended word."""
+    s = code_line.strip()
+    if not s or s.startswith(("#", "}", "{")) or \
+            s.startswith(NON_MEMBER_STARTS):
+        return None
+    m = ATOMIC_DECL_RE.search(s)
+    if m and not s[:m.start()].rstrip().endswith("<") and s.endswith(";"):
+        return "atomic"
+    if MEMBER_DECL_RE.match(s):
+        return "plain"
+    return None
+
+
+def check_atomic_padding(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "atomic-padding"
+    regions = hot_regions(sf)
+    if not regions:
+        return
+
+    def in_region(idx: int) -> bool:
+        return any(a <= idx < b for a, b in regions)
+
+    def neighbor_kind(idx: int, step: int) -> str | None:
+        """Kind of the nearest non-blank code line in direction `step`,
+        skipping pure-comment lines (blank after stripping)."""
+        j = idx + step
+        while 0 <= j < len(sf.code_lines):
+            if sf.code_lines[j].strip():
+                return _member_decl_kind(sf.code_lines[j])
+            j += step
+        return None
+
+    for idx, line in enumerate(sf.code_lines):
+        if not in_region(idx):
+            continue
+        if _member_decl_kind(line) != "atomic":
+            continue
+        if "alignas" in line:
+            continue
+        if neighbor_kind(idx, -1) != "plain" and \
+                neighbor_kind(idx, +1) != "plain":
+            continue
+        if sf.allowed(idx, rule):
+            continue
+        findings.append(Finding(
+            sf.path, idx + 1, rule,
+            "unpadded std::atomic member adjacent to a plain data "
+            "member in a FASTJOIN_HOT_PATH file/region: RMWs on it "
+            "invalidate the neighbor's cache line (false sharing); "
+            "alignas(64) the atomic or justify with an allow()",
+            sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -740,6 +818,7 @@ def run(paths: list[str]) -> list[Finding]:
         check_stub_parity(sf, findings)
         check_banned_api(sf, findings)
         check_protocol_clock(sf, findings)
+        check_atomic_padding(sf, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -103,6 +103,12 @@ class CondVar {
     return cv_.wait_until(lk.native(), tp);
   }
 
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.native(), d);
+  }
+
  private:
   std::condition_variable cv_;
 };

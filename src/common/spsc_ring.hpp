@@ -121,7 +121,10 @@ class SpscRing {
  private:
   std::vector<T> buffer_;
   std::size_t mask_;
-  std::atomic<bool> closed_{false};
+  /// Written once (close) but acquire-loaded on every push: give it
+  /// its own cache line so a close() store can never invalidate the
+  /// line carrying the hot buffer pointer / mask reads.
+  alignas(64) std::atomic<bool> closed_{false};
   alignas(64) std::atomic<std::size_t> head_{0};
   std::size_t tail_cache_ = 0;  ///< producer's view of tail_
   alignas(64) std::atomic<std::size_t> tail_{0};

@@ -6,14 +6,17 @@ namespace fastjoin {
 
 void JoinStore::insert(KeyId key, StoredTuple tuple) {
   tuple.subwindow = current_subwindow_;
-  by_key_[key].push_back(tuple);
+  // try_emplace (not operator[]) so a fresh bucket is constructed with
+  // this store's arena rather than a default (global) allocator.
+  by_key_.try_emplace(key, ArenaAllocator<StoredTuple>(arena_))
+      .first->second.push_back(tuple);
   ++size_;
   if (max_subwindows_ > 0) {
     subwindow_log_[current_subwindow_].push_back(key);
   }
 }
 
-const std::deque<StoredTuple>* JoinStore::find(KeyId key) const {
+const JoinStore::Bucket* JoinStore::find(KeyId key) const {
   const auto it = by_key_.find(key);
   return it == by_key_.end() ? nullptr : &it->second;
 }

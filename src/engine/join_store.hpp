@@ -8,24 +8,39 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "engine/tuple.hpp"
 
 namespace fastjoin {
 
 class JoinStore {
  public:
-  /// `max_subwindows` = 0 keeps full history (no eviction).
-  explicit JoinStore(std::uint32_t max_subwindows = 0)
-      : max_subwindows_(max_subwindows) {}
+  /// Per-key tuple run. Allocator-parameterized so a store owned by a
+  /// live-engine worker can keep its deque pages and hash nodes on
+  /// that worker's arena; with a null arena (the default everywhere
+  /// else) the allocator degrades to global new/delete.
+  using Bucket = std::deque<StoredTuple, ArenaAllocator<StoredTuple>>;
+
+  /// `max_subwindows` = 0 keeps full history (no eviction). `arena`,
+  /// when set, must outlive the store and is single-threaded: only the
+  /// owning worker may touch the store (which is already the engine's
+  /// threading rule).
+  explicit JoinStore(std::uint32_t max_subwindows = 0,
+                     Arena* arena = nullptr)
+      : max_subwindows_(max_subwindows),
+        arena_(arena),
+        by_key_(kInitialBuckets, std::hash<KeyId>(),
+                std::equal_to<KeyId>(), MapAlloc(arena)) {}
 
   /// Insert a tuple under `key`, tagged with the current sub-window.
   void insert(KeyId key, StoredTuple tuple);
 
   /// Stored tuples for `key`, oldest first; nullptr when absent.
-  const std::deque<StoredTuple>* find(KeyId key) const;
+  const Bucket* find(KeyId key) const;
 
   /// Total stored tuples: the paper's |R_i|.
   std::uint64_t size() const { return size_; }
@@ -50,14 +65,22 @@ class JoinStore {
   std::uint32_t max_subwindows() const { return max_subwindows_; }
 
  private:
+  using MapAlloc = ArenaAllocator<std::pair<const KeyId, Bucket>>;
+  using Map = std::unordered_map<KeyId, Bucket, std::hash<KeyId>,
+                                 std::equal_to<KeyId>, MapAlloc>;
+  static constexpr std::size_t kInitialBuckets = 16;
+
   std::uint64_t evict_subwindow(std::uint32_t sw);
 
   std::uint32_t max_subwindows_;
   std::uint32_t current_subwindow_ = 0;
   std::uint32_t oldest_subwindow_ = 0;
   std::uint64_t size_ = 0;
-  std::unordered_map<KeyId, std::deque<StoredTuple>> by_key_;
+  Arena* arena_;
+  Map by_key_;
   /// Insertion log per live sub-window, for O(inserted) eviction.
+  /// Cold relative to probes (touched on insert/advance only), so it
+  /// stays on the global allocator.
   std::unordered_map<std::uint32_t, std::vector<KeyId>> subwindow_log_;
 };
 

@@ -72,34 +72,15 @@ void spin_for(std::uint64_t ns) {
 
 constexpr std::chrono::steady_clock::time_point kUnsampled{};
 
-/// Adaptive idle backoff for the laned worker loop: a few cheap spins,
-/// then yields, then exponentially growing sleeps capped at 1 ms. Resets
-/// on any progress so a busy worker never sleeps.
-class Backoff {
- public:
-  void pause() {
-    ++idles_;
-    if (idles_ <= 4) return;  // spin: the producer may be mid-batch
-    if (idles_ <= 20) {
-      std::this_thread::yield();
-      return;
-    }
-    std::this_thread::sleep_for(sleep_);  // fastjoin-lint: allow(protocol-clock) data-plane idle backoff, not a protocol wait
-    sleep_ = std::min(sleep_ * 2, std::chrono::microseconds(1000));
-  }
-  void reset() {
-    idles_ = 0;
-    sleep_ = std::chrono::microseconds(50);
-  }
-
- private:
-  std::uint32_t idles_ = 0;
-  std::chrono::microseconds sleep_{50};
-};
-
 /// Records popped from one lane per drain pass: large enough to amortize
 /// the ring index update, small enough to keep control latency bounded.
 constexpr std::size_t kDrainBatch = 128;
+
+/// Backstop for a parked worker's doorbell wait. Wake-ups are
+/// event-driven (every producer push, control send, crash, and shutdown
+/// rings the bell), so this only bounds the blast radius of a missed
+/// edge; it is not a polling cadence.
+constexpr std::chrono::milliseconds kParkBackstop{10};
 
 /// Producer-side wait jitter: uniform in [base/2, base] from a
 /// thread-local stream (producers are arbitrary caller threads, so the
@@ -144,7 +125,7 @@ class LiveEngine::Worker {
         store_side_(store_side),
         queue_(queue_capacity),
         lanes_(lanes),
-        store_(max_subwindows),
+        store_(max_subwindows, &arena_),
         ingest_parts_(ingest_partitions) {
     if (ingest_parts_ > 0) {
       consumed_ =
@@ -161,11 +142,19 @@ class LiveEngine::Worker {
 
   void stop_and_join() {
     queue_.close();
+    // Wake a parked laned worker so it sees closed-and-empty now
+    // rather than at the park backstop.
+    if (lanes_ != nullptr) LiveEngine::ring_doorbell(*lanes_);
     if (thread_.joinable()) thread_.join();
   }
 
   bool send(Msg msg, std::vector<std::uint64_t> barrier = {}) {
-    return queue_.push(Envelope{std::move(msg), std::move(barrier)});
+    const bool ok =
+        queue_.push(Envelope{std::move(msg), std::move(barrier)});
+    // Control messages ride a different channel than the doorbell's
+    // lanes; a parked laned worker must still wake for them.
+    if (ok && lanes_ != nullptr) LiveEngine::ring_doorbell(*lanes_);
+    return ok;
   }
 
   /// Kill this worker: the thread exits at the next message boundary,
@@ -174,6 +163,7 @@ class LiveEngine::Worker {
     crashed_at_ = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) recovery-time telemetry
     crashed_.store(true, std::memory_order_release);
     queue_.close();
+    if (lanes_ != nullptr) LiveEngine::ring_doorbell(*lanes_);
   }
 
   bool crashed() const {
@@ -367,6 +357,7 @@ class LiveEngine::Worker {
                   side_name(store_side_),
                   static_cast<unsigned>(id_));
     tel::set_thread_label(label);
+    pin_current_thread(engine_.worker_cpu(store_side_, id_));
     if (lanes_ != nullptr) {
       loop_laned();
     } else {
@@ -395,31 +386,89 @@ class LiveEngine::Worker {
   }
 
   /// Laned data plane: micro-batch drains over the SPSC lanes, control
-  /// envelopes polled between batches, watermark barriers honored, and
-  /// adaptive backoff instead of per-record condvar wakeups.
+  /// envelopes polled between batches, watermark barriers honored. An
+  /// idle worker spins/yields per the engine's SpinPolicy (zero spins
+  /// when oversubscribed), then parks on the lane-set doorbell until a
+  /// producer or control sender rings it — event-driven idling instead
+  /// of sleep-polling, which on an oversubscribed box burned the very
+  /// quantum the producers needed.
   void loop_laned() {
-    Backoff backoff;
-    std::vector<DataMsg> scratch(kDrainBatch);
+    // Drain scratch comes from the engine's recycled pool: a respawned
+    // worker inherits its dead predecessor's buffer instead of paying
+    // an allocation on the recovery path.
+    std::vector<DataMsg> scratch = engine_.msg_pool_.acquire(kDrainBatch);
+    scratch.resize(kDrainBatch);
+    const std::uint32_t spin_budget = engine_.spin_.spin_iters;
+    const std::uint32_t yield_budget =
+        spin_budget + engine_.spin_.yield_iters;
+    std::uint32_t idles = 0;
     for (;;) {
-      if (crashed_.load(std::memory_order_acquire)) return;
+      if (crashed_.load(std::memory_order_acquire)) break;
       std::size_t progress = drain_lanes(scratch.data());
       while (auto env = queue_.try_pop()) {
         if (!env->barrier.empty()) {
           drain_past(env->barrier, scratch.data());
-          if (crashed_.load(std::memory_order_acquire)) return;
+          if (crashed_.load(std::memory_order_acquire)) {
+            engine_.msg_pool_.release(std::move(scratch));
+            return;
+          }
         }
         std::visit([this](auto&& m) { handle(std::move(m)); },
                    std::move(env->msg));
         ++progress;
       }
-      if (crashed_.load(std::memory_order_acquire)) return;
+      if (crashed_.load(std::memory_order_acquire)) break;
       if (progress > 0) {
-        backoff.reset();
+        idles = 0;
         continue;
       }
-      if (queue_.closed() && lanes_drained()) return;
-      backoff.pause();
+      if (queue_.closed() && lanes_drained()) break;
+      ++idles;
+      if (idles <= spin_budget) continue;
+      if (idles <= yield_budget) {
+        std::this_thread::yield();
+        continue;
+      }
+      park();
     }
+    engine_.msg_pool_.release(std::move(scratch));
+  }
+
+  /// Anything for this worker to do right now? (Data in a lane, a
+  /// control envelope, a crash/shutdown edge.) Used by park() to decide
+  /// whether sleeping is safe; relaxed-ish loads are fine — the caller
+  /// re-checks under the arm fence / the bell mutex.
+  bool has_work() const {
+    if (crashed_.load(std::memory_order_acquire)) return true;
+    if (queue_.size() > 0 || queue_.closed()) return true;
+    for (const auto& lane : lanes_->lanes) {
+      if (lane->pushed.load(std::memory_order_acquire) !=
+          lane->popped.load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Block on the lane-set doorbell until a ringer wakes us (or the
+  /// backstop fires). Arm-then-recheck pairs with ring_doorbell()'s
+  /// publish-then-check: the seq_cst fences guarantee that either the
+  /// ringer observes `armed` (and notifies under the mutex) or this
+  /// re-check observes the rung-about work — no lost wakeup.
+  void park() {
+    LaneSet& ls = *lanes_;
+    ls.armed.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!has_work()) {
+      UniqueLock lk(ls.bell_mutex);
+      // Re-check under the mutex: a ringer that saw `armed` is either
+      // about to take this mutex (we will see its work next iteration
+      // thanks to the mutex ordering) or already notified.
+      if (!has_work()) {
+        ls.bell.wait_for(lk, kParkBackstop);  // fastjoin-lint: allow(protocol-clock) data-plane idle parking, not a protocol wait
+      }
+    }
+    ls.armed.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// One micro-batch pass over every lane. Returns records processed.
@@ -839,6 +888,11 @@ class LiveEngine::Worker {
   LaneSet* lanes_;                ///< engine-owned; null in legacy mode
   std::thread thread_;
 
+  /// Worker-private allocation arena backing store_'s buckets and hash
+  /// nodes. Declared before store_ (store_ keeps a pointer into it and
+  /// must be destroyed first). Single-threaded by the engine's rule
+  /// that only the owning worker touches its store.
+  Arena arena_;
   JoinStore store_;
   std::unordered_map<KeyId, std::uint64_t> probe_window_;
   std::unordered_set<KeyId> forwarding_keys_;
@@ -874,10 +928,21 @@ class LiveEngine::Worker {
 
 LiveEngine::LiveEngine(const LiveConfig& cfg)
     : cfg_(cfg),
-      clk_(cfg.clock != nullptr ? cfg.clock : &real_clock()) {
+      clk_(cfg.clock != nullptr ? cfg.clock : &real_clock()),
+      topo_(Topology::detect()),
+      plan_(PlacementPlan::plan(cfg.placement, topo_, cfg.instances,
+                                cfg.max_producers)),
+      // Always-on threads: one worker per instance per side + monitor.
+      spin_(SpinPolicy::derive(cfg.placement, topo_,
+                               2 * cfg.instances + 1)) {
   route_table_.store(new RouteTable{}, std::memory_order_release);
   const std::size_t n_slots = cfg_.max_producers + 1;  // +1 fallback
   producer_slots_ = std::vector<ProducerSlot>(n_slots);
+  for (auto& slot : producer_slots_) {
+    // One staging run per destination worker; capacities are retained
+    // across batches, so steady state allocates nothing here.
+    slot.stages.resize(2 * static_cast<std::size_t>(cfg_.instances));
+  }
   if (cfg_.ingest.enabled && !laned()) {
     FJ_ERROR("live") << "StreamLog ingest requires DataPlane::kLaned; "
                         "ingest disabled for this run";
@@ -943,6 +1008,9 @@ int LiveEngine::register_producer() {
   const std::uint32_t i =
       producers_registered_.fetch_add(1, std::memory_order_relaxed);
   if (i >= cfg_.max_producers) return kUnregistered;  // slots exhausted
+  if (cfg_.placement.pin_producers && i < plan_.producer_cpu.size()) {
+    pin_current_thread(plan_.producer_cpu[i]);
+  }
   return static_cast<int>(i);
 }
 
@@ -968,25 +1036,48 @@ void LiveEngine::note_drop(std::uint64_t n) {
   }
 }
 
-bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
-                           DataMsg msg) {
+void LiveEngine::ring_doorbell(LaneSet& ls) {
+  // Pairs with Worker::park(). The caller's work is already published
+  // (ring writes and `pushed` bumps, or the control-queue push) before
+  // this fence; park() arms `armed` (seq_cst RMW), fences, then
+  // re-checks for work. Whichever fence is later in the single seq_cst
+  // order makes the other side's prior write visible: either this load
+  // observes the arm — and we notify under the bell mutex, whose
+  // ordering covers the parker's final under-lock re-check — or the
+  // parker's re-check observes the work we just published. Either way
+  // no wakeup is lost; the 10ms wait backstop covers nothing but
+  // paranoia.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (ls.armed.load(std::memory_order_relaxed) == 0) return;
+  MutexLock lock(ls.bell_mutex);
+  ls.bell.notify_all();
+}
+
+void LiveEngine::lane_push_batch(Side group, InstanceId id,
+                                 std::size_t lane_idx,
+                                 ProducerSlot::Stage& stage,
+                                 std::vector<std::uint8_t>& failed) {
+  const std::size_t total = stage.msgs.size();
+  if (total == 0) return;
   LaneSet& ls = *lane_sets_[static_cast<int>(group)][id];
   DataLane& lane = *ls.lanes[lane_idx];
+  std::size_t done = 0;
   std::uint32_t tries = 0;
-  for (;;) {
+  bool closed_logged = false;
+  while (done < total) {
     // The open flag is cleared while the slot's worker is crashed:
     // checked every retry so backpressure on a dead worker fails fast
     // instead of spinning until respawn.
     if (!ls.open.load(std::memory_order_acquire)) {
-      if (tries == 0) {
+      if (!closed_logged) {
         tel::flight_record(tel::FlightEvent::kLaneClosedDrop,
                            tel::flight_id(static_cast<int>(group), id),
                            lane_idx);
-        ++tries;
+        closed_logged = true;
       }
       if (log_ != nullptr && cfg_.ingest.replay &&
           !finished_.load(std::memory_order_acquire)) {
-        // Ingest replay mode: the record is already durable in the
+        // Ingest replay mode: the records are already durable in the
         // log. Wait for the respawn instead of dropping — the recovery
         // pass replays every logged delivery up to the end-offset it
         // reads before this slot reopens, and anything this push lands
@@ -996,19 +1087,20 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
         clk_->sleep_for(producer_jittered(std::chrono::microseconds(50)));
         continue;
       }
-      note_drop(1);
-      return false;
+      break;  // drop the undelivered suffix
     }
-    if (lane.ring.try_push(msg)) {
-      // Bumped only after the record is visible in the ring, so a
+    const std::size_t m =
+        lane.ring.try_push_batch(stage.msgs.data() + done, total - done);
+    if (m > 0) {
+      // Bumped only after the records are visible in the ring, so a
       // watermark captured from `pushed` is always drainable.
-      lane.pushed.fetch_add(1, std::memory_order_release);
-      return true;
+      lane.pushed.fetch_add(m, std::memory_order_release);
+      ring_doorbell(ls);
+      done += m;
+      tries = 0;
+      continue;
     }
-    if (lane.ring.closed()) {  // engine finishing
-      note_drop(1);
-      return false;
-    }
+    if (lane.ring.closed()) break;  // engine finishing: drop the rest
     // Full: backpressure. The consumer always makes progress (barrier
     // drains consume data; control handlers are finite), so this wait
     // is bounded.
@@ -1024,6 +1116,12 @@ bool LiveEngine::lane_push(Side group, InstanceId id, std::size_t lane_idx,
       clk_->sleep_for(producer_jittered(std::chrono::microseconds(50)));
     }
   }
+  if (done < total) {
+    note_drop(total - done);  // one drop per undelivered delivery
+    for (std::size_t i = done; i < total; ++i) failed[stage.idx[i]] = 1;
+  }
+  stage.msgs.clear();
+  stage.idx.clear();
 }
 
 std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
@@ -1061,14 +1159,62 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
   slot.cs.fetch_add(1, std::memory_order_seq_cst);
   const RouteTable* rt = route_table_.load(std::memory_order_seq_cst);
   const std::uint32_t every = cfg_.latency_sample_every;
+  const std::size_t insts = cfg_.instances;
   std::size_t delivered = 0;
+
+  // Sampling stamp via countdown (no per-record divide). The slot is
+  // owned by one producer thread (or the fallback mutex), so the plain
+  // field is safe.
+  const auto stamp_maybe = [&]() {
+    auto stamp = kUnsampled;
+    if (every != 0) {
+      if (slot.sample_countdown == 0) {
+        stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
+        slot.sample_countdown = every - 1;
+      } else {
+        --slot.sample_countdown;
+      }
+    }
+    return stamp;
+  };
+  // Stage a delivery for destination worker (group, dst); `i` is the
+  // record's index within the current chunk, for the drop ledger.
+  const auto stage_to = [&](Side group, InstanceId dst, const DataMsg& msg,
+                            std::size_t i) {
+    auto& st =
+        slot.stages[static_cast<std::size_t>(group) * insts + dst];
+    st.msgs.push_back(msg);
+    st.idx.push_back(static_cast<std::uint32_t>(i));
+  };
+  // Push every staged destination run with one batched lane operation
+  // each, then count the chunk's records whose two deliveries both
+  // landed. Per-lane FIFO and per-partition offset order survive the
+  // regrouping: within a chunk records are staged in index order, and
+  // chunks flush before the next one stages.
+  const auto flush = [&](std::size_t k) {
+    slot.failed.assign(k, 0);
+    for (std::size_t d = 0; d < slot.stages.size(); ++d) {
+      auto& st = slot.stages[d];
+      if (st.msgs.empty()) continue;
+      lane_push_batch(static_cast<Side>(d / insts),
+                      static_cast<InstanceId>(d % insts), lane_idx, st,
+                      slot.failed);
+    }
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      ok += slot.failed[i] == 0 ? 1u : 0u;
+    }
+    return ok;
+  };
+
+  constexpr std::size_t kStage = 128;
   if (log_ != nullptr) {
     // Durable before delivered, chunked: stage each chunk's routing
     // decisions, persist them with ONE append_batch (one partition-lock
     // acquisition and one backend write instead of per-record), then
-    // push. All of it stays inside this critical section, so the logged
+    // push each destination's run with one batched ring operation. All
+    // of it stays inside this critical section, so the logged
     // destinations are exactly where the pushes below go.
-    constexpr std::size_t kStage = 128;
     LogRecord staged[kStage];
     const auto part = static_cast<std::uint32_t>(lane_idx);
     for (std::size_t r0 = 0; r0 < n; r0 += kStage) {
@@ -1082,37 +1228,28 @@ std::size_t LiveEngine::push_batch(const Record* recs, std::size_t n,
       const std::uint64_t base = log_->append_batch(part, staged, k);
       for (std::size_t i = 0; i < k; ++i) {
         const Record& rec = recs[r0 + i];
-        auto stamp = kUnsampled;
-        if (every != 0 && slot.sample_tick++ % every == 0) {
-          stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
-        }
-        const DataMsg msg{rec, stamp, part, base + i};
-        bool ok =
-            lane_push(rec.side, staged[i].store_dst, lane_idx, msg);
-        // Note: & not && — the probe delivery is attempted regardless.
-        ok &= lane_push(other_side(rec.side), staged[i].probe_dst,
-                        lane_idx, msg);
-        if (ok) ++delivered;
+        const DataMsg msg{rec, stamp_maybe(), part, base + i};
+        stage_to(rec.side, staged[i].store_dst, msg, i);
+        // Both deliveries are always attempted — a full store lane must
+        // not suppress the probe half (ex-`ok &= ...` semantics).
+        stage_to(other_side(rec.side), staged[i].probe_dst, msg, i);
       }
+      delivered += flush(k);
     }
     slot.cs.fetch_add(1, std::memory_order_seq_cst);
     tel::flight_record(tel::FlightEvent::kBatchPushed, n, delivered);
     return delivered;
   }
-  for (std::size_t r = 0; r < n; ++r) {
-    const Record& rec = recs[r];
-    auto stamp = kUnsampled;
-    if (every != 0 && slot.sample_tick++ % every == 0) {
-      stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
+  for (std::size_t r0 = 0; r0 < n; r0 += kStage) {
+    const std::size_t k = std::min(kStage, n - r0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Record& rec = recs[r0 + i];
+      const DataMsg msg{rec, stamp_maybe(), kNoIngestPartition, 0};
+      stage_to(rec.side, route(*rt, rec.side, rec.key), msg, i);
+      stage_to(other_side(rec.side),
+               route(*rt, other_side(rec.side), rec.key), msg, i);
     }
-    const InstanceId store_dst = route(*rt, rec.side, rec.key);
-    const InstanceId probe_dst =
-        route(*rt, other_side(rec.side), rec.key);
-    const DataMsg msg{rec, stamp, kNoIngestPartition, 0};
-    bool ok = lane_push(rec.side, store_dst, lane_idx, msg);
-    // Note: & not && — the probe delivery is attempted regardless.
-    ok &= lane_push(other_side(rec.side), probe_dst, lane_idx, msg);
-    if (ok) ++delivered;
+    delivered += flush(k);
   }
   slot.cs.fetch_add(1, std::memory_order_seq_cst);
   tel::flight_record(tel::FlightEvent::kBatchPushed, n, delivered);
@@ -1135,8 +1272,13 @@ std::size_t LiveEngine::push_batch_legacy(const Record* recs,
   for (std::size_t r = 0; r < n; ++r) {
     const Record& rec = recs[r];
     auto stamp = kUnsampled;
-    if (every != 0 && slot.sample_tick++ % every == 0) {
-      stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
+    if (every != 0) {
+      if (slot.sample_countdown == 0) {
+        stamp = std::chrono::steady_clock::now();  // fastjoin-lint: allow(protocol-clock) latency telemetry
+        slot.sample_countdown = every - 1;
+      } else {
+        --slot.sample_countdown;
+      }
     }
     const InstanceId store_dst = route(rt, rec.side, rec.key);
     const InstanceId probe_dst =
@@ -2021,6 +2163,7 @@ void LiveEngine::truncate_ingest() {
 
 void LiveEngine::monitor_loop() {
   tel::set_thread_label("monitor");
+  pin_current_thread(plan_.monitor_cpu);
   auto next_window = clk_->now() + cfg_.subwindow_len;
   auto next_checkpoint = clk_->now() + cfg_.checkpoint_period;
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -2067,10 +2210,13 @@ LiveStats LiveEngine::finish() {
   if (log_ != nullptr && cfg_.ingest.replay) supervise();
 
   // Poison every data lane: producers fail from here on, workers drain
-  // what is left and then see closed-and-empty.
+  // what is left and then see closed-and-empty. Ring each doorbell so a
+  // parked worker re-evaluates closed-and-empty now instead of after
+  // the 10ms backstop.
   for (int g = 0; g < 2; ++g) {
     for (auto& ls : lane_sets_[g]) {
       for (auto& lane : ls->lanes) lane->ring.close();
+      ring_doorbell(*ls);
     }
   }
 

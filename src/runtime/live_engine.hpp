@@ -94,6 +94,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/clock.hpp"
 #include "common/hash.hpp"
 #include "common/histogram.hpp"
@@ -105,6 +106,7 @@
 #include "engine/join_store.hpp"
 #include "engine/tuple.hpp"
 #include "ingest/stream_log.hpp"
+#include "runtime/placement.hpp"
 
 namespace fastjoin {
 
@@ -191,6 +193,13 @@ struct LiveConfig {
   std::function<void(Side group, InstanceId src, InstanceId dst,
                      MigrationPhase phase)>
       chaos;
+  /// Thread placement and idle-spin discipline: optional core pinning
+  /// for workers/producers/monitor (a topology-aware layout computed at
+  /// start) and the data-plane spin budget. The default pins nothing
+  /// and auto-tunes spinning: when the engine's threads outnumber the
+  /// usable CPUs, idle loops park immediately on the lane doorbell
+  /// instead of burning the quantum the busy thread needs.
+  PlacementConfig placement;
   /// StreamLog ingest (requires DataPlane::kLaned). When enabled, the
   /// engine owns a StreamLog with one partition per producer lane
   /// (max_producers + 1; the `partitions` field is overridden), every
@@ -414,16 +423,43 @@ class LiveEngine {
   /// All lanes feeding one worker slot. Owned by the engine (not the
   /// Worker) so producers keep stable pointers across respawns; `open`
   /// is cleared while the slot's worker is down so pushes fail fast.
+  ///
+  /// The doorbell is the slot's idle wake-up channel: an idle worker
+  /// arms it and parks on `bell`; a producer that lands records (or a
+  /// control send, crash, or shutdown) rings it. It lives here — not in
+  /// the Worker — because producers must hold a stable pointer across
+  /// respawns. The arm/ring handshake uses seq_cst fences (Dekker): the
+  /// worker arms, fences, and re-checks for work before sleeping; the
+  /// ringer publishes work, fences, and reads `armed` — so either the
+  /// ringer sees the arm and takes the mutex to notify, or the worker's
+  /// re-check sees the work. A short timed backstop bounds the blast
+  /// radius of any missed edge.
   struct LaneSet {
     std::vector<std::unique_ptr<DataLane>> lanes;  ///< [max_producers]+fallback
     std::atomic<bool> open{true};
+    alignas(64) std::atomic<std::uint32_t> armed{0};
+    Mutex bell_mutex;
+    CondVar bell;
   };
   /// Seqlock-style producer critical-section counter (odd = inside
   /// push). The monitor's grace period waits these out after a routing
-  /// publish; see wait_for_producers().
+  /// publish; see wait_for_producers(). The rest of the slot is
+  /// owner-thread-only state: the latency-sampling countdown (counts
+  /// down to the next sampled record — no divide per record) and the
+  /// per-destination staging buffers push_batch() reuses batch over
+  /// batch, so the steady-state hot path performs no allocation.
   struct ProducerSlot {
     alignas(64) std::atomic<std::uint64_t> cs{0};
-    std::uint64_t sample_tick = 0;  ///< owner thread only
+    std::uint32_t sample_countdown = 0;  ///< owner thread only
+    /// One staging buffer per destination worker: the DataMsgs routed
+    /// there this batch and the batch-local index of each source record
+    /// (for exact per-record delivery accounting).
+    struct Stage {
+      std::vector<DataMsg> msgs;
+      std::vector<std::uint32_t> idx;
+    };
+    std::vector<Stage> stages;         ///< [2 * instances]
+    std::vector<std::uint8_t> failed;  ///< per-record scratch, [batch n]
   };
   /// Immutable routing snapshot; replaced wholesale on every change.
   struct RouteTable {
@@ -482,15 +518,42 @@ class LiveEngine {
   /// Empty in legacy mode (queue FIFO already orders control vs data).
   std::vector<std::uint64_t> capture_watermarks(Side group,
                                                 InstanceId id) const;
-  /// Push one record's DataMsg into a destination lane with blocking
-  /// backoff (backpressure); fails when the slot is closed/crashed.
-  bool lane_push(Side group, InstanceId id, std::size_t lane,
-                 DataMsg msg);
+  /// Push a run of DataMsgs — all bound for one destination lane, in
+  /// batch order — with blocking backoff on a full ring. Marks the
+  /// batch-local index of every message that could not be delivered
+  /// (closed/crashed slot) in `failed`; `msgs` is moved-from on
+  /// success. Rings the destination's doorbell when anything landed.
+  void lane_push_batch(Side group, InstanceId id, std::size_t lane,
+                       ProducerSlot::Stage& stage,
+                       std::vector<std::uint8_t>& failed);
+  /// Wake a parked worker after making new work visible to it. The
+  /// seq_cst fence pairs with the arm sequence in the worker's park;
+  /// see LaneSet.
+  static void ring_doorbell(LaneSet& ls);
   std::size_t push_batch_legacy(const Record* recs, std::size_t n);
   bool laned() const { return cfg_.data_plane == DataPlane::kLaned; }
+  /// CPU this worker thread should pin to (-1 = unpinned).
+  int worker_cpu(Side group, InstanceId id) const {
+    const std::size_t w =
+        static_cast<std::size_t>(group) * cfg_.instances + id;
+    return w < plan_.worker_cpu.size() ? plan_.worker_cpu[w] : -1;
+  }
 
   LiveConfig cfg_;
   Clock* clk_;  ///< cfg_.clock or the real clock; never null
+  /// Placement products, computed once in the constructor: what the
+  /// process may run on, where each thread goes, and how hard idle
+  /// loops may spin before parking (collapsed to zero when the engine's
+  /// threads outnumber the CPUs — the oversubscription regression).
+  Topology topo_;
+  PlacementPlan plan_;
+  SpinPolicy spin_;
+  /// Recycled drain-scratch buffers. Workers acquire at thread start
+  /// and release at exit, so a respawned worker reuses its dead
+  /// predecessor's buffer (cross-thread return) instead of paying a
+  /// fresh allocation on the recovery path. mutable: internally
+  /// synchronized, and workers only hold a const engine reference.
+  mutable BufferPool<DataMsg> msg_pool_;
   /// Backoff jitter source for the monitor's supervised waits
   /// (monitor thread only; producers use a thread-local twin).
   Xoshiro256 backoff_rng_{0x9e3779b97f4a7c15ull};

@@ -69,9 +69,12 @@ struct Slot {
 
 struct ThreadRing {
   Slot slots[kFlightRingCapacity];
-  std::atomic<std::uint64_t> head{0};      ///< events ever recorded
+  // The whole ring is single-writer (the owning thread); the dumper
+  // reads cross-thread only at crash time, so these atomics are never
+  // contended and padding each would bloat every per-thread ring.
+  std::atomic<std::uint64_t> head{0};      ///< events ever recorded  // fastjoin-lint: allow(atomic-padding) single-writer ring
   std::atomic<bool> retired{false};
-  std::atomic<std::uint64_t> retired_at{0};
+  std::atomic<std::uint64_t> retired_at{0};  // fastjoin-lint: allow(atomic-padding) single-writer ring
   std::uint32_t tid = 0;
   char label[kLabelBytes] = {};
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -188,6 +191,72 @@ TEST(SpscRing, ConcurrentCloseDrainsCleanly) {
   }
   EXPECT_TRUE(q.closed());
   EXPECT_EQ(expected, pushed.load(std::memory_order_acquire));
+}
+
+TEST(SpscRing, ManyLanesOneDrainerAtCapacityBoundary) {
+  // The live-engine lane shape: each producer owns its own SPSC ring
+  // (so the single-producer contract holds per lane) and ONE worker
+  // thread drains all of them round-robin. Tiny capacity keeps every
+  // lane bouncing off the full/empty boundary, which is where the
+  // cached-index fast paths and the wraparound arithmetic earn (or
+  // lose) their keep. Per-lane FIFO with no loss or duplication is the
+  // invariant the worker's consumed-watermark dedup depends on.
+  constexpr int kLanes = 5;
+  constexpr int kPerLane = 60'000;
+  constexpr std::size_t kCapacity = 4;  // rounds up to 8 slots, 7 usable
+  std::vector<std::unique_ptr<SpscRing<std::uint64_t>>> lanes;
+  for (int l = 0; l < kLanes; ++l) {
+    lanes.push_back(std::make_unique<SpscRing<std::uint64_t>>(kCapacity));
+  }
+
+  std::vector<std::thread> producers;
+  for (int l = 0; l < kLanes; ++l) {
+    producers.emplace_back([&lanes, l] {
+      auto& ring = *lanes[l];
+      std::uint64_t buf[kCapacity + 3];  // deliberately > capacity
+      std::uint64_t next = 0;
+      while (next < kPerLane) {
+        const std::size_t want = std::min<std::uint64_t>(
+            kCapacity + 3, kPerLane - next);
+        for (std::size_t i = 0; i < want; ++i) {
+          // Lane id in the high bits so cross-lane leaks are detected.
+          buf[i] = (static_cast<std::uint64_t>(l) << 32) | (next + i);
+        }
+        std::size_t done = 0;
+        while (done < want) {
+          const std::size_t k =
+              ring.try_push_batch(buf + done, want - done);
+          if (k == 0) std::this_thread::yield();
+          done += k;
+        }
+        next += want;
+      }
+    });
+  }
+
+  // One drainer over all lanes, micro-batch pops like drain_lanes().
+  std::vector<std::uint64_t> expected(kLanes, 0);
+  std::uint64_t total = 0;
+  std::uint64_t out[16];
+  while (total < static_cast<std::uint64_t>(kLanes) * kPerLane) {
+    bool progressed = false;
+    for (int l = 0; l < kLanes; ++l) {
+      const std::size_t k = lanes[l]->try_pop_batch(out, 16);
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(out[i] >> 32, static_cast<std::uint64_t>(l));
+        ASSERT_EQ(out[i] & 0xffffffffu, expected[l]);
+        ++expected[l];
+      }
+      total += k;
+      progressed |= k > 0;
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+  for (auto& p : producers) p.join();
+  for (int l = 0; l < kLanes; ++l) {
+    EXPECT_FALSE(lanes[l]->try_pop().has_value());
+    EXPECT_EQ(expected[l], static_cast<std::uint64_t>(kPerLane));
+  }
 }
 
 TEST(BoundedQueue, BasicPushPop) {

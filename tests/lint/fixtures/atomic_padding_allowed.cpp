@@ -1,0 +1,18 @@
+// FASTJOIN_HOT_PATH
+// Fixture — same layouts as atomic_padding_bad.cpp, justified with
+// inline allow() annotations (single-writer data, no contention).
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+struct SingleWriterRing {
+  std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};  // fastjoin-lint: allow(atomic-padding) single-writer; reader only at shutdown
+  std::size_t cached_tail_ = 0;
+};
+
+struct SingleWriterCounter {
+  // fastjoin-lint: allow(atomic-padding) owner thread writes both fields
+  std::atomic<std::uint64_t> hits{0};
+  std::uint32_t owner_tid = 0;
+};

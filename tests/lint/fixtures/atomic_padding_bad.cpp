@@ -1,0 +1,18 @@
+// FASTJOIN_HOT_PATH
+// Fixture — unpadded std::atomic members sharing cache lines with hot
+// plain fields in a hot-path file. Both orderings (atomic-then-plain
+// and plain-then-atomic) must fire.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+struct BadRing {
+  std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};  // plain neighbor above: fires
+  std::size_t cached_tail_ = 0;
+};
+
+struct BadCounter {
+  std::atomic<std::uint64_t> hits{0};  // plain neighbor below: fires
+  std::uint32_t owner_tid = 0;
+};

@@ -1,0 +1,30 @@
+// FASTJOIN_HOT_PATH
+// Fixture — every layout the atomic-padding rule must accept: padded
+// atomics next to plain fields, packed all-atomic records, containers
+// of atomics, and a lone atomic inside an alignas struct.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+struct PaddedRing {
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};  // padded: clean
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;  // rides head_'s line by design
+};
+
+struct AllAtomicSlot {  // packed atomic record: deliberate layout
+  std::atomic<std::uint64_t> ns{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint16_t> code{0};
+};
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> v{0};  // sole member, struct-padded
+};
+
+struct Histogram {
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // wrapped
+  std::size_t n_buckets_ = 0;
+};

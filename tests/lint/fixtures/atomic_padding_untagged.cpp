@@ -1,0 +1,11 @@
+// Fixture — identical layout to atomic_padding_bad.cpp but with no
+// FASTJOIN_HOT_PATH tag: the rule is scoped to hot files and must
+// stay quiet here.
+#include <atomic>
+#include <cstddef>
+
+struct ColdStruct {
+  std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};
+  std::size_t cached_tail_ = 0;
+};

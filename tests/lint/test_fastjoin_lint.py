@@ -98,6 +98,13 @@ def main():
     expect("protocol_clock_allowed.cpp", "protocol-clock", 0)
     expect("protocol_clock_untagged.cpp", "protocol-clock", 0)
 
+    # --- atomic-padding ---------------------------------------------
+    expect("atomic_padding_bad.cpp", "atomic-padding", 2,
+           exact_lines=[11, 16])
+    expect("atomic_padding_clean.cpp", "atomic-padding", 0)
+    expect("atomic_padding_allowed.cpp", "atomic-padding", 0)
+    expect("atomic_padding_untagged.cpp", "atomic-padding", 0)
+
     # --- baseline machinery -----------------------------------------
     with tempfile.TemporaryDirectory() as td:
         bl = os.path.join(td, "baseline.json")

@@ -15,9 +15,43 @@
 #include "runtime/live_engine.hpp"
 
 #include "datagen/keygen.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace fastjoin {
 namespace {
+
+/// Snapshot of the global live.recoveries counter, taken before a
+/// crash is injected so wait_for_recoveries can observe the delta (the
+/// registry is process-global, so absolute values accumulate across
+/// tests in the same binary).
+std::uint64_t recoveries_now() {
+  return telemetry::MetricRegistry::global().counter("live.recoveries").value();
+}
+
+/// Wait (bounded) until the supervisor has logged `want` respawns past
+/// `before`. A fixed post-crash sleep is a race under sanitizer
+/// slowdown: the 2ms-period monitor may not get scheduled, let alone
+/// finish the store rebuild, before finish() closes the feed. With
+/// FASTJOIN_NO_TELEMETRY the stub counter reads 0 forever, so fall
+/// back to a fixed 100ms grace sleep — generous at native speed, and
+/// the notel leg does not run under sanitizers.
+void wait_for_recoveries(std::uint64_t before, std::uint64_t want = 1) {
+#ifdef FASTJOIN_NO_TELEMETRY
+  (void)before;
+  (void)want;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+#else
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (recoveries_now() >= before + want) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+#endif
+  // Let the respawned worker re-enter its drain loop before the caller
+  // proceeds (the counter ticks when the respawn is published).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
 
 std::vector<Record> make_trace(std::uint64_t seed, int total,
                                int num_keys, double zipf) {
@@ -102,6 +136,7 @@ TEST(LiveChaos, CrashAndRecoverFromCheckpoint) {
 
   const auto trace = make_trace(21, 20'000, 200, 1.0);
   const std::uint64_t expected = expected_pairs(trace);
+  const std::uint64_t before = recoveries_now();
   for (std::size_t i = 0; i < trace.size(); ++i) {
     engine.push(trace[i]);
     if (i == trace.size() / 2) {
@@ -113,8 +148,8 @@ TEST(LiveChaos, CrashAndRecoverFromCheckpoint) {
       std::this_thread::sleep_for(std::chrono::milliseconds(3));
     }
   }
-  // Give the supervisor time to respawn before the feed closes.
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Let the supervisor respawn before the feed closes.
+  wait_for_recoveries(before);
   const auto stats = engine.finish();
 
   EXPECT_EQ(stats.crashes, 1u);
@@ -141,11 +176,12 @@ TEST(LiveChaos, CrashWithoutCheckpointLosesStoreButNoDuplicates) {
   engine.start();
 
   const auto trace = make_trace(22, 10'000, 100, 1.0);
+  const std::uint64_t before = recoveries_now();
   for (std::size_t i = 0; i < trace.size(); ++i) {
     engine.push(trace[i]);
     if (i == trace.size() / 2) engine.crash(Side::kS, 1);
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  wait_for_recoveries(before);
   const auto stats = engine.finish();
 
   EXPECT_EQ(stats.crashes, 1u);
@@ -174,7 +210,12 @@ void run_phase_crash(MigrationPhase phase, bool crash_src,
   cfg.min_heaviest_load = 10.0;
   cfg.monitor_period = std::chrono::milliseconds(1);
   cfg.checkpoint_period = std::chrono::milliseconds(5);
-  cfg.migration_timeout = std::chrono::milliseconds(2000);
+  // Injected crashes are discovered fast (closed queues); the timeout only
+  // fires when a live worker is merely slow. Keep it generous so sanitizer
+  // slowdown can't spuriously declare the source dead and roll the migration
+  // forward before the injected crash lands — that would make the
+  // expect_abort assertion below unsatisfiable.
+  cfg.migration_timeout = std::chrono::milliseconds(10'000);
   cfg.ingest.enabled = with_ingest;
 
   LiveEngine* eng = nullptr;

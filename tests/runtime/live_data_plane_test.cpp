@@ -126,6 +126,11 @@ TEST(LiveDataPlane, MultiProducerBatchedExactlyOnceWithMigrations) {
   cfg.planner.theta = 1.2;
   cfg.min_heaviest_load = 10.0;
   cfg.monitor_period = std::chrono::milliseconds(2);
+  // No faults are injected here, so the supervisor's declare-dead
+  // backstop must never fire: under TSan a backlogged worker can
+  // legitimately take minutes to reach a migration reply, and a
+  // spurious dead-declaration loses its store and breaks exactness.
+  cfg.migration_timeout = std::chrono::minutes(10);
   LiveEngine engine(cfg);
   MatchLog log;
   engine.set_on_match([&](const MatchPair& p) { log.add(p); });
@@ -159,6 +164,9 @@ TEST(LiveDataPlane, PerKeyOrderHoldsAcrossMigrations) {
   cfg.planner.theta = 1.1;
   cfg.min_heaviest_load = 5.0;
   cfg.monitor_period = std::chrono::milliseconds(1);
+  // No faults injected: keep the declare-dead backstop out of reach of
+  // sanitizer slowdown (see MultiProducerBatchedExactlyOnceWithMigrations).
+  cfg.migration_timeout = std::chrono::minutes(10);
   LiveEngine engine(cfg);
   MatchLog log;
   engine.set_on_match([&](const MatchPair& p) { log.add(p); });
@@ -287,6 +295,9 @@ TEST(LiveDataPlane, LegacyLockedPlaneStillExact) {
   cfg.min_heaviest_load = 10.0;
   cfg.monitor_period = std::chrono::milliseconds(2);
   cfg.data_plane = DataPlane::kLegacyLocked;
+  // No faults injected: keep the declare-dead backstop out of reach of
+  // sanitizer slowdown (see MultiProducerBatchedExactlyOnceWithMigrations).
+  cfg.migration_timeout = std::chrono::minutes(10);
   LiveEngine engine(cfg);
   MatchLog log;
   engine.set_on_match([&](const MatchPair& p) { log.add(p); });
