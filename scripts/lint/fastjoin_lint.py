@@ -31,6 +31,13 @@ lines (stdlib only, no libclang). Rules:
                      (common/clock.hpp) so the protocol checker can run
                      it under virtual time. clk_->sleep_for(...) is
                      fine; std::this_thread::sleep_for is not.
+  net-socket         raw socket/epoll usage (the <sys/socket.h> include
+                     family, ::send/::recv and friends, epoll_*) is
+                     confined to files tagged `// FASTJOIN_NET_FILE` —
+                     which must live in src/net/. Everything else goes
+                     through the Socket/Connection/EventLoop layer, so
+                     framing, CRC checking and backpressure cannot be
+                     bypassed by an ad-hoc write().
   atomic-padding     in FASTJOIN_HOT_PATH files/regions, a std::atomic
                      member declared without alignas() must not sit
                      directly next to a plain data member: an RMW on
@@ -720,6 +727,60 @@ def check_protocol_clock(sf: SourceFile, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Rule: net-socket
+# ---------------------------------------------------------------------------
+
+NET_TAG = "FASTJOIN_NET_FILE"
+
+NET_INCLUDE_RE = re.compile(
+    r'#\s*include\s*<(sys/socket\.h|sys/epoll\.h|sys/un\.h|'
+    r'netinet/[\w./]+|arpa/inet\.h)>')
+
+# Global-scope-qualified socket syscalls (`::send`, never
+# `Connection::send` — the lookbehind rejects a qualified name) plus
+# the epoll family, whose bare names are unambiguous.
+NET_CALL_RE = re.compile(
+    r"(?<![\w>])::\s*(send|recv|sendto|recvfrom|sendmsg|recvmsg|"
+    r"socket|connect|accept4?|bind|listen|shutdown|"
+    r"getsockopt|setsockopt)\s*\("
+    r"|(?<![\w:.])(epoll_create1?|epoll_ctl|epoll_wait)\s*\(")
+
+
+def check_net_socket(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "net-socket"
+    norm = sf.path.replace("\\", "/")
+    head = "\n".join(sf.raw_lines[:5])
+    in_net = "/src/net/" in norm or norm.startswith("src/net/")
+    in_src = "/src/" in norm or norm.startswith("src/")
+    if NET_TAG in head:
+        # The tag is the exemption — and it is reserved for the
+        # transport layer itself, or the boundary means nothing.
+        if in_src and not in_net and not sf.allowed(0, rule):
+            findings.append(Finding(
+                sf.path, 1, rule,
+                f"{NET_TAG} tag outside src/net/: the raw-socket "
+                f"exemption is reserved for the transport layer",
+                sf.raw_lines[0]))
+        return
+    for idx, line in enumerate(sf.code_lines):
+        m = NET_INCLUDE_RE.search(sf.raw_lines[idx])
+        if not m:
+            m = NET_CALL_RE.search(line)
+        if not m:
+            continue
+        if sf.allowed(idx, rule):
+            continue
+        what = next(g for g in m.groups() if g)
+        findings.append(Finding(
+            sf.path, idx + 1, rule,
+            f"raw socket/epoll usage `{what}` outside the net layer; "
+            f"go through src/net (Socket/Connection/EventLoop), which "
+            f"owns framing, CRC and backpressure — or tag the file "
+            f"{NET_TAG} if it IS the transport layer",
+            sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
 # Rule: atomic-padding
 # ---------------------------------------------------------------------------
 
@@ -818,6 +879,7 @@ def run(paths: list[str]) -> list[Finding]:
         check_stub_parity(sf, findings)
         check_banned_api(sf, findings)
         check_protocol_clock(sf, findings)
+        check_net_socket(sf, findings)
         check_atomic_padding(sf, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

@@ -1,0 +1,175 @@
+// Framed connections over the socket layer.
+//
+// Two peers for the two process roles:
+//  * Connection — nonblocking, event-loop-driven; what the router
+//    holds per worker. Reads are drained to EAGAIN and decoded
+//    incrementally; writes go through an outbound queue that coalesces
+//    many small frames into large contiguous writes (one syscall per
+//    flush, not per frame). The queue depth is the backpressure
+//    signal: `writable()` turns false past the high-watermark and the
+//    router stops pulling ingest until the kernel drains it.
+//  * FrameConn — blocking; what a worker uses. One frame in, one frame
+//    out, EINTR-safe, with connect-retry/backoff so a worker spawned
+//    before the router finishes binding (or respawned after a crash)
+//    finds its way in.
+//
+// Connection close discipline: every close lands in the CloseHandler
+// exactly once with a reason and a `clean` flag (clean = EOF at a
+// frame boundary). EOF is how worker death is detected — the
+// supervisor treats any unexpected close as a crash (the "EOF as
+// crash" rule in docs/migration_protocol.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace fastjoin::net {
+
+/// Transport counters (telemetry registry, "net." prefix): bytes and
+/// frames in both directions, accepts/connects, decode errors.
+struct NetCounters {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_recv = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t decode_errors = 0;
+};
+/// Snapshot of the process-wide net counters.
+NetCounters net_counters();
+/// Internal: bump helpers used by the connection classes.
+void note_sent(std::size_t bytes, std::size_t frames);
+void note_recv(std::size_t bytes, std::size_t frames);
+void note_accept();
+void note_connect();
+void note_decode_error();
+
+class Connection {
+ public:
+  using FrameHandler = std::function<void(Frame&)>;
+  /// `clean`: the peer shut down at a frame boundary with nothing
+  /// queued — anything else is a crash/protocol error.
+  using CloseHandler =
+      std::function<void(const std::string& reason, bool clean)>;
+
+  struct Options {
+    std::uint32_t max_payload = kDefaultMaxPayload;
+    /// Outbound queue depth at which writable() turns false.
+    std::size_t high_watermark = 4u << 20;
+  };
+
+  /// Takes ownership of `sock` (made nonblocking) and registers with
+  /// the loop. Call start() to install handlers before the first
+  /// run_once().
+  Connection(EventLoop& loop, Socket sock, Options opts);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void start(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Queue one frame (coalesced with neighbors at flush). Safe to call
+  /// after close (dropped silently — the close handler already fired).
+  void send(std::uint16_t type, const void* payload, std::size_t len);
+  void send(std::uint16_t type, const std::vector<std::byte>& payload) {
+    send(type, payload.data(), payload.size());
+  }
+
+  /// Backpressure probe: false while the outbound queue is above the
+  /// high-watermark.
+  bool writable() const {
+    return !closed_ && out_.size() <= opts_.high_watermark;
+  }
+  std::size_t queued_bytes() const { return out_.size(); }
+  bool closed() const { return closed_; }
+
+  /// Tear down now; fires the close handler (once).
+  void close(const std::string& reason, bool clean);
+
+ private:
+  void on_events(std::uint32_t events);
+  void drain_reads();
+  void flush_writes();
+  void update_interest();
+
+  EventLoop& loop_;
+  Socket sock_;
+  Options opts_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  FrameDecoder decoder_;
+  std::vector<std::byte> rdbuf_;
+  /// Outbound bytes: encoded frames appended, drained from the front.
+  /// head_ avoids O(n) erases on partial writes.
+  std::vector<std::byte> out_;
+  std::size_t head_ = 0;
+  bool want_write_ = false;
+  bool closed_ = false;
+  bool in_dispatch_ = false;
+};
+
+/// Listening socket plus accept dispatch on the loop.
+class Acceptor {
+ public:
+  using AcceptHandler = std::function<void(Socket peer)>;
+
+  /// Binds and listens on `ep` (kTcp port 0 is replaced with the bound
+  /// port). ok() is false on failure, with the reason in error().
+  Acceptor(EventLoop& loop, Endpoint& ep, AcceptHandler on_accept);
+  ~Acceptor();
+
+  bool ok() const { return sock_.valid(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  EventLoop& loop_;
+  Socket sock_;
+  AcceptHandler on_accept_;
+  std::string error_;
+};
+
+/// Blocking framed peer (worker side).
+class FrameConn {
+ public:
+  FrameConn() = default;
+  explicit FrameConn(Socket sock, std::uint32_t max_payload =
+                                      kDefaultMaxPayload)
+      : sock_(std::move(sock)), decoder_(max_payload) {}
+
+  /// Connect with retry/backoff until `timeout` elapses.
+  static FrameConn connect(const Endpoint& ep,
+                           std::chrono::milliseconds timeout,
+                           std::string* err);
+
+  bool valid() const { return sock_.valid(); }
+
+  /// Block until one complete frame arrives. False on EOF or a broken
+  /// stream (error() distinguishes; EOF with no partial frame leaves
+  /// error() empty).
+  bool read_frame(Frame& out);
+  bool write_frame(std::uint16_t type, const void* payload,
+                   std::size_t len);
+  bool write_frame(std::uint16_t type,
+                   const std::vector<std::byte>& payload) {
+    return write_frame(type, payload.data(), payload.size());
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  Socket sock_;
+  FrameDecoder decoder_;
+  std::deque<Frame> ready_;
+  std::string error_;
+};
+
+}  // namespace fastjoin::net

@@ -1,0 +1,152 @@
+// FASTJOIN_NET_FILE — epoll syscalls live here.
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/logging.hpp"
+
+namespace fastjoin::net {
+namespace {
+
+std::uint32_t to_epoll(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (epfd_ < 0) FJ_ERROR("net") << "epoll_create1 failed";
+}
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool EventLoop::add_fd(int fd, bool want_read, bool want_write,
+                       IoCallback cb) {
+  auto entry = std::make_unique<FdEntry>();
+  entry->fd = fd;
+  entry->cb = std::move(cb);
+  epoll_event ev{};
+  ev.events = to_epoll(want_read, want_write);
+  ev.data.ptr = entry.get();
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fds_[fd] = std::move(entry);
+  return true;
+}
+
+bool EventLoop::mod_fd(int fd, bool want_read, bool want_write) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return false;
+  epoll_event ev{};
+  ev.events = to_epoll(want_read, want_write);
+  ev.data.ptr = it->second.get();
+  return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::del_fd(int fd) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  it->second->dead = true;
+  // The entry may be referenced by the epoll_event array of an
+  // in-flight dispatch pass; keep it alive until the pass ends.
+  graveyard_.push_back(std::move(it->second));
+  fds_.erase(it);
+}
+
+EventLoop::TimerId EventLoop::add_timer(
+    std::chrono::steady_clock::time_point deadline,
+    std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.push_back(Timer{deadline, id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [id](const Timer& t) {
+                                 return t.id == id;
+                               }),
+                timers_.end());
+}
+
+void EventLoop::defer(std::function<void()> fn) {
+  deferred_.push_back(std::move(fn));
+}
+
+std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
+  using clock = std::chrono::steady_clock;
+  auto wait = max_wait;
+  const auto now = clock::now();
+  for (const Timer& t : timers_) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        t.deadline - now);
+    wait = std::min(wait, std::max(std::chrono::milliseconds(0), until));
+  }
+
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events, 64,
+                     static_cast<int>(wait.count()));
+  } while (n < 0 && errno == EINTR);
+
+  std::size_t dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    auto* entry = static_cast<FdEntry*>(events[i].data.ptr);
+    if (entry->dead || !entry->cb) continue;
+    std::uint32_t ev = 0;
+    if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) {
+      ev |= kReadable;
+    }
+    if (events[i].events & EPOLLOUT) ev |= kWritable;
+    if (events[i].events & EPOLLERR) ev |= kError;
+    if (ev) {
+      entry->cb(ev);
+      ++dispatched;
+    }
+  }
+
+  // Timers due as of *after* the poll; a callback that adds a timer in
+  // the past fires next tick, never recursively.
+  const auto fire_now = clock::now();
+  std::vector<Timer> due;
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [&](Timer& t) {
+                                 if (t.deadline <= fire_now) {
+                                   due.push_back(std::move(t));
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                timers_.end());
+  std::sort(due.begin(), due.end(), [](const Timer& a, const Timer& b) {
+    return a.deadline < b.deadline ||
+           (a.deadline == b.deadline && a.id < b.id);
+  });
+  for (Timer& t : due) {
+    t.fn();
+    ++dispatched;
+  }
+
+  while (!deferred_.empty()) {
+    std::vector<std::function<void()>> run;
+    run.swap(deferred_);
+    for (auto& fn : run) {
+      fn();
+      ++dispatched;
+    }
+  }
+  graveyard_.clear();
+  return dispatched;
+}
+
+}  // namespace fastjoin::net

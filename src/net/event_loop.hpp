@@ -1,0 +1,81 @@
+// Nonblocking reactor: epoll + a steady-clock timer heap + a deferred
+// task queue, all single-threaded.
+//
+// The router's whole control plane runs on one EventLoop thread:
+// accepting workers, reading/writing frames, migration timeouts,
+// checkpoint cadence, and child-death polling all dispatch here, so
+// router state needs no locks. Callbacks may freely add/modify/remove
+// fds and timers — removal during dispatch is safe (entries are
+// tombstoned and reaped after the dispatch pass), and `defer()` runs a
+// task after the current pass, which is how connections are destroyed
+// from inside their own close callback.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace fastjoin::net {
+
+class EventLoop {
+ public:
+  /// Bitmask passed to io callbacks.
+  static constexpr std::uint32_t kReadable = 1;
+  static constexpr std::uint32_t kWritable = 2;
+  static constexpr std::uint32_t kError = 4;
+
+  using IoCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool ok() const { return epfd_ >= 0; }
+
+  /// Watch `fd`. The callback receives kReadable/kWritable/kError.
+  /// The fd must stay open until del_fd().
+  bool add_fd(int fd, bool want_read, bool want_write, IoCallback cb);
+  bool mod_fd(int fd, bool want_read, bool want_write);
+  void del_fd(int fd);
+
+  /// One-shot timer on the steady clock. Fires during a later
+  /// run_once(); never from inside add_timer.
+  TimerId add_timer(std::chrono::steady_clock::time_point deadline,
+                    std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// Run `fn` after the current dispatch pass (or on the next
+  /// run_once() when called outside one).
+  void defer(std::function<void()> fn);
+
+  /// Dispatch ready io events, due timers, and deferred tasks. Blocks
+  /// at most `max_wait` (less when a timer is due sooner). Returns the
+  /// number of callbacks dispatched.
+  std::size_t run_once(std::chrono::milliseconds max_wait);
+
+ private:
+  struct FdEntry {
+    int fd = -1;
+    IoCallback cb;
+    bool dead = false;
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    TimerId id = 0;
+    std::function<void()> fn;
+  };
+
+  int epfd_ = -1;
+  std::unordered_map<int, std::unique_ptr<FdEntry>> fds_;
+  std::vector<std::unique_ptr<FdEntry>> graveyard_;
+  std::vector<Timer> timers_;  ///< unsorted; scanned per tick (small N)
+  TimerId next_timer_ = 1;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace fastjoin::net

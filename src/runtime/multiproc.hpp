@@ -1,0 +1,320 @@
+// Multi-process plane: shared-nothing workers over a real socket
+// transport.
+//
+// Topology is a star: one router process ingests records, makes every
+// routing decision, and owns the durable StreamLog; W worker processes
+// each own one shard of both sides' JoinStores and execute the join.
+// Worker i exchanges frames with the router over a single framed
+// socket connection (src/net/); workers never talk to each other —
+// migrations relay tuples through the router.
+//
+// Every record the router publishes is appended to the StreamLog
+// *first*, stamped with the publish-time routing decision
+// (store_dst / probe_dst = worker ids), and only then framed to the
+// workers. The log is therefore a complete, replayable account of what
+// each worker was supposed to receive, which is what makes crash
+// recovery exact:
+//
+//   crash    = socket EOF (or waitpid) on a worker connection
+//   recover  = SIGKILL the remains, fork/exec a fresh worker,
+//              kRestore its last checkpoint snapshot (consumed
+//              watermark C), re-inject any absorbed-but-uncheckpointed
+//              migration batches (kAbsorb, seq-deduplicated), then
+//              replay log entries with offset >= C stamped for that
+//              worker — store halves deduplicated, probe halves below
+//              the emit watermark E flagged kSuppressEmit so already-
+//              delivered matches are not emitted twice.
+//
+// Exactness argument (full-history joins): the match-pair set is fixed
+// by the `precedes` total order, independent of partitioning. A pair
+// (r, s) is found iff the earlier tuple's store delivery is processed
+// before the later tuple's probe delivery at their shared worker —
+// guaranteed because the router is a single producer and each
+// connection is FIFO. Workers flush kMatches (with an exclusive emit
+// watermark) before answering kCheckpoint or kExtract, so E >= C
+// always and replayed probes below E are exactly the already-emitted
+// ones.
+//
+// Migration ("park at the router"): the single ingest point collapses
+// the in-process Hold/TakeForward/Release machinery. While keys move,
+// records touching them are parked *before* they are logged; on
+// commit (route flip) or abort they are logged and delivered with
+// their final stamps, preserving per-(side,key) FIFO. See
+// docs/migration_protocol.md ("Wire mapping").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/record.hpp"
+#include "engine/tuple.hpp"
+#include "ingest/stream_log.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/process_supervisor.hpp"
+
+namespace fastjoin {
+
+struct MultiprocConfig {
+  std::uint32_t workers = 4;
+  /// "unix:<path>" or "tcp:<port>". "unix:" (empty path) picks a
+  /// per-process temp path; "tcp:0" picks a free port. The resolved
+  /// endpoint is available from MultiprocRouter::endpoint() after
+  /// start().
+  std::string endpoint = "unix:";
+  /// argv prefix used to spawn a worker; the router appends
+  /// `--multiproc-worker --worker-id <i> --connect <endpoint>`.
+  /// Test/bench binaries pass {"/proc/self/exe"} and dispatch via
+  /// multiproc_worker_maybe_run() before gtest/bench main.
+  std::vector<std::string> worker_command;
+  /// Ship MatchPair tuples to the router (for output comparison); when
+  /// false only counts travel.
+  bool collect_matches = false;
+  /// Broadcast a checkpoint round every N published records (0 = only
+  /// the forced post-migration checkpoints).
+  std::uint64_t checkpoint_every = 0;
+  /// Respawn + replay crashed workers. When false a crash permanently
+  /// loses the worker and its undelivered entries count as dropped.
+  bool respawn = true;
+  /// Drop log segments below the minimum checkpointed offset.
+  bool truncate_log = true;
+  /// Entries per kData frame.
+  std::size_t data_batch = 256;
+  /// StreamLog shape (partitions is forced to 1: the router is the
+  /// only producer). backend kFile makes the substrate durable on
+  /// disk; kMemory is enough for worker-crash replay since the log
+  /// lives in the router, which is outside the fault model.
+  IngestConfig ingest;
+  std::chrono::milliseconds spawn_connect_timeout{10'000};
+  std::chrono::milliseconds migration_timeout{5'000};
+};
+
+struct MultiprocStats {
+  std::uint64_t records_published = 0;
+  std::uint64_t deliveries_sent = 0;   ///< delivery halves framed
+  std::uint64_t matches_total = 0;     ///< emitted matches (crash-deduped)
+  std::uint64_t records_dropped = 0;   ///< delivery halves lost for good
+  std::uint64_t records_parked = 0;    ///< records parked during migrations
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t replayed_entries = 0;  ///< log entries re-sent after a crash
+  std::uint64_t suppressed_probes = 0; ///< probe halves replayed suppressed
+  std::uint64_t reinjected_tuples = 0; ///< tuples re-absorbed after a crash
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_aborted = 0;
+  std::uint64_t checkpoints_completed = 0;
+  std::uint64_t tuples_migrated = 0;
+  /// Per-worker finals from the kFinal frames (filled by finish()).
+  std::vector<net::FinalMsg> worker_finals;
+};
+
+class MultiprocRouter {
+ public:
+  explicit MultiprocRouter(MultiprocConfig cfg);
+  ~MultiprocRouter();
+  MultiprocRouter(const MultiprocRouter&) = delete;
+  MultiprocRouter& operator=(const MultiprocRouter&) = delete;
+
+  /// Bind, spawn all workers, and complete their handshakes. False
+  /// (with *err) when the bind fails, a spawn fails, or a worker does
+  /// not check in within spawn_connect_timeout.
+  bool start(std::string* err = nullptr);
+
+  /// Resolved endpoint string (kernel-chosen port / temp path filled).
+  const std::string& endpoint() const { return endpoint_str_; }
+
+  /// Log + route + frame one record (or park it under an active
+  /// migration). Applies backpressure: blocks pumping the loop while
+  /// any worker's outbound queue is over its high watermark.
+  void publish(const Record& rec);
+
+  /// One event-loop turn + child reaping. Drives timers, reads worker
+  /// frames, and handles crashes; publish()/finish() call it
+  /// internally, long gaps between publishes should call it too.
+  void pump(std::chrono::milliseconds wait = std::chrono::milliseconds(0));
+
+  /// Move `keys` of `side` from worker `from` to worker `to` via the
+  /// Extract/Absorb wire protocol. Queued when a migration is already
+  /// in flight (one at a time, and the post-migration checkpoints of
+  /// the previous one must land first — that ordering is what keeps
+  /// crash replay and re-injection from overlapping).
+  bool request_migration(Side side, std::uint32_t from, std::uint32_t to,
+                         std::vector<KeyId> keys);
+  bool migration_idle() const {
+    return !mig_ && mig_queue_.empty() && !await_extract_.active;
+  }
+
+  /// Chaos primitive: SIGKILL worker `w` right now. Recovery happens
+  /// on subsequent pump()s.
+  bool kill_worker(std::uint32_t w);
+  pid_t worker_pid(std::uint32_t w) const;
+
+  /// Flush everything, send kFinish, and collect every worker's
+  /// kFinal (respawning and replaying crashed workers as needed).
+  /// False on timeout.
+  bool finish(std::chrono::milliseconds timeout =
+                  std::chrono::milliseconds(30'000));
+
+  const MultiprocStats& stats() const { return stats_; }
+  std::uint64_t matches_total() const { return stats_.matches_total; }
+  /// Collected pairs (collect_matches mode); arrival order.
+  std::vector<MatchPair> take_matches() { return std::move(matches_); }
+
+  /// Current owner of (side, key) — base hash unless overridden by a
+  /// completed migration.
+  std::uint32_t owner(Side side, KeyId key) const;
+
+ private:
+  struct WorkerSlot {
+    std::uint32_t id = 0;
+    pid_t pid = -1;
+    std::unique_ptr<net::Connection> conn;
+    bool alive = false;          ///< handshake done, conn open
+    bool dead_forever = false;   ///< crashed with respawn disabled
+    bool finished = false;       ///< clean kFinal received
+    std::uint32_t incarnations = 0;
+    net::DataBatchMsg pending;   ///< entries not yet framed
+    /// Latest checkpoint; consumed_offset is the exclusive replay
+    /// floor C (0 = never checkpointed, replay from the log start).
+    net::SnapshotMsg snapshot;
+    /// Exclusive emit watermark E: matches of probe deliveries below
+    /// this offset have been received by the router.
+    std::uint64_t emit_watermark = 0;
+    /// Absorbed batches not yet covered by a checkpoint: must be
+    /// re-injected if this worker crashes before completing a
+    /// checkpoint with id >= safe_after.
+    struct Reinject {
+      net::AbsorbMsg batch;
+      std::uint64_t safe_after = 0;
+    };
+    std::vector<Reinject> reinject;
+    std::optional<net::FinalMsg> final;
+  };
+
+  struct Migration {
+    enum class Phase { kExtractWait, kAbsorbWait, kEpilogue };
+    std::uint64_t id = 0;
+    Side side = Side::kR;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::vector<KeyId> keys;
+    Phase phase = Phase::kExtractWait;
+    net::ExtractBatchMsg batch;
+    net::EventLoop::TimerId timer = 0;
+    /// Pending post-migration checkpoint ids -> participant worker, so
+    /// a participant crash can drop exactly its own pending entry.
+    std::unordered_map<std::uint64_t, std::uint32_t> epilogue_ckpts;
+  };
+
+  struct QueuedMigration {
+    Side side;
+    std::uint32_t from, to;
+    std::vector<KeyId> keys;
+  };
+
+  // Data plane.
+  void log_and_route(const Record& rec);
+  void deliver(std::uint32_t w, std::uint64_t offset, const Record& rec,
+               std::uint8_t flags);
+  void flush_pending(std::uint32_t w);
+  void flush_all_pending();
+  void wait_writable();
+
+  // Connection plumbing.
+  void on_accept(net::Socket peer);
+  void attach_worker(std::uint32_t w, std::unique_ptr<net::Connection> conn);
+  void on_worker_frame(std::uint32_t w, net::Frame& f);
+  void on_worker_close(std::uint32_t w, const std::string& reason,
+                       bool clean);
+  bool protocol_error(std::uint32_t w, const std::string& what);
+
+  // Crash handling.
+  void handle_crash(std::uint32_t w, const std::string& reason);
+  bool respawn_worker(std::uint32_t w, std::string* err);
+  void restore_and_replay(std::uint32_t w);
+  std::vector<std::string> worker_argv(std::uint32_t w) const;
+
+  // Checkpoints.
+  /// Issue a checkpoint request to `w`; returns the assigned ckpt id.
+  std::uint64_t request_checkpoint_id(std::uint32_t w);
+  void checkpoint_round();
+  void on_checkpoint_done(std::uint32_t w, net::SnapshotMsg msg);
+  void maybe_truncate_log();
+
+  // Migrations.
+  void start_migration(QueuedMigration q);
+  void start_next_migration();
+  void on_extract_batch(std::uint32_t w, net::ExtractBatchMsg msg);
+  void on_absorb_ack(std::uint32_t w, net::AbsorbAckMsg msg);
+  void abort_migration(const std::string& why);
+  void finish_migration_if_epilogue_done();
+  void unpark();
+  void reinject_into(std::uint32_t w, std::vector<net::WireTuple> tuples);
+  bool parking(KeyId key) const;
+  void arm_migration_timer();
+
+  MultiprocConfig cfg_;
+  net::EventLoop loop_;
+  std::unique_ptr<net::Acceptor> acceptor_;
+  net::Endpoint endpoint_;
+  std::string endpoint_str_;
+  std::unique_ptr<StreamLog> log_;
+  ProcessSupervisor sup_;
+  std::vector<WorkerSlot> workers_;
+  /// Accepted but not yet identified by a kHello.
+  std::vector<std::unique_ptr<net::Connection>> limbo_;
+
+  /// Per-side routing overrides installed by completed migrations.
+  std::unordered_map<KeyId, std::uint32_t> overrides_[2];
+
+  std::optional<Migration> mig_;
+  std::deque<QueuedMigration> mig_queue_;
+  std::vector<Record> parked_;
+  std::unordered_set<KeyId> park_keys_;
+
+  /// An aborted migration whose kExtract reply is still in flight. The
+  /// source already removed the tuples from its store, and the reinject
+  /// can only be queued once the reply lands — so the keys stay parked
+  /// until then, or probes racing the reply lose matches forever. While
+  /// active, no new migration may start (it would repurpose the park).
+  struct AwaitExtract {
+    std::uint64_t mig_id = 0;
+    std::uint32_t from = 0;
+    bool active = false;
+  };
+  AwaitExtract await_extract_;
+
+  std::uint64_t next_mig_id_ = 1;
+  std::uint64_t next_ckpt_id_ = 1;
+  std::uint64_t records_since_ckpt_ = 0;
+  std::uint64_t pump_credit_ = 0;
+  bool finishing_ = false;
+  bool started_ = false;
+
+  MultiprocStats stats_;
+  std::vector<MatchPair> matches_;
+};
+
+/// Worker-process entry point: connect to the router at `endpoint`,
+/// serve frames until kFinish (or the router goes away). Returns the
+/// process exit code.
+int multiproc_worker_run(std::uint32_t worker_id,
+                         const std::string& endpoint);
+
+/// argv glue for binaries that double as their own worker child
+/// (tests, benches, fastjoin_worker): when argv contains
+/// `--multiproc-worker`, runs the worker and returns its exit code;
+/// otherwise returns -1 and the caller proceeds as usual.
+int multiproc_worker_maybe_run(int argc, char** argv);
+
+}  // namespace fastjoin

@@ -1,0 +1,143 @@
+#include "runtime/process_supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace fastjoin {
+namespace {
+
+ProcessSupervisor::ExitEvent make_event(pid_t pid, int status) {
+  ProcessSupervisor::ExitEvent ev;
+  ev.pid = pid;
+  ev.status = status;
+  if (WIFSIGNALED(status)) {
+    ev.signaled = true;
+    ev.term_signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    ev.exit_code = WEXITSTATUS(status);
+  }
+  return ev;
+}
+
+}  // namespace
+
+ProcessSupervisor::~ProcessSupervisor() { kill_all(); }
+
+pid_t ProcessSupervisor::spawn(const std::vector<std::string>& argv,
+                               std::string* err) {
+  if (argv.empty()) {
+    if (err) *err = "empty argv";
+    return -1;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (err) *err = std::string("fork: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. Detach stdin; leave stdout/stderr shared with the parent
+    // so worker logs land in the same terminal/CI capture.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 0);
+      if (devnull > 2) ::close(devnull);
+    }
+    ::execv(cargv[0], cargv.data());
+    // exec failed — nothing sane to do in the forked image but exit
+    // loudly; the parent sees a fast nonzero exit.
+    ::fprintf(stderr, "execv %s: %s\n", cargv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  children_.push_back(pid);
+  return pid;
+}
+
+std::vector<ProcessSupervisor::ExitEvent> ProcessSupervisor::poll_exits() {
+  std::vector<ExitEvent> out;
+  for (auto it = children_.begin(); it != children_.end();) {
+    int status = 0;
+    const pid_t r = ::waitpid(*it, &status, WNOHANG);
+    if (r == *it) {
+      out.push_back(make_event(*it, status));
+      it = children_.erase(it);
+    } else if (r < 0 && errno == ECHILD) {
+      // Reaped elsewhere (shouldn't happen) — stop tracking.
+      it = children_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool ProcessSupervisor::signal(pid_t pid, int sig) {
+  if (!alive(pid)) return false;
+  return ::kill(pid, sig) == 0;
+}
+
+bool ProcessSupervisor::terminate(pid_t pid) {
+  if (!signal(pid, SIGKILL)) return false;
+  // Wait for the zombie but do NOT reap it (WNOWAIT): the exit must
+  // stay visible to poll_exits(), which owns crash bookkeeping — both
+  // the attached case (force the connection down) and the
+  // died-before-handshake case have to flow through that one path.
+  siginfo_t info;
+  std::memset(&info, 0, sizeof(info));
+  while (::waitid(P_PID, static_cast<id_t>(pid), &info,
+                  WEXITED | WNOWAIT) != 0) {
+    if (errno != EINTR) break;
+  }
+  return true;
+}
+
+bool ProcessSupervisor::signal_and_reap(pid_t pid, int sig,
+                                        std::chrono::milliseconds timeout,
+                                        ExitEvent* ev) {
+  if (!alive(pid)) return false;
+  ::kill(pid, sig);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) {
+      children_.erase(std::remove(children_.begin(), children_.end(), pid),
+                      children_.end());
+      if (ev && r == pid) *ev = make_event(pid, status);
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool ProcessSupervisor::alive(pid_t pid) const {
+  return std::find(children_.begin(), children_.end(), pid) !=
+         children_.end();
+}
+
+void ProcessSupervisor::kill_all() {
+  for (const pid_t pid : children_) ::kill(pid, SIGKILL);
+  for (const pid_t pid : children_) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  children_.clear();
+}
+
+}  // namespace fastjoin

@@ -1,0 +1,74 @@
+// Child-process lifecycle for the multi-process runtime.
+//
+// The supervisor forks/execs worker processes and owns their reaping:
+// poll_exits() collects terminations without blocking (waitpid
+// WNOHANG per tracked pid — never -1, so unrelated children of the
+// host process, e.g. gtest death tests, are left alone). Death
+// *detection* is not its job — the router learns of a crash from the
+// worker's socket EOF first and uses the supervisor to confirm
+// (signal_and_reap) and respawn. Chaos testing goes through
+// terminate(), which is a literal SIGKILL: no flush, no goodbye frame,
+// exactly the failure the replay protocol must absorb.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastjoin {
+
+class ProcessSupervisor {
+ public:
+  struct ExitEvent {
+    pid_t pid = -1;
+    int status = 0;  ///< raw waitpid status (use WIFEXITED & co.)
+    bool signaled = false;
+    int term_signal = 0;
+    int exit_code = 0;
+  };
+
+  ProcessSupervisor() = default;
+  ~ProcessSupervisor();
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  /// fork + execv. argv[0] is the binary path (no PATH search). Returns
+  /// the child pid, or -1 with the reason in *err. The child's stdin is
+  /// /dev/null; stdout/stderr are inherited.
+  pid_t spawn(const std::vector<std::string>& argv, std::string* err = nullptr);
+
+  /// Reap every tracked child that has already exited (nonblocking).
+  std::vector<ExitEvent> poll_exits();
+
+  /// Send `sig` to a tracked child. False when the pid is not tracked
+  /// or already reaped.
+  bool signal(pid_t pid, int sig);
+
+  /// SIGKILL — the chaos primitive. Blocks until the process is truly
+  /// gone (waitid WNOWAIT: the zombie is left unreaped so poll_exits()
+  /// still observes the exit). A bare kill() returns before the kernel
+  /// finishes tearing the process down; on a loaded host that window is
+  /// long enough for a second chaos kill to land on the same corpse.
+  bool terminate(pid_t pid);
+
+  /// Signal, then wait (bounded) for the exit and reap it. Returns
+  /// false if the child did not exit within `timeout`.
+  bool signal_and_reap(pid_t pid, int sig,
+                       std::chrono::milliseconds timeout,
+                       ExitEvent* ev = nullptr);
+
+  /// True while `pid` is tracked and not yet reaped.
+  bool alive(pid_t pid) const;
+  std::size_t num_alive() const { return children_.size(); }
+
+  /// SIGKILL + reap everything still tracked (destructor behavior).
+  void kill_all();
+
+ private:
+  std::vector<pid_t> children_;
+};
+
+}  // namespace fastjoin

@@ -1,0 +1,9 @@
+// Fixture: inline allow() suppresses the net-socket rule.
+// fastjoin-lint: allow(net-socket): fixture shim includes the raw API
+#include <sys/socket.h>
+
+int poke(int fd) {
+  // fastjoin-lint: allow(net-socket): deliberate raw send in fixture
+  long sent = ::send(fd, "x", 1, 0);
+  return static_cast<int>(sent);
+}

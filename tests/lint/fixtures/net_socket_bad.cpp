@@ -1,0 +1,11 @@
+// Fixture: raw socket usage outside the net layer must be flagged.
+#include <sys/socket.h>
+#include <sys/epoll.h>
+
+int leak_bytes(int fd, const char* buf, int n) {
+  long sent = ::send(fd, buf, static_cast<unsigned long>(n), 0);
+  char tmp[16];
+  long got = ::recv(fd, tmp, sizeof(tmp), 0);
+  int ep = epoll_create1(0);
+  return static_cast<int>(sent + got) + ep;
+}

@@ -1,0 +1,9 @@
+// FASTJOIN_NET_FILE — fixture: the tag exempts the transport layer.
+#include <sys/socket.h>
+#include <sys/epoll.h>
+
+int transport_write(int fd, const char* buf, int n) {
+  long sent = ::send(fd, buf, static_cast<unsigned long>(n), 0);
+  int ep = epoll_create1(0);
+  return static_cast<int>(sent) + ep;
+}

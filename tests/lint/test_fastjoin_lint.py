@@ -98,6 +98,12 @@ def main():
     expect("protocol_clock_allowed.cpp", "protocol-clock", 0)
     expect("protocol_clock_untagged.cpp", "protocol-clock", 0)
 
+    # --- net-socket -------------------------------------------------
+    expect("net_socket_bad.cpp", "net-socket", 5,
+           exact_lines=[2, 3, 6, 8, 9])
+    expect("net_socket_tagged.cpp", "net-socket", 0)
+    expect("net_socket_allowed.cpp", "net-socket", 0)
+
     # --- atomic-padding ---------------------------------------------
     expect("atomic_padding_bad.cpp", "atomic-padding", 2,
            exact_lines=[11, 16])

@@ -1,0 +1,200 @@
+// Frame codec edge cases: the decoder must survive arbitrary
+// fragmentation, reject every corruption class, and stay broken once
+// framing is lost.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "net/crc32.hpp"
+
+namespace fastjoin::net {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+TEST(Frame, RoundtripSingle) {
+  const auto payload = bytes_of("hello frame");
+  const auto buf = encode_frame(7, payload);
+  ASSERT_EQ(buf.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, 7);
+  EXPECT_EQ(out[0].payload, payload);
+  EXPECT_FALSE(dec.mid_frame());
+  EXPECT_EQ(dec.frames_decoded(), 1u);
+}
+
+TEST(Frame, EmptyPayload) {
+  const auto buf = encode_frame(3, nullptr, 0);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, 3);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(Frame, ByteAtATimeFeed) {
+  const auto payload = bytes_of("drip drip drip");
+  const auto buf = encode_frame(9, payload);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_TRUE(dec.feed(buf.data() + i, 1, out));
+    if (i + 1 < buf.size()) {
+      EXPECT_TRUE(out.empty());
+      EXPECT_TRUE(dec.mid_frame());
+    }
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, payload);
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(Frame, ManyFramesOneFeed) {
+  std::vector<std::byte> stream;
+  for (int i = 0; i < 50; ++i) {
+    const auto p = bytes_of(std::string(static_cast<std::size_t>(i), 'x'));
+    const auto f = encode_frame(static_cast<std::uint16_t>(i), p);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  ASSERT_TRUE(dec.feed(stream.data(), stream.size(), out));
+  ASSERT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].type, i);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].payload.size(),
+              static_cast<std::size_t>(i));
+  }
+}
+
+TEST(Frame, RandomFragmentationSoak) {
+  // The full stress: many random-size frames, fed in random-size
+  // chunks. Every frame must come out intact and in order.
+  Xoshiro256 rng(0xfeedface);
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<std::byte> stream;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::byte> p(rng.next_below(512));
+    for (auto& b : p) b = static_cast<std::byte>(rng.next_below(256));
+    const auto f = encode_frame(static_cast<std::uint16_t>(i % 13), p);
+    stream.insert(stream.end(), f.begin(), f.end());
+    payloads.push_back(std::move(p));
+  }
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.next_below(97), stream.size() - pos);
+    ASSERT_TRUE(dec.feed(stream.data() + pos, n, out));
+    pos += n;
+  }
+  ASSERT_EQ(out.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(out[i].payload, payloads[i]) << "frame " << i;
+  }
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(Frame, TornFrameAtEof) {
+  const auto buf = encode_frame(5, bytes_of("truncated in flight"));
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  // Everything but the last byte: no frame, mid_frame — the torn tail
+  // is discarded, never delivered (the SIGKILL-mid-write case).
+  ASSERT_TRUE(dec.feed(buf.data(), buf.size() - 1, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(dec.mid_frame());
+  EXPECT_FALSE(dec.broken());
+}
+
+TEST(Frame, BadMagicIsSticky) {
+  auto buf = encode_frame(1, bytes_of("x"));
+  buf[0] = static_cast<std::byte>(0x00);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(buf.data(), buf.size(), out));
+  EXPECT_TRUE(dec.broken());
+  EXPECT_NE(dec.error().find("magic"), std::string::npos);
+  // Sticky: even a valid frame is refused now.
+  const auto good = encode_frame(1, bytes_of("y"));
+  EXPECT_FALSE(dec.feed(good.data(), good.size(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Frame, NonzeroFlagsRejected) {
+  auto buf = encode_frame(1, bytes_of("x"));
+  buf[6] = static_cast<std::byte>(0xff);  // flags u16 at offset 6
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(buf.data(), buf.size(), out));
+  EXPECT_TRUE(dec.broken());
+}
+
+TEST(Frame, CrcMismatchRejected) {
+  auto buf = encode_frame(1, bytes_of("checksummed"));
+  buf[kFrameHeaderBytes + 2] ^= static_cast<std::byte>(0x01);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(buf.data(), buf.size(), out));
+  EXPECT_TRUE(dec.broken());
+  EXPECT_NE(dec.error().find("CRC"), std::string::npos);
+}
+
+TEST(Frame, CorruptedCrcFieldRejected) {
+  auto buf = encode_frame(1, bytes_of("checksummed"));
+  buf[12] ^= static_cast<std::byte>(0x80);  // crc u32 at offset 12
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(buf.data(), buf.size(), out));
+  EXPECT_TRUE(dec.broken());
+}
+
+TEST(Frame, OversizedLengthRejected) {
+  // A decoder with a small ceiling refuses the header before buffering
+  // the body — corrupt lengths cannot drive giant allocations.
+  const std::vector<std::byte> payload(128);
+  const auto buf = encode_frame(1, payload);
+  FrameDecoder dec(/*max_payload=*/64);
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.feed(buf.data(), kFrameHeaderBytes, out));
+  EXPECT_TRUE(dec.broken());
+  EXPECT_NE(dec.error().find("oversized"), std::string::npos);
+}
+
+TEST(Frame, HeaderSplitAcrossFeeds) {
+  const auto payload = bytes_of("split header");
+  const auto buf = encode_frame(11, payload);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  ASSERT_TRUE(dec.feed(buf.data(), 7, out));  // half the header
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(dec.feed(buf.data() + 7, buf.size() - 7, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, payload);
+}
+
+TEST(Crc32c, KnownVectorsAndIncremental) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::uint8_t zeros[32] = {0};
+  EXPECT_EQ(crc32c(zeros, sizeof zeros), 0x8A9136AAu);
+  const char* s = "123456789";
+  const std::uint32_t whole = crc32c(s, 9);
+  EXPECT_EQ(whole, 0xE3069283u);
+  // Length zero is a no-op on the seed.
+  EXPECT_EQ(crc32c(nullptr, 0), crc32c("", 0));
+}
+
+}  // namespace
+}  // namespace fastjoin::net

@@ -1,0 +1,37 @@
+// Standalone worker process for the multi-process plane.
+//
+// Normally spawned by fastjoin_router (or any MultiprocRouter host)
+// as: fastjoin_worker --multiproc-worker --worker-id <i> --connect
+// <endpoint>. It connects, handshakes, and serves frames until
+// kFinish. Direct invocation with the same flags works too, which is
+// handy for pointing a worker at a long-lived router by hand.
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/multiproc.hpp"
+
+int main(int argc, char** argv) {
+  const int rc = fastjoin::multiproc_worker_maybe_run(argc, argv);
+  if (rc >= 0) return rc;
+  // No --multiproc-worker flag: accept the bare form
+  // `fastjoin_worker --worker-id N --connect EP` for manual runs.
+  std::uint32_t id = 0;
+  std::string endpoint;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-id") == 0 && i + 1 < argc) {
+      id = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      endpoint = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: fastjoin_worker [--multiproc-worker] "
+                   "--worker-id <n> --connect <unix:path|tcp:port>\n");
+      return 64;
+    }
+  }
+  if (endpoint.empty()) {
+    std::fprintf(stderr, "fastjoin_worker: --connect is required\n");
+    return 64;
+  }
+  return fastjoin::multiproc_worker_run(id, endpoint);
+}
