@@ -4,9 +4,9 @@
 #   scripts/check.sh            # full: tier-1, TSan, ASan, UBSan,
 #                               #       no-telemetry, static analysis
 #   scripts/check.sh --tier1    # tier-1 only
-#   scripts/check.sh --tsan     # TSan common+net+runtime+ingest+telemetry
-#   scripts/check.sh --asan     # ASan common+net+runtime+ingest+telemetry
-#   scripts/check.sh --ubsan    # UBSan common+net+runtime+ingest+telemetry
+#   scripts/check.sh --tsan     # TSan common+net+server+runtime+ingest+telemetry
+#   scripts/check.sh --asan     # ASan common+net+server+runtime+ingest+telemetry
+#   scripts/check.sh --ubsan    # UBSan common+net+server+runtime+ingest+telemetry
 #   scripts/check.sh --notel    # FASTJOIN_NO_TELEMETRY build + ctest only
 #   scripts/check.sh --static   # fastjoin-lint + clang-tidy +
 #                               # -Werror=thread-safety build (clang legs
@@ -16,11 +16,12 @@
 #                               # random seeds, self-test included
 #
 # The sanitizer passes rebuild into build-{tsan,asan,ubsan}/ (separate
-# caches) and run the test_common, test_net, test_runtime, test_ingest and
-# test_telemetry binaries, which cover the arena/buffer-pool recycling,
-# the SPSC lanes, the frame codec and socket event loop, the
-# worker/monitor/supervisor threading, the chaos tests, and the
-# StreamLog append/replay/truncation paths.
+# caches) and run the test_common, test_net, test_server, test_runtime,
+# test_ingest and test_telemetry binaries, which cover the
+# arena/buffer-pool recycling, the SPSC lanes, the frame codec and socket
+# event loop, the serving front door (admission, slow clients, idle
+# sweeps), the worker/monitor/supervisor threading, the chaos tests, and
+# the StreamLog append/replay/truncation paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,39 +62,42 @@ if [[ $run_tier1 -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== TSan: common + net + runtime + ingest + telemetry tests under -fsanitize=thread =="
+  echo "== TSan: common + net + server + runtime + ingest + telemetry tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DFASTJOIN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" --target test_common \
-    --target test_net \
+    --target test_net --target test_server \
     --target test_runtime --target test_ingest --target test_telemetry
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_net
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_server
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_telemetry
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_ingest
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
 fi
 
 if [[ $run_asan -eq 1 ]]; then
-  echo "== ASan: common + net + runtime + ingest + telemetry tests under -fsanitize=address =="
+  echo "== ASan: common + net + server + runtime + ingest + telemetry tests under -fsanitize=address =="
   cmake -B build-asan -S . -DFASTJOIN_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$jobs" --target test_common \
-    --target test_net \
+    --target test_net --target test_server \
     --target test_runtime --target test_ingest --target test_telemetry
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_common
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_net
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_server
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_telemetry
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_ingest
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" ./build-asan/tests/test_runtime
 fi
 
 if [[ $run_ubsan -eq 1 ]]; then
-  echo "== UBSan: common + net + runtime + ingest + telemetry tests under -fsanitize=undefined =="
+  echo "== UBSan: common + net + server + runtime + ingest + telemetry tests under -fsanitize=undefined =="
   cmake -B build-ubsan -S . -DFASTJOIN_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$jobs" --target test_common \
-    --target test_net \
+    --target test_net --target test_server \
     --target test_runtime --target test_ingest --target test_telemetry
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_common
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_net
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_server
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_telemetry
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_ingest
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ./build-ubsan/tests/test_runtime

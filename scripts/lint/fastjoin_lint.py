@@ -734,16 +734,18 @@ NET_TAG = "FASTJOIN_NET_FILE"
 
 NET_INCLUDE_RE = re.compile(
     r'#\s*include\s*<(sys/socket\.h|sys/epoll\.h|sys/un\.h|'
-    r'netinet/[\w./]+|arpa/inet\.h)>')
+    r'netinet/[\w./]+|arpa/inet\.h|poll\.h|sys/select\.h)>')
 
 # Global-scope-qualified socket syscalls (`::send`, never
 # `Connection::send` — the lookbehind rejects a qualified name) plus
-# the epoll family, whose bare names are unambiguous.
+# the epoll family, whose bare names are unambiguous. poll/select are
+# qualified-only: bare `poll(` is a legitimate method name elsewhere
+# (ingest cursors).
 NET_CALL_RE = re.compile(
     r"(?<![\w>])::\s*(send|recv|sendto|recvfrom|sendmsg|recvmsg|"
     r"socket|connect|accept4?|bind|listen|shutdown|"
-    r"getsockopt|setsockopt)\s*\("
-    r"|(?<![\w:.])(epoll_create1?|epoll_ctl|epoll_wait)\s*\(")
+    r"getsockopt|setsockopt|poll|ppoll|select)\s*\("
+    r"|(?<![\w:.])(epoll_create1?|epoll_ctl|epoll_wait|epoll_pwait)\s*\(")
 
 
 def check_net_socket(sf: SourceFile, findings: list[Finding]) -> None:
@@ -752,14 +754,20 @@ def check_net_socket(sf: SourceFile, findings: list[Finding]) -> None:
     head = "\n".join(sf.raw_lines[:5])
     in_net = "/src/net/" in norm or norm.startswith("src/net/")
     in_src = "/src/" in norm or norm.startswith("src/")
+    in_server = "/src/server/" in norm or norm.startswith("src/server/")
     if NET_TAG in head:
         # The tag is the exemption — and it is reserved for the
-        # transport layer itself, or the boundary means nothing.
+        # transport layer itself, or the boundary means nothing. The
+        # serving layer in particular never qualifies: its whole design
+        # is to reuse src/net (frames, event loop, connections).
         if in_src and not in_net and not sf.allowed(0, rule):
+            where = ("src/server/ (the serving layer rides on src/net "
+                     "by design)" if in_server else "src/net/")
             findings.append(Finding(
                 sf.path, 1, rule,
                 f"{NET_TAG} tag outside src/net/: the raw-socket "
-                f"exemption is reserved for the transport layer",
+                f"exemption is reserved for the transport layer, not "
+                f"{where}",
                 sf.raw_lines[0]))
         return
     for idx, line in enumerate(sf.code_lines):
@@ -771,12 +779,17 @@ def check_net_socket(sf: SourceFile, findings: list[Finding]) -> None:
         if sf.allowed(idx, rule):
             continue
         what = next(g for g in m.groups() if g)
+        hint = ("the serving front door must speak through src/net "
+                "(Acceptor/Connection/EventLoop); raw sockets here "
+                "bypass framing, CRC and backpressure"
+                if in_server else
+                "go through src/net (Socket/Connection/EventLoop), "
+                "which owns framing, CRC and backpressure — or tag the "
+                f"file {NET_TAG} if it IS the transport layer")
         findings.append(Finding(
             sf.path, idx + 1, rule,
             f"raw socket/epoll usage `{what}` outside the net layer; "
-            f"go through src/net (Socket/Connection/EventLoop), which "
-            f"owns framing, CRC and backpressure — or tag the file "
-            f"{NET_TAG} if it IS the transport layer",
+            f"{hint}",
             sf.raw_lines[idx]))
 
 

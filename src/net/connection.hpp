@@ -91,6 +91,10 @@ class Connection {
   }
   std::size_t queued_bytes() const { return out_.size(); }
   bool closed() const { return closed_; }
+  /// True while bytes of an incomplete inbound frame are buffered —
+  /// how an idle sweep tells a slowloris (stalled mid-frame) from a
+  /// merely quiet peer.
+  bool mid_frame() const { return decoder_.mid_frame(); }
 
   /// Tear down now; fires the close handler (once).
   void close(const std::string& reason, bool clean);

@@ -124,6 +124,25 @@ bool MultiprocRouter::start(std::string* err) {
     }
     pump(std::chrono::milliseconds(5));
   }
+
+  if (cfg_.serve) {
+    serve_snap_.assign(cfg_.workers, ServeSnap{});
+    frontdoor_ = std::make_unique<server::FrontDoor>(loop_, cfg_.serve_cfg);
+    std::string ferr;
+    if (!frontdoor_->start(
+            [this](const std::string& tenant,
+                   const std::vector<server::ClientRecord>& recs,
+                   server::AppendAckMsg* ack) {
+              return serve_sink(tenant, recs, ack);
+            },
+            [this](const server::QueryMsg& q, server::QueryResultMsg* out) {
+              serve_query(q, out);
+            },
+            [this] { return serve_inflight_bytes(); }, &ferr)) {
+      frontdoor_.reset();
+      return fail("front door: " + ferr);
+    }
+  }
   return true;
 }
 
@@ -247,6 +266,120 @@ void MultiprocRouter::pump(std::chrono::milliseconds wait) {
 }
 
 // --------------------------------------------------------------------------
+// Serving front door
+// --------------------------------------------------------------------------
+
+std::uint64_t MultiprocRouter::serve_inflight_bytes() const {
+  // "Admitted but not yet drained downstream" maps to the bytes still
+  // queued on the worker connections: what admission protects is the
+  // fabric's outbound queues, not the log (which has its own
+  // backpressure bound).
+  std::uint64_t total = 0;
+  for (const WorkerSlot& s : workers_) {
+    if (s.alive && s.conn && !s.conn->closed()) {
+      total += s.conn->queued_bytes();
+    }
+  }
+  return total;
+}
+
+bool MultiprocRouter::serve_sink(
+    const std::string& tenant, const std::vector<server::ClientRecord>& recs,
+    server::AppendAckMsg* ack) {
+  (void)tenant;  // admission already charged the tenant; routing is global
+  // This runs inside an event-loop dispatch callback, so the blocking
+  // publish() path (pump + wait_writable) is off-limits — re-entering
+  // run_once() from a handler is undefined. Refuse instead of blocking;
+  // the front door answers kRejected{kBackpressure, retry_after} and
+  // the loop keeps draining the very queues that caused the refusal.
+  for (const WorkerSlot& s : workers_) {
+    if (s.alive && s.conn && !s.conn->closed() && !s.conn->writable()) {
+      return false;
+    }
+  }
+  bool first = true;
+  for (const server::ClientRecord& cr : recs) {
+    Record rec;
+    rec.key = cr.key;
+    rec.payload = cr.payload;
+    rec.side = cr.side;
+    // The single ingest point stamps the stream position: per-side seq
+    // and global arrival ts. This is what makes the log the ground
+    // truth — clients cannot forge an order.
+    rec.seq = serve_next_seq_[static_cast<int>(cr.side)]++;
+    rec.ts = serve_next_ts_++;
+    if (!park_keys_.empty() && park_keys_.count(rec.key) != 0) {
+      parked_.push_back(rec);
+      ++stats_.records_parked;
+      ++ack->parked;
+    } else {
+      if (first) {
+        ack->first_offset = log_->end_offset(0);
+        first = false;
+      }
+      log_and_route(rec);
+      ++ack->appended;
+    }
+  }
+  // Acked batches must not sit in the per-worker pending buffers until
+  // the next 256-record threshold: the ack promises the records are on
+  // their way.
+  flush_all_pending();
+  if (cfg_.checkpoint_every != 0) {
+    records_since_ckpt_ += recs.size();
+    if (records_since_ckpt_ >= cfg_.checkpoint_every) {
+      records_since_ckpt_ = 0;
+      checkpoint_round();
+    }
+  }
+  return true;
+}
+
+void MultiprocRouter::serve_query(const server::QueryMsg& q,
+                                  server::QueryResultMsg* out) {
+  out->key = q.key;
+  out->owner_r = owner(Side::kR, q.key);
+  out->owner_s = owner(Side::kS, q.key);
+  out->matches_total = stats_.matches_total;
+  // The answer's consistency floor: every worker's counts come from its
+  // latest completed checkpoint, and as_of_ckpt is the weakest of them.
+  std::uint64_t as_of = UINT64_MAX;
+  for (std::uint32_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].dead_forever) continue;
+    const ServeSnap& snap = serve_snap_[w];
+    as_of = std::min(as_of, snap.ckpt_id);
+    const auto r = snap.counts[static_cast<int>(Side::kR)].find(q.key);
+    if (r != snap.counts[static_cast<int>(Side::kR)].end()) {
+      out->r_tuples += r->second;
+    }
+    const auto s = snap.counts[static_cast<int>(Side::kS)].find(q.key);
+    if (s != snap.counts[static_cast<int>(Side::kS)].end()) {
+      out->s_tuples += s->second;
+    }
+  }
+  out->as_of_ckpt = as_of == UINT64_MAX ? 0 : as_of;
+  if (q.max_recent > 0) {
+    for (auto it = serve_recent_.rbegin();
+         it != serve_recent_.rend() && out->recent.size() < q.max_recent;
+         ++it) {
+      if (it->key == q.key) out->recent.push_back(*it);
+    }
+  }
+}
+
+std::vector<LogRecord> MultiprocRouter::dump_log() const {
+  std::vector<LogRecord> out;
+  if (!log_) return out;
+  const std::uint64_t from = log_->start_offset(0);
+  const std::uint64_t end = log_->end_offset(0);
+  if (end > from) {
+    out.reserve(end - from);
+    log_->read(0, from, static_cast<std::size_t>(end - from), out);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
 // Connection plumbing
 // --------------------------------------------------------------------------
 
@@ -318,7 +451,7 @@ void MultiprocRouter::attach_worker(std::uint32_t w,
   net::HelloAckMsg ack;
   ack.worker_id = w;
   ack.workers = cfg_.workers;
-  ack.collect_matches = cfg_.collect_matches ? 1 : 0;
+  ack.collect_matches = ship_pairs() ? 1 : 0;
   raw->send(wire_type(MsgType::kHelloAck), net::encode(ack));
   if (s.incarnations > 1) restore_and_replay(w);
   if (finishing_ && s.alive) {
@@ -341,6 +474,14 @@ void MultiprocRouter::on_worker_frame(std::uint32_t w, net::Frame& f) {
       s.emit_watermark = std::max(s.emit_watermark, m.emit_offset);
       if (cfg_.collect_matches) {
         matches_.insert(matches_.end(), m.pairs.begin(), m.pairs.end());
+      }
+      if (cfg_.serve) {
+        for (const MatchPair& p : m.pairs) {
+          serve_recent_.push_back(p);
+          if (serve_recent_.size() > kServeRecentCap) {
+            serve_recent_.pop_front();
+          }
+        }
       }
       return;
     }
@@ -578,6 +719,17 @@ void MultiprocRouter::on_checkpoint_done(std::uint32_t w,
   ++stats_.checkpoints_completed;
   const std::uint64_t id = msg.ckpt_id;
   s.emit_watermark = std::max(s.emit_watermark, msg.emit_offset);
+  if (cfg_.serve && id >= serve_snap_[w].ckpt_id) {
+    // Rebuild the query surface's per-key counts from this snapshot —
+    // a consistent cut of the worker's stores at consumed_offset.
+    ServeSnap& snap = serve_snap_[w];
+    snap.ckpt_id = id;
+    snap.counts[0].clear();
+    snap.counts[1].clear();
+    for (const net::WireTuple& t : msg.tuples) {
+      ++snap.counts[static_cast<int>(t.side)][t.key];
+    }
+  }
   if (id >= s.snapshot.ckpt_id) s.snapshot = std::move(msg);
   // Batches absorbed before this checkpoint was requested are now
   // inside the snapshot — stop carrying them.
@@ -843,6 +995,9 @@ pid_t MultiprocRouter::worker_pid(std::uint32_t w) const {
 }
 
 bool MultiprocRouter::finish(std::chrono::milliseconds timeout) {
+  // Serving stops first: finish() drains and closes the worker fabric,
+  // and an append admitted after this point could never be delivered.
+  if (frontdoor_) frontdoor_->stop();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   // Let in-flight migrations resolve (they unpark records); force the
   // issue at the deadline.

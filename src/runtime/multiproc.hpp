@@ -61,6 +61,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "runtime/process_supervisor.hpp"
+#include "server/frontdoor.hpp"
 
 namespace fastjoin {
 
@@ -96,6 +97,14 @@ struct MultiprocConfig {
   IngestConfig ingest;
   std::chrono::milliseconds spawn_connect_timeout{10'000};
   std::chrono::milliseconds migration_timeout{5'000};
+  /// Serving front door (src/server/): when true the router also
+  /// accepts client connections on serve_cfg.endpoint from the same
+  /// event loop. Clients ingest through the admission-controlled
+  /// kAppend path (the router stamps seq/ts — it owns the stream
+  /// order) and read per-key snapshot state with kQuery. Workers ship
+  /// match pairs so the query surface can answer "recent matches".
+  bool serve = false;
+  server::FrontDoorConfig serve_cfg;
 };
 
 struct MultiprocStats {
@@ -174,6 +183,18 @@ class MultiprocRouter {
   /// completed migration.
   std::uint32_t owner(Side side, KeyId key) const;
 
+  /// Serving front door (nullptr when cfg.serve is false or before
+  /// start()). Admission stats and tenant accounting live here.
+  server::FrontDoor* frontdoor() { return frontdoor_.get(); }
+
+  /// Copy of the retained log (partition 0) in offset order — the
+  /// replayable account of everything the router ingested. With
+  /// truncate_log=false this is the full input history; the serving
+  /// e2e test replays it through the in-process engine to obtain the
+  /// byte-identical ground truth for front-door ingest, whose seq/ts
+  /// stamps exist only in the router.
+  std::vector<LogRecord> dump_log() const;
+
  private:
   struct WorkerSlot {
     std::uint32_t id = 0;
@@ -251,6 +272,19 @@ class MultiprocRouter {
   void on_checkpoint_done(std::uint32_t w, net::SnapshotMsg msg);
   void maybe_truncate_log();
 
+  // Serving front door. The sink/query callbacks run inside event-loop
+  // dispatch, so they must never pump() (re-entrancy) — the sink
+  // refuses with false (-> kBackpressure) instead of blocking when
+  // worker queues are over their high watermark.
+  bool serve_sink(const std::string& tenant,
+                  const std::vector<server::ClientRecord>& recs,
+                  server::AppendAckMsg* ack);
+  void serve_query(const server::QueryMsg& q, server::QueryResultMsg* out);
+  std::uint64_t serve_inflight_bytes() const;
+  /// Workers ship pairs when the host wants them or the query surface
+  /// needs its recent-matches ring.
+  bool ship_pairs() const { return cfg_.collect_matches || cfg_.serve; }
+
   // Migrations.
   void start_migration(QueuedMigration q);
   void start_next_migration();
@@ -303,6 +337,23 @@ class MultiprocRouter {
 
   MultiprocStats stats_;
   std::vector<MatchPair> matches_;
+
+  // --- serving state (cfg_.serve only) ------------------------------
+  std::unique_ptr<server::FrontDoor> frontdoor_;
+  /// Stream stamps owned by the single ingest point: per-side seq and
+  /// a global arrival ts. Clients cannot forge positions.
+  std::uint64_t serve_next_seq_[2] = {0, 0};
+  std::uint64_t serve_next_ts_ = 0;
+  /// Per-worker per-key stored-tuple counts rebuilt from each completed
+  /// checkpoint snapshot — the query surface's consistent cut.
+  struct ServeSnap {
+    std::unordered_map<KeyId, std::uint64_t> counts[2];
+    std::uint64_t ckpt_id = 0;
+  };
+  std::vector<ServeSnap> serve_snap_;
+  /// Bounded ring of the newest match pairs (query "recent matches").
+  std::deque<MatchPair> serve_recent_;
+  static constexpr std::size_t kServeRecentCap = 4096;
 };
 
 /// Worker-process entry point: connect to the router at `endpoint`,

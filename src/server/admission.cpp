@@ -1,0 +1,90 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+
+namespace fastjoin::server {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(cfg), clock_(cfg.clock ? cfg.clock : &real_clock()) {}
+
+AdmissionController::Bucket& AdmissionController::bucket_for(
+    const std::string& tenant) {
+  auto [it, inserted] = buckets_.try_emplace(tenant);
+  if (inserted) {
+    // A fresh tenant starts with a full bucket: its first burst up to
+    // capacity is admitted, which is what the boundary tests pin.
+    it->second.scaled_tokens = cfg_.tenant_burst_bytes * kTokenScale;
+    it->second.last_refill = clock_->now();
+  }
+  return it->second;
+}
+
+void AdmissionController::refill(Bucket& b) {
+  const std::chrono::nanoseconds now = clock_->now();
+  if (now <= b.last_refill) return;
+  const std::uint64_t dt_ns =
+      static_cast<std::uint64_t>((now - b.last_refill).count());
+  // rate [bytes/s] * dt [ns] * scale / 1e9, ordered to keep precision
+  // without overflowing: rates are << 2^34, dt realistically << 2^40.
+  const std::uint64_t earned =
+      cfg_.tenant_rate_bytes_per_sec * kTokenScale / 1'000'000 *
+      (dt_ns / 1'000);
+  const std::uint64_t cap = cfg_.tenant_burst_bytes * kTokenScale;
+  b.scaled_tokens = std::min(cap, b.scaled_tokens + earned);
+  b.last_refill = now;
+}
+
+void AdmissionController::refund(const std::string& tenant,
+                                 std::uint64_t payload_bytes) {
+  Bucket& b = bucket_for(tenant);
+  const std::uint64_t cap = cfg_.tenant_burst_bytes * kTokenScale;
+  b.scaled_tokens =
+      std::min(cap, b.scaled_tokens + payload_bytes * kTokenScale);
+}
+
+std::uint64_t AdmissionController::tenant_tokens(const std::string& tenant) {
+  Bucket& b = bucket_for(tenant);
+  refill(b);
+  return b.scaled_tokens / kTokenScale;
+}
+
+AdmissionDecision AdmissionController::admit_append(
+    const std::string& tenant, std::uint64_t payload_bytes,
+    std::uint64_t records, std::uint64_t inflight_bytes) {
+  AdmissionDecision d;
+  if (records > cfg_.max_batch_records) {
+    d.reason = RejectReason::kBatchTooLarge;
+    d.retry_after_ms = 0;  // resize the batch, don't wait
+    return d;
+  }
+  if (inflight_bytes > cfg_.global_budget_bytes) {
+    d.reason = RejectReason::kGlobalBytes;
+    // The budget drains at fabric speed, which we can't see from here;
+    // a short fixed backoff spreads the retries without lying about a
+    // rate we don't know.
+    d.retry_after_ms = 10;
+    return d;
+  }
+  Bucket& b = bucket_for(tenant);
+  refill(b);
+  const std::uint64_t cost = payload_bytes * kTokenScale;
+  if (b.scaled_tokens >= cost) {
+    b.scaled_tokens -= cost;
+    d.admitted = true;
+    return d;
+  }
+  d.reason = RejectReason::kTenantRate;
+  const std::uint64_t deficit = cost - b.scaled_tokens;
+  const std::uint64_t rate_scaled_per_ms =
+      std::max<std::uint64_t>(1, cfg_.tenant_rate_bytes_per_sec *
+                                     kTokenScale / 1'000);
+  d.retry_after_ms = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      60'000, (deficit + rate_scaled_per_ms - 1) / rate_scaled_per_ms));
+  // A zero retry_after on a refusal would read as "retry immediately"
+  // and melt into a hot loop; the deficit was nonzero, so the wait is
+  // at least a millisecond.
+  d.retry_after_ms = std::max<std::uint32_t>(1, d.retry_after_ms);
+  return d;
+}
+
+}  // namespace fastjoin::server

@@ -1,0 +1,95 @@
+// Admission control for the serving front door: per-tenant token
+// buckets plus a global in-flight byte budget, with priority classes so
+// load shedding hits bulk ingest before reads and never touches the
+// worker fabric's own control traffic (which doesn't pass through here
+// at all — checkpoint/migration frames ride the router↔worker
+// connections directly; refusing ingest is precisely what keeps those
+// queues drainable).
+//
+// Policy, in order:
+//   1. Batch shape: more records than max_batch_records → kBatchTooLarge
+//      (retry_after 0: resize, don't wait).
+//   2. Global budget: admitted ingest bytes still queued toward the
+//      worker fabric above `global_budget_bytes` → kGlobalBytes. Queries
+//      are exempt (they are answered locally and shedding them saves
+//      nothing downstream).
+//   3. Tenant bucket: the batch's wire bytes are charged against the
+//      tenant's token bucket; an empty bucket → kTenantRate with a
+//      retry_after computed from the deficit and the refill rate.
+//
+// Every refusal is explicit — the caller frames a kRejected reply; the
+// front door never silently drops — and deterministic under an injected
+// Clock, which is how the boundary tests pin "burst exactly at capacity
+// admits; +1 rejects".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "server/protocol.hpp"
+
+namespace fastjoin::server {
+
+struct AdmissionConfig {
+  /// Steady-state refill, bytes of append payload per second.
+  std::uint64_t tenant_rate_bytes_per_sec = 4 << 20;
+  /// Bucket capacity: the largest burst a tenant can spend at once.
+  std::uint64_t tenant_burst_bytes = 1 << 20;
+  /// Ceiling on ingest bytes admitted but not yet drained downstream.
+  std::uint64_t global_budget_bytes = 16 << 20;
+  std::uint32_t max_batch_records = 8192;
+  /// Time source; nullptr = real_clock(). Tests inject a VirtualClock.
+  Clock* clock = nullptr;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  std::uint32_t retry_after_ms = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Decide one append of `payload_bytes` wire bytes and `records`
+  /// records for `tenant`, with `inflight_bytes` currently queued
+  /// toward the worker fabric. Charges the tenant's bucket only when
+  /// admitted — a rejected request costs the tenant nothing.
+  AdmissionDecision admit_append(const std::string& tenant,
+                                 std::uint64_t payload_bytes,
+                                 std::uint64_t records,
+                                 std::uint64_t inflight_bytes);
+
+  /// Return an admitted batch's tokens (capped at burst). Used when the
+  /// downstream sink refuses a batch the bucket already paid for — the
+  /// refusal becomes kBackpressure and the tenant is not billed.
+  void refund(const std::string& tenant, std::uint64_t payload_bytes);
+
+  /// Tokens currently in `tenant`'s bucket (refilled to now); a tenant
+  /// never seen before reports a full bucket.
+  std::uint64_t tenant_tokens(const std::string& tenant);
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  struct Bucket {
+    /// Token balance in fractional bytes (scaled by kTokenScale) so
+    /// slow refill rates don't round to zero between close-together
+    /// requests.
+    std::uint64_t scaled_tokens = 0;
+    std::chrono::nanoseconds last_refill{0};
+  };
+  static constexpr std::uint64_t kTokenScale = 1024;
+
+  Bucket& bucket_for(const std::string& tenant);
+  void refill(Bucket& b);
+
+  AdmissionConfig cfg_;
+  Clock* clock_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace fastjoin::server

@@ -1,0 +1,312 @@
+#include "server/frontdoor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace fastjoin::server {
+
+namespace {
+
+/// Backoff handed out when the data plane itself (not admission)
+/// refuses a batch: worker queues drain at fabric speed, a few ms away.
+constexpr std::uint32_t kBackpressureRetryMs = 5;
+
+constexpr std::uint16_t wire(ClientMsgType t) {
+  return static_cast<std::uint16_t>(t);
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(net::EventLoop& loop, FrontDoorConfig cfg)
+    : loop_(loop),
+      cfg_(std::move(cfg)),
+      clock_(cfg_.clock ? cfg_.clock : &real_clock()),
+      admission_(cfg_.admission) {}
+
+FrontDoor::~FrontDoor() {
+  stop();
+  *alive_ = false;  // disarm deferred limbo sweeps still queued on the loop
+}
+
+bool FrontDoor::start(IngestSink sink, QueryHandler query, LoadProbe load,
+                      std::string* err) {
+  sink_ = std::move(sink);
+  query_ = std::move(query);
+  load_ = std::move(load);
+  acceptor_ = std::make_unique<net::Acceptor>(
+      loop_, cfg_.endpoint,
+      [this](net::Socket peer) { on_accept(std::move(peer)); });
+  if (!acceptor_->ok()) {
+    if (err != nullptr) *err = acceptor_->error();
+    acceptor_.reset();
+    return false;
+  }
+  if (cfg_.idle_timeout.count() > 0 && cfg_.sweep_interval.count() > 0) {
+    arm_sweep();
+  }
+  return true;
+}
+
+void FrontDoor::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (sweep_timer_ != 0) {
+    loop_.cancel_timer(sweep_timer_);
+    sweep_timer_ = 0;
+  }
+  acceptor_.reset();
+  // close_conn moves entries out of conns_; snapshot the targets first.
+  std::vector<ClientConn*> open;
+  open.reserve(conns_.size());
+  for (auto& c : conns_) {
+    if (!c->dead) open.push_back(c.get());
+  }
+  for (ClientConn* c : open) close_conn(c, "front door shutdown", true);
+}
+
+void FrontDoor::arm_sweep() {
+  sweep_timer_ = loop_.add_timer(
+      std::chrono::steady_clock::now() + cfg_.sweep_interval, [this] {
+        sweep_timer_ = 0;
+        if (stopped_) return;
+        sweep_idle();
+        arm_sweep();
+      });
+}
+
+void FrontDoor::sweep_idle() {
+  const std::chrono::nanoseconds now = clock_->now();
+  const std::chrono::nanoseconds limit = cfg_.idle_timeout;
+  std::vector<ClientConn*> victims;
+  for (auto& c : conns_) {
+    if (c->dead) continue;
+    if (now - c->last_activity > limit) victims.push_back(c.get());
+  }
+  for (ClientConn* c : victims) {
+    ++stats_.idle_closed;
+    const bool stalled = c->conn->mid_frame();
+    close_conn(c,
+               stalled ? "idle timeout (stalled mid-frame)"
+                       : "idle timeout",
+               false);
+  }
+}
+
+void FrontDoor::on_accept(net::Socket peer) {
+  if (stopped_) return;
+  if (conns_.size() >= cfg_.max_connections) {
+    ++stats_.refused_capacity;
+    return;  // peer socket closes on scope exit; the refusal is the signal
+  }
+  auto cc = std::make_unique<ClientConn>();
+  ClientConn* c = cc.get();
+  net::Connection::Options opts;
+  opts.max_payload = cfg_.max_frame_payload;
+  c->conn = std::make_unique<net::Connection>(loop_, std::move(peer), opts);
+  c->last_activity = clock_->now();
+  c->conn->start(
+      [this, c](net::Frame& f) { on_frame(c, f); },
+      [this, c](const std::string& reason, bool clean) {
+        (void)reason;
+        if (c->dead) return;  // close_conn already accounted for it
+        c->dead = true;
+        if (!clean) ++stats_.protocol_errors;
+        ++stats_.closed;
+        reap(c);
+      });
+  conns_.push_back(std::move(cc));
+  ++stats_.accepted;
+}
+
+void FrontDoor::reap(ClientConn* c) {
+  // Move the slot to limbo now (the Connection may be inside one of its
+  // own callbacks) and destroy it after the dispatch pass.
+  auto it = std::find_if(
+      conns_.begin(), conns_.end(),
+      [c](const std::unique_ptr<ClientConn>& p) { return p.get() == c; });
+  if (it == conns_.end()) return;
+  limbo_.push_back(std::move(*it));
+  conns_.erase(it);
+  loop_.defer([this, alive = alive_] {
+    if (*alive) limbo_.clear();
+  });
+}
+
+void FrontDoor::close_conn(ClientConn* c, const std::string& reason,
+                           bool clean) {
+  if (c->dead) return;
+  c->dead = true;
+  ++stats_.closed;
+  c->conn->close(reason, clean);  // fires the close handler; dead guards it
+  reap(c);
+}
+
+void FrontDoor::on_frame(ClientConn* c, net::Frame& f) {
+  if (c->dead || stopped_) return;
+  c->last_activity = clock_->now();
+  switch (static_cast<ClientMsgType>(f.type)) {
+    case ClientMsgType::kClientHello:
+      handle_hello(c, f);
+      return;
+    case ClientMsgType::kAppend:
+      handle_append(c, f);
+      return;
+    case ClientMsgType::kQuery:
+      handle_query(c, f);
+      return;
+    case ClientMsgType::kClientBye:
+      close_conn(c, "client bye", true);
+      return;
+    default:
+      protocol_error(c, "unexpected client frame type " +
+                            std::to_string(f.type));
+      return;
+  }
+}
+
+void FrontDoor::handle_hello(ClientConn* c, const net::Frame& f) {
+  ClientHelloMsg m;
+  if (!decode(f.payload, m)) {
+    protocol_error(c, "bad hello");
+    return;
+  }
+  if (c->helloed) {
+    protocol_error(c, "duplicate hello");
+    return;
+  }
+  ClientHelloAckMsg ack;
+  if (m.tenant.empty() || m.proto_version != 1) {
+    // Refused, not dropped: the ack says why, the client closes. The
+    // idle sweep reaps clients that linger anyway.
+    ack.ok = 0;
+    ack.reason = static_cast<std::uint8_t>(RejectReason::kBadTenant);
+    c->conn->send(wire(ClientMsgType::kClientHelloAck), encode(ack));
+    return;
+  }
+  c->tenant = m.tenant;
+  c->helloed = true;
+  ack.ok = 1;
+  ack.max_batch_records = cfg_.admission.max_batch_records;
+  ack.rate_bytes_per_sec = cfg_.admission.tenant_rate_bytes_per_sec;
+  ack.burst_bytes = cfg_.admission.tenant_burst_bytes;
+  c->conn->send(wire(ClientMsgType::kClientHelloAck), encode(ack));
+}
+
+void FrontDoor::handle_append(ClientConn* c, const net::Frame& f) {
+  if (!c->helloed) {
+    protocol_error(c, "append before hello");
+    return;
+  }
+  AppendMsg m;
+  if (!decode(f.payload, m)) {
+    protocol_error(c, "bad append");
+    return;
+  }
+  const std::chrono::nanoseconds t0 = clock_->now();
+  TenantStats& ts = tenant_stats(c->tenant);
+  TenantMetrics& tm = tenant_metrics(c->tenant);
+  const std::uint64_t payload_bytes = f.payload.size();
+  const std::uint64_t records = m.records.size();
+  ++ts.offered_requests;
+  ts.offered_records += records;
+
+  const std::uint64_t inflight = load_ ? load_() : 0;
+  AdmissionDecision d =
+      admission_.admit_append(c->tenant, payload_bytes, records, inflight);
+  if (shedding_ != (d.reason == RejectReason::kGlobalBytes)) {
+    note_shed(!shedding_, inflight);
+  }
+
+  if (d.admitted) {
+    AppendAckMsg ack;
+    if (sink_(c->tenant, m.records, &ack)) {
+      ack.req_id = m.req_id;
+      c->conn->send(wire(ClientMsgType::kAppendAck), encode(ack));
+      ++ts.admitted_requests;
+      ts.admitted_records += records;
+      ts.admitted_bytes += payload_bytes;
+      tm.admitted->add();
+      tm.bytes->add(payload_bytes);
+      tm.ingest_ack_ns->record(
+          static_cast<double>((clock_->now() - t0).count()));
+      return;
+    }
+    // The data plane refused a batch admission already billed; undo the
+    // charge and answer with an explicit retryable refusal.
+    admission_.refund(c->tenant, payload_bytes);
+    d.admitted = false;
+    d.reason = RejectReason::kBackpressure;
+    d.retry_after_ms = kBackpressureRetryMs;
+    ++stats_.backpressure_rejects;
+  }
+
+  RejectedMsg rej;
+  rej.req_id = m.req_id;
+  rej.reason = static_cast<std::uint8_t>(d.reason);
+  rej.retry_after_ms = d.retry_after_ms;
+  c->conn->send(wire(ClientMsgType::kRejected), encode(rej));
+  ++ts.rejected_requests;
+  ts.rejected_records += records;
+  tm.rejected->add();
+  telemetry::flight_record(telemetry::FlightEvent::kServeReject,
+                           static_cast<std::uint64_t>(d.reason),
+                           d.retry_after_ms);
+}
+
+void FrontDoor::handle_query(ClientConn* c, const net::Frame& f) {
+  if (!c->helloed) {
+    protocol_error(c, "query before hello");
+    return;
+  }
+  QueryMsg q;
+  if (!decode(f.payload, q)) {
+    protocol_error(c, "bad query");
+    return;
+  }
+  const std::chrono::nanoseconds t0 = clock_->now();
+  q.max_recent = std::min(q.max_recent, cfg_.max_query_recent);
+  QueryResultMsg out;
+  out.key = q.key;
+  if (query_) query_(q, &out);
+  out.req_id = q.req_id;
+  c->conn->send(wire(ClientMsgType::kQueryResult), encode(out));
+  TenantStats& ts = tenant_stats(c->tenant);
+  ++ts.queries;
+  tenant_metrics(c->tenant)
+      .query_ns->record(static_cast<double>((clock_->now() - t0).count()));
+}
+
+void FrontDoor::protocol_error(ClientConn* c, const std::string& what) {
+  ++stats_.protocol_errors;
+  close_conn(c, what, false);
+}
+
+void FrontDoor::note_shed(bool shedding, std::uint64_t inflight) {
+  shedding_ = shedding;
+  ++stats_.shed_transitions;
+  telemetry::flight_record(telemetry::FlightEvent::kServeShed,
+                           shedding ? 1 : 0, inflight);
+}
+
+FrontDoor::TenantMetrics& FrontDoor::tenant_metrics(
+    const std::string& tenant) {
+  auto [it, inserted] = metrics_.try_emplace(tenant);
+  if (inserted) {
+    auto& reg = telemetry::MetricRegistry::global();
+    const std::string base = "server.tenant." + tenant;
+    it->second.admitted = &reg.counter(base + ".admitted_requests");
+    it->second.rejected = &reg.counter(base + ".rejected_requests");
+    it->second.bytes = &reg.counter(base + ".admitted_bytes");
+    it->second.ingest_ack_ns = &reg.histogram(base + ".ingest_ack_ns");
+    it->second.query_ns = &reg.histogram(base + ".query_ns");
+  }
+  return it->second;
+}
+
+TenantStats& FrontDoor::tenant_stats(const std::string& tenant) {
+  return stats_.tenants[tenant];
+}
+
+}  // namespace fastjoin::server

@@ -1,0 +1,194 @@
+// FrontDoor: the serving surface of the router process.
+//
+// One net::Acceptor plus per-client net::Connections on the SAME event
+// loop that drives the worker fabric — a third fd family next to worker
+// conns and lifecycle timers, not a second thread. Everything here is
+// therefore loop-thread-only and lock-free by construction.
+//
+// The front door owns protocol and policy; it does not know how records
+// become joins. The host (MultiprocRouter, or a test harness) plugs in
+// three callbacks:
+//   * IngestSink     — an admitted batch of ClientRecords; returns false
+//                      when the data plane cannot take them right now
+//                      (worker conns unwritable), which the front door
+//                      surfaces as an explicit kBackpressure rejection.
+//                      The sink MUST NOT pump the event loop: it runs
+//                      inside a dispatch callback.
+//   * QueryHandler   — answers a per-key read from snapshot state;
+//                      non-blocking, never touches the data plane.
+//   * LoadProbe      — bytes admitted but not yet drained toward the
+//                      workers; input to the global budget check.
+//
+// Per request: hello authenticates a tenant (by assertion — the fabric
+// binds loopback; see docs/architecture.md), appends pass through
+// AdmissionController and are either acked with assigned offsets or
+// refused with an explicit kRejected{retry_after} frame (never a silent
+// drop), queries bypass the tenant bucket and the global budget
+// (shedding a locally-answered read saves nothing downstream). A
+// periodic sweep closes connections idle past idle_timeout, which is
+// what bounds a slowloris client trickling one byte per frame header.
+//
+// SLO telemetry lands in MetricRegistry::global() under "server.*"
+// (per-tenant admitted/rejected/bytes counters, ingest→ack and query
+// latency histograms) and in a loop-thread FrontDoorStats the tests
+// read directly; reject and shed transitions hit the flight recorder.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "server/admission.hpp"
+#include "server/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fastjoin::server {
+
+struct FrontDoorConfig {
+  /// Listen endpoint. kTcp port 0 picks an ephemeral port; the bound
+  /// port is readable via FrontDoor::endpoint() after start().
+  net::Endpoint endpoint;
+  AdmissionConfig admission;
+  /// Frame-size ceiling for client connections — far below the fabric
+  /// default: one append is at most max_batch_records small records.
+  std::uint32_t max_frame_payload = 8u << 20;
+  std::size_t max_connections = 256;
+  /// A connection with no complete frame for this long is closed by the
+  /// sweep (slowloris bound). Zero disables the sweep entirely.
+  std::chrono::milliseconds idle_timeout{10'000};
+  std::chrono::milliseconds sweep_interval{500};
+  /// Cap on recent matches a query may request.
+  std::uint32_t max_query_recent = 256;
+  /// Time source for idle tracking and latency stamps; nullptr =
+  /// real_clock(). The admission controller uses admission.clock.
+  Clock* clock = nullptr;
+};
+
+/// Loop-thread-only accounting the acceptance tests assert on:
+/// offered == admitted + rejected per tenant, exactly.
+struct TenantStats {
+  std::uint64_t offered_requests = 0;
+  std::uint64_t admitted_requests = 0;
+  std::uint64_t rejected_requests = 0;
+  std::uint64_t offered_records = 0;
+  std::uint64_t admitted_records = 0;
+  std::uint64_t rejected_records = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t queries = 0;
+};
+
+struct FrontDoorStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t idle_closed = 0;        ///< closed by the idle sweep
+  std::uint64_t refused_capacity = 0;   ///< accept() past max_connections
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t backpressure_rejects = 0;
+  std::uint64_t shed_transitions = 0;   ///< global-budget state flips
+  std::map<std::string, TenantStats> tenants;
+};
+
+class FrontDoor {
+ public:
+  /// Admitted batch for `tenant`. Fill ack (first_offset/appended/
+  /// parked); return false to refuse on downstream backpressure.
+  using IngestSink = std::function<bool(
+      const std::string& tenant, const std::vector<ClientRecord>& records,
+      AppendAckMsg* ack)>;
+  /// Answer a key read from snapshot state; fill everything but req_id.
+  using QueryHandler =
+      std::function<void(const QueryMsg& q, QueryResultMsg* out)>;
+  /// Ingest bytes admitted but not yet drained downstream.
+  using LoadProbe = std::function<std::uint64_t()>;
+
+  FrontDoor(net::EventLoop& loop, FrontDoorConfig cfg);
+  ~FrontDoor();
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Bind, listen, and arm the idle sweep. False (with *err) on bind
+  /// failure. Callbacks must outlive the front door.
+  bool start(IngestSink sink, QueryHandler query, LoadProbe load,
+             std::string* err);
+
+  /// Close every client connection and stop accepting. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  /// Listen endpoint with the real bound port (valid after start()).
+  const net::Endpoint& endpoint() const { return cfg_.endpoint; }
+
+  const FrontDoorStats& stats() const { return stats_; }
+  std::size_t open_connections() const { return conns_.size(); }
+  AdmissionController& admission() { return admission_; }
+
+  /// Close connections idle past idle_timeout. Normally driven by the
+  /// sweep timer; public so tests with a VirtualClock can trigger it
+  /// deterministically.
+  void sweep_idle();
+
+ private:
+  struct ClientConn {
+    std::unique_ptr<net::Connection> conn;
+    std::string tenant;
+    bool helloed = false;
+    bool dead = false;  ///< close begun; ignore further frames
+    std::chrono::nanoseconds last_activity{0};
+  };
+
+  /// Cached MetricRegistry handles, resolved once per tenant.
+  struct TenantMetrics {
+    telemetry::Counter* admitted = nullptr;
+    telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* bytes = nullptr;
+    telemetry::ConcurrentHistogram* ingest_ack_ns = nullptr;
+    telemetry::ConcurrentHistogram* query_ns = nullptr;
+  };
+
+  void on_accept(net::Socket peer);
+  /// Move c's slot from conns_ to limbo_ and schedule its destruction
+  /// after the current dispatch pass.
+  void reap(ClientConn* c);
+  void on_frame(ClientConn* c, net::Frame& f);
+  void handle_hello(ClientConn* c, const net::Frame& f);
+  void handle_append(ClientConn* c, const net::Frame& f);
+  void handle_query(ClientConn* c, const net::Frame& f);
+  void protocol_error(ClientConn* c, const std::string& what);
+  /// Close now; the ClientConn slot is reaped via loop_.defer.
+  void close_conn(ClientConn* c, const std::string& reason, bool clean);
+  void note_shed(bool shedding, std::uint64_t inflight);
+  void arm_sweep();
+  TenantMetrics& tenant_metrics(const std::string& tenant);
+  TenantStats& tenant_stats(const std::string& tenant);
+
+  net::EventLoop& loop_;
+  FrontDoorConfig cfg_;
+  Clock* clock_;
+  AdmissionController admission_;
+  IngestSink sink_;
+  QueryHandler query_;
+  LoadProbe load_;
+  std::unique_ptr<net::Acceptor> acceptor_;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+  /// Closed connections awaiting deferred destruction (a Connection may
+  /// be inside its own callback when it closes).
+  std::vector<std::unique_ptr<ClientConn>> limbo_;
+  /// Deferred limbo sweeps capture this flag by value so a sweep firing
+  /// after the front door is destroyed becomes a no-op, not a UAF.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  FrontDoorStats stats_;
+  std::map<std::string, TenantMetrics> metrics_;
+  net::EventLoop::TimerId sweep_timer_ = 0;
+  bool shedding_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace fastjoin::server

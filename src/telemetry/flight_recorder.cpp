@@ -43,6 +43,8 @@ const char* flight_event_name(FlightEvent ev) {
     case FlightEvent::kIngestBackpressure: return "ingest_backpressure";
     case FlightEvent::kIngestTruncate: return "ingest_truncate";
     case FlightEvent::kIngestReplayRead: return "ingest_replay_read";
+    case FlightEvent::kServeReject: return "serve_reject";
+    case FlightEvent::kServeShed: return "serve_shed";
   }
   return "?";
 }

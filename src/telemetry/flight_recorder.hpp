@@ -51,6 +51,11 @@ enum class FlightEvent : std::uint16_t {
   kIngestBackpressure, ///< a=partition
   kIngestTruncate,   ///< a=partition, b=records retired
   kIngestReplayRead, ///< a=partition, b=records read
+  // --- serving front door --------------------------------------------
+  kServeReject,      ///< a=reject reason (server::RejectReason),
+                     ///< b=retry_after_ms
+  kServeShed,        ///< global-budget shed state flip; a=1 entering
+                     ///< shed, 0 leaving, b=inflight bytes at the flip
 };
 
 const char* flight_event_name(FlightEvent ev);

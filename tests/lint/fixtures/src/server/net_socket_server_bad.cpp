@@ -1,0 +1,11 @@
+// Serving-layer fixture: raw sockets must not appear under src/server/.
+#include <sys/socket.h>
+#include <poll.h>
+
+int serve_accept(int lfd) {
+  int fd = ::accept(lfd, nullptr, nullptr);
+  struct pollfd pfd{fd, 1, 0};
+  int r = ::poll(&pfd, 1, 0);
+  int ep = epoll_create1(0);
+  return fd + r + ep;
+}

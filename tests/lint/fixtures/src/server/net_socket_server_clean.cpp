@@ -1,0 +1,7 @@
+// Serving-layer fixture: the clean shape -- everything through src/net.
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+
+namespace fastjoin::server {
+int pump(net::EventLoop& loop) { return loop.run_once(0); }
+}  // namespace fastjoin::server

@@ -1,0 +1,5 @@
+// FASTJOIN_NET_FILE -- invalid claim: the serving layer never gets the
+// raw-socket exemption; it rides on src/net by design.
+#include <sys/socket.h>
+
+int open_raw() { return ::socket(2, 1, 0); }

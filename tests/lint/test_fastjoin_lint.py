@@ -104,6 +104,27 @@ def main():
     expect("net_socket_tagged.cpp", "net-socket", 0)
     expect("net_socket_allowed.cpp", "net-socket", 0)
 
+    # --- net-socket in src/server/ (serving layer) ------------------
+    # Fixtures live under fixtures/src/server/ so the linter's
+    # path-containment check sees them as serving-layer files.
+    expect("src/server/net_socket_server_bad.cpp", "net-socket", 5,
+           exact_lines=[2, 3, 6, 8, 9])
+    _, sf, _ = run_lint(fixture("src/server/net_socket_server_bad.cpp"))
+    check("server fixture: findings carry the serving-layer hint",
+          all("serving front door" in f["message"] for f in sf),
+          json.dumps(sf, indent=2))
+    # The FASTJOIN_NET_FILE tag is reserved for src/net/ itself — a
+    # serving-layer file claiming it is a finding, not an exemption.
+    expect("src/server/net_socket_server_tagged.cpp", "net-socket", 1,
+           exact_lines=[1])
+    _, tf, _ = run_lint(
+        fixture("src/server/net_socket_server_tagged.cpp"))
+    check("server tag abuse: message names the serving layer",
+          all("serving layer rides on src/net" in f["message"]
+              for f in tf),
+          json.dumps(tf, indent=2))
+    expect("src/server/net_socket_server_clean.cpp", "net-socket", 0)
+
     # --- atomic-padding ---------------------------------------------
     expect("atomic_padding_bad.cpp", "atomic-padding", 2,
            exact_lines=[11, 16])

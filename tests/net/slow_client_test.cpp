@@ -1,0 +1,189 @@
+// Slow and abusive clients at the transport layer: the incremental
+// decoder's mid-frame tracking (what the serving idle sweep uses to
+// tell a slowloris from a quiet peer), a one-byte-per-write client
+// that must still decode into exactly one frame, and an oversized
+// declared length tearing the connection down instead of buffering.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace fastjoin::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string temp_sock_path(const char* tag) {
+  return "/tmp/fastjoin-slow-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(FrameDecoder, MidFrameTracksPartialInput) {
+  const std::vector<std::byte> payload(100, std::byte{0x42});
+  const auto buf = encode_frame(7, payload);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_FALSE(dec.mid_frame()) << "fresh decoder has nothing buffered";
+  // Feed everything but the last byte, one byte at a time: the decoder
+  // is mid-frame the whole way and emits nothing.
+  for (std::size_t i = 0; i + 1 < buf.size(); ++i) {
+    ASSERT_TRUE(dec.feed(&buf[i], 1, out));
+    EXPECT_TRUE(dec.mid_frame()) << "byte " << i;
+    EXPECT_TRUE(out.empty()) << "byte " << i;
+  }
+  // The final byte completes the frame and clears the buffer.
+  ASSERT_TRUE(dec.feed(&buf[buf.size() - 1], 1, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, 7);
+  EXPECT_EQ(out[0].payload, payload);
+  EXPECT_FALSE(dec.mid_frame());
+  EXPECT_EQ(dec.frames_decoded(), 1u);
+}
+
+TEST(FrameDecoder, TornHeaderAtEofIsMidFrame) {
+  const auto buf = encode_frame(3, std::vector<std::byte>(32));
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  // Five bytes of header, then EOF: mid_frame is the tear detector.
+  ASSERT_TRUE(dec.feed(buf.data(), 5, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(dec.mid_frame());
+  EXPECT_FALSE(dec.broken());
+}
+
+// A drip-feeding client against the nonblocking Connection stack: the
+// server must observe mid_frame() while the drip is in flight, then
+// decode exactly one intact frame once the last byte lands.
+TEST(Connection, OneBytePerWriteClientDecodesOnce) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = temp_sock_path("drip");
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<Frame> got;
+  Acceptor acceptor(loop, ep, [&](Socket peer) {
+    auto conn = std::make_unique<Connection>(loop, std::move(peer),
+                                             Connection::Options{});
+    Connection* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->start([&got](Frame& f) { got.push_back(std::move(f)); },
+               [](const std::string&, bool) {});
+  });
+  ASSERT_TRUE(acceptor.ok()) << acceptor.error();
+
+  const std::vector<std::byte> payload(64, std::byte{0x5C});
+  const auto buf = encode_frame(11, payload);
+  std::atomic<bool> half_sent{false};
+  std::atomic<bool> proceed{false};
+  std::atomic<bool> client_ok{true};
+  std::thread client([&] {
+    std::string err;
+    Socket s = connect_with_retry(ep, 5'000ms, &err);
+    if (!s.valid()) {
+      client_ok = false;
+      half_sent = true;
+      return;
+    }
+    // First half, one byte per write() call...
+    for (std::size_t i = 0; i < buf.size() / 2; ++i) {
+      if (!send_all(s, &buf[i], 1)) client_ok = false;
+    }
+    half_sent = true;
+    // ...hold until the server has seen the stall, then finish.
+    while (!proceed.load()) std::this_thread::sleep_for(1ms);
+    for (std::size_t i = buf.size() / 2; i < buf.size(); ++i) {
+      if (!send_all(s, &buf[i], 1)) client_ok = false;
+    }
+  });
+
+  // Pump until the half-frame is buffered server-side: mid_frame()
+  // must be visible — this is the slowloris signature.
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  bool saw_mid_frame = false;
+  while (!saw_mid_frame && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(2ms);
+    saw_mid_frame =
+        half_sent.load() && !conns.empty() && conns[0]->mid_frame();
+  }
+  ASSERT_TRUE(saw_mid_frame);
+  EXPECT_TRUE(got.empty()) << "no frame may be delivered mid-drip";
+  proceed = true;
+  while (got.empty() && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(2ms);
+  }
+  client.join();
+  EXPECT_TRUE(client_ok.load());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, 11);
+  EXPECT_EQ(got[0].payload, payload);
+  EXPECT_FALSE(conns[0]->mid_frame()) << "buffer must drain at the boundary";
+  ::unlink(ep.path.c_str());
+}
+
+// A declared length over the connection's max_payload is an abusive
+// header, not a buffering request: the connection is torn down
+// unclean before any payload byte is read.
+TEST(Connection, OversizedDeclaredLengthTearsConnection) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = temp_sock_path("huge");
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::atomic<int> closes{0};
+  bool close_was_clean = true;
+  int frames = 0;
+  Acceptor acceptor(loop, ep, [&](Socket peer) {
+    Connection::Options opts;
+    opts.max_payload = 1024;  // serving-style tight ceiling
+    auto conn =
+        std::make_unique<Connection>(loop, std::move(peer), opts);
+    Connection* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->start([&frames](Frame&) { ++frames; },
+               [&](const std::string&, bool clean) {
+                 close_was_clean = clean;
+                 closes.fetch_add(1);
+               });
+  });
+  ASSERT_TRUE(acceptor.ok()) << acceptor.error();
+
+  std::atomic<bool> client_saw_eof{false};
+  std::thread client([&] {
+    std::string err;
+    Socket s = connect_with_retry(ep, 5'000ms, &err);
+    ASSERT_TRUE(s.valid()) << err;
+    // 1 MiB declared where 1 KiB is allowed.
+    const auto buf = encode_frame(5, std::vector<std::byte>(1u << 20));
+    send_all(s, buf.data(), buf.size());  // may fail midway: server resets
+    std::byte b;
+    const IoResult r = read_some(s, &b, 1);
+    client_saw_eof = r.eof || !r.ok();
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  while (closes.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(2ms);
+  }
+  client.join();
+  ASSERT_EQ(closes.load(), 1);
+  EXPECT_FALSE(close_was_clean);
+  EXPECT_TRUE(client_saw_eof.load()) << "client must see the teardown";
+  EXPECT_EQ(frames, 0) << "the oversized frame must never be delivered";
+  ::unlink(ep.path.c_str());
+}
+
+}  // namespace
+}  // namespace fastjoin::net

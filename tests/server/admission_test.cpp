@@ -1,0 +1,155 @@
+// Admission-control policy under virtual time: the rate-limit boundary
+// ("burst exactly at capacity admits; one more record rejects with a
+// retry_after"), deficit-derived retry hints, refill, the global
+// in-flight budget, batch-shape refusal, and the backpressure refund.
+//
+// The rate is 15625 B/s on purpose: 15625 * kTokenScale(1024) is an
+// exact multiple of 1e6, so the per-microsecond refill increment has no
+// truncation and every admit/reject below is byte-exact, not "close".
+#include "server/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/clock.hpp"
+#include "server/protocol.hpp"
+
+namespace fastjoin::server {
+namespace {
+
+AdmissionConfig base_cfg(VirtualClock* clk) {
+  AdmissionConfig cfg;
+  cfg.tenant_rate_bytes_per_sec = 15'625;  // 16 scaled tokens per us, exact
+  cfg.tenant_burst_bytes = 10'000;
+  cfg.global_budget_bytes = 1 << 20;
+  cfg.max_batch_records = 100;
+  cfg.clock = clk;
+  return cfg;
+}
+
+TEST(Admission, BurstExactlyAtCapacityAdmitsPlusOneRejects) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  // A fresh tenant's first burst spends the whole bucket in one batch.
+  AdmissionDecision d = ac.admit_append("t", 10'000, 10, 0);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(ac.tenant_tokens("t"), 0u);
+  // One byte more does not fit; the refusal names the bucket and a
+  // nonzero wait (1 byte deficit at 15625 B/s rounds up to 1 ms).
+  d = ac.admit_append("t", 1, 1, 0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, RejectReason::kTenantRate);
+  EXPECT_EQ(d.retry_after_ms, 1u);
+}
+
+TEST(Admission, WireExactBoundary) {
+  // The same boundary expressed in wire bytes: capacity is exactly one
+  // encoded 64-record append, as the front door will actually bill it.
+  VirtualClock clk;
+  AdmissionConfig cfg = base_cfg(&clk);
+  cfg.tenant_burst_bytes = append_payload_bytes(64);
+  AdmissionController ac(cfg);
+  AppendMsg m;
+  m.records.resize(64);
+  const auto wire = encode(m);
+  ASSERT_EQ(wire.size(), append_payload_bytes(64));
+  EXPECT_TRUE(ac.admit_append("t", wire.size(), 64, 0).admitted);
+  AdmissionDecision d = ac.admit_append("t", append_payload_bytes(1), 1, 0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, RejectReason::kTenantRate);
+  EXPECT_GE(d.retry_after_ms, 1u);
+}
+
+TEST(Admission, RejectionBillsNothing) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  // Over-capacity single batch: refused with the deficit's wait...
+  AdmissionDecision d = ac.admit_append("t", 10'001, 10, 0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, RejectReason::kTenantRate);
+  EXPECT_EQ(d.retry_after_ms, 1u);  // 1 byte deficit
+  // ...and the refusal cost the tenant nothing: the full burst still
+  // admits immediately afterwards.
+  EXPECT_EQ(ac.tenant_tokens("t"), 10'000u);
+  EXPECT_TRUE(ac.admit_append("t", 10'000, 10, 0).admitted);
+}
+
+TEST(Admission, RetryAfterIsSufficientToReadmit) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  ASSERT_TRUE(ac.admit_append("t", 10'000, 10, 0).admitted);
+  AdmissionDecision d = ac.admit_append("t", 500, 1, 0);
+  ASSERT_FALSE(d.admitted);
+  // 500-byte deficit at 15625 B/s = 32 ms exactly.
+  EXPECT_EQ(d.retry_after_ms, 32u);
+  // One millisecond short: still refused.
+  clk.advance(std::chrono::milliseconds(d.retry_after_ms - 1));
+  EXPECT_FALSE(ac.admit_append("t", 500, 1, 0).admitted);
+  // The promised wait elapsed: admitted.
+  clk.advance(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ac.admit_append("t", 500, 1, 0).admitted);
+}
+
+TEST(Admission, RefillCapsAtBurst) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  ASSERT_TRUE(ac.admit_append("t", 10'000, 10, 0).admitted);
+  clk.advance(std::chrono::hours(1));  // far past full refill
+  EXPECT_EQ(ac.tenant_tokens("t"), 10'000u);
+}
+
+TEST(Admission, GlobalBudgetShedsBeforeTenantBucket) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  AdmissionDecision d =
+      ac.admit_append("t", 100, 1, (1 << 20) + 1 /* inflight */);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, RejectReason::kGlobalBytes);
+  EXPECT_GT(d.retry_after_ms, 0u);
+  // The shed did not touch the bucket.
+  EXPECT_EQ(ac.tenant_tokens("t"), 10'000u);
+}
+
+TEST(Admission, BatchTooLargeSaysResizeNotWait) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  AdmissionDecision d = ac.admit_append("t", 100, 101, 0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, RejectReason::kBatchTooLarge);
+  EXPECT_EQ(d.retry_after_ms, 0u);  // a smaller batch, not a wait
+}
+
+TEST(Admission, RefundRestoresTokensCappedAtBurst) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  ASSERT_TRUE(ac.admit_append("t", 6'000, 10, 0).admitted);
+  EXPECT_EQ(ac.tenant_tokens("t"), 4'000u);
+  // The sink refused the batch downstream: the charge is undone.
+  ac.refund("t", 6'000);
+  EXPECT_EQ(ac.tenant_tokens("t"), 10'000u);
+  // A stray double-refund cannot mint tokens past capacity.
+  ac.refund("t", 6'000);
+  EXPECT_EQ(ac.tenant_tokens("t"), 10'000u);
+}
+
+TEST(Admission, TenantsAreIsolated) {
+  VirtualClock clk;
+  AdmissionController ac(base_cfg(&clk));
+  ASSERT_TRUE(ac.admit_append("noisy", 10'000, 10, 0).admitted);
+  EXPECT_FALSE(ac.admit_append("noisy", 10'000, 10, 0).admitted);
+  // The noisy tenant's empty bucket is invisible to the quiet one.
+  EXPECT_TRUE(ac.admit_append("quiet", 10'000, 10, 0).admitted);
+}
+
+TEST(Admission, AppendPayloadBytesMatchesEncoder) {
+  // The cost model the boundary tests rely on is the real wire size.
+  for (std::size_t n : {0u, 1u, 7u, 256u}) {
+    AppendMsg m;
+    m.records.resize(n);
+    EXPECT_EQ(encode(m).size(), append_payload_bytes(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace fastjoin::server

@@ -1,0 +1,352 @@
+// Load-generating client for the serving front door.
+//
+// Speaks the src/server/ client protocol over a blocking FrameConn:
+// hello as a tenant, stream appends in fixed-size batches
+// (request-response, so every ack latency is measurable), optionally
+// issue per-key queries at the end, say goodbye, report JSON.
+//
+//   fastjoin_client --connect tcp:7641 --tenant t1 --records 100000
+//   fastjoin_client --port-file ep.txt --tenant abusive --abusive
+//
+// A well-behaved client sleeps out every kRejected{retry_after_ms}
+// before retrying the same batch; --abusive ignores the hint and
+// immediately re-offers, which is how the serving-smoke CI job
+// provokes a nonzero reject count without ever being silently
+// dropped. Every offered request is accounted: admitted + rejected ==
+// offered, always.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/keygen.hpp"
+#include "net/connection.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+using namespace fastjoin;
+
+struct Options {
+  std::string connect;      ///< "tcp:7641" / "unix:/path"
+  std::string port_file;    ///< read the endpoint from this file instead
+  std::string tenant = "default";
+  std::uint64_t records = 100'000;
+  std::uint32_t batch = 256;
+  std::uint64_t keys = 10'000;
+  double zipf = 1.1;
+  std::uint64_t seed = 42;
+  std::uint64_t queries = 0;  ///< per-key queries issued after ingest
+  /// Ignore retry_after and immediately re-offer rejected batches (up
+  /// to --max-attempts per batch, so an abusive run still terminates).
+  bool abusive = false;
+  std::uint32_t max_attempts = 50;
+  std::uint64_t connect_timeout_ms = 10'000;
+};
+
+bool parse_args(int argc, char** argv, Options& o) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--connect" && (v = need(i))) {
+      o.connect = v;
+    } else if (a == "--port-file" && (v = need(i))) {
+      o.port_file = v;
+    } else if (a == "--tenant" && (v = need(i))) {
+      o.tenant = v;
+    } else if (a == "--records" && (v = need(i))) {
+      o.records = std::strtoull(v, nullptr, 10);
+    } else if (a == "--batch" && (v = need(i))) {
+      o.batch = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--keys" && (v = need(i))) {
+      o.keys = std::strtoull(v, nullptr, 10);
+    } else if (a == "--zipf" && (v = need(i))) {
+      o.zipf = std::strtod(v, nullptr);
+    } else if (a == "--seed" && (v = need(i))) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--queries" && (v = need(i))) {
+      o.queries = std::strtoull(v, nullptr, 10);
+    } else if (a == "--abusive") {
+      o.abusive = true;
+    } else if (a == "--max-attempts" && (v = need(i))) {
+      o.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--connect-timeout-ms" && (v = need(i))) {
+      o.connect_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return (!o.connect.empty() || !o.port_file.empty()) && o.batch > 0 &&
+         o.records > 0 && o.max_attempts > 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fastjoin_client (--connect EP | --port-file PATH)\n"
+      "           [--tenant NAME] [--records N] [--batch N] [--keys N]\n"
+      "           [--zipf S] [--seed X] [--queries N] [--abusive]\n"
+      "           [--max-attempts N] [--connect-timeout-ms N]\n");
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse_args(argc, argv, o)) {
+    usage();
+    return 64;
+  }
+
+  std::string ep_str = o.connect;
+  if (ep_str.empty()) {
+    // The router writes its resolved endpoint here (tcp:0 mode); wait
+    // for the file to appear within the connect timeout.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(o.connect_timeout_ms);
+    for (;;) {
+      std::ifstream f(o.port_file);
+      if (f && std::getline(f, ep_str) && !ep_str.empty()) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "fastjoin_client: no endpoint in %s\n",
+                     o.port_file.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  net::Endpoint ep;
+  if (!net::Endpoint::parse(ep_str, ep)) {
+    std::fprintf(stderr, "fastjoin_client: bad endpoint %s\n",
+                 ep_str.c_str());
+    return 64;
+  }
+
+  std::string err;
+  net::FrameConn conn = net::FrameConn::connect(
+      ep, std::chrono::milliseconds(o.connect_timeout_ms), &err);
+  if (!conn.valid()) {
+    std::fprintf(stderr, "fastjoin_client: connect failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  auto send = [&](server::ClientMsgType t,
+                  const std::vector<std::byte>& payload) {
+    return conn.write_frame(static_cast<std::uint16_t>(t), payload);
+  };
+  net::Frame reply;
+
+  server::ClientHelloMsg hello;
+  hello.tenant = o.tenant;
+  if (!send(server::ClientMsgType::kClientHello, encode(hello)) ||
+      !conn.read_frame(reply)) {
+    std::fprintf(stderr, "fastjoin_client: hello failed: %s\n",
+                 conn.error().c_str());
+    return 1;
+  }
+  server::ClientHelloAckMsg hack;
+  if (static_cast<server::ClientMsgType>(reply.type) !=
+          server::ClientMsgType::kClientHelloAck ||
+      !decode(reply.payload, hack) || hack.ok == 0) {
+    std::fprintf(stderr, "fastjoin_client: hello refused\n");
+    return 1;
+  }
+
+  KeyStreamSpec spec;
+  spec.num_keys = o.keys;
+  spec.zipf_s = o.zipf;
+  spec.seed = o.seed;
+  KeyGenerator gen(spec);
+
+  std::uint64_t offered_requests = 0, admitted_requests = 0;
+  std::uint64_t rejected_requests = 0;
+  std::uint64_t offered_records = 0, admitted_records = 0;
+  std::uint64_t rejected_records = 0, parked_records = 0;
+  std::uint64_t dropped_batches = 0;  ///< gave up after max_attempts
+  std::uint64_t retry_sleep_ms = 0;
+  std::uint64_t reject_by_reason[8] = {};
+  std::vector<double> ack_us;
+  ack_us.reserve(o.records / o.batch + 1);
+
+  std::uint64_t next_req = 1;
+  std::uint64_t produced = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (produced < o.records) {
+    server::AppendMsg msg;
+    msg.req_id = next_req++;
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(o.batch, o.records - produced));
+    msg.records.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      server::ClientRecord cr;
+      cr.side = ((produced + i) & 1) ? Side::kS : Side::kR;
+      cr.key = gen();
+      cr.payload = produced + i;
+      msg.records.push_back(cr);
+    }
+    const std::vector<std::byte> payload = encode(msg);
+
+    bool delivered = false;
+    for (std::uint32_t attempt = 0; attempt < o.max_attempts; ++attempt) {
+      ++offered_requests;
+      offered_records += n;
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!send(server::ClientMsgType::kAppend, payload) ||
+          !conn.read_frame(reply)) {
+        std::fprintf(stderr, "fastjoin_client: append failed: %s\n",
+                     conn.error().c_str());
+        return 1;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      if (static_cast<server::ClientMsgType>(reply.type) ==
+          server::ClientMsgType::kAppendAck) {
+        server::AppendAckMsg ack;
+        if (!decode(reply.payload, ack) || ack.req_id != msg.req_id) {
+          std::fprintf(stderr, "fastjoin_client: bad append ack\n");
+          return 1;
+        }
+        ++admitted_requests;
+        admitted_records += ack.appended + ack.parked;
+        parked_records += ack.parked;
+        ack_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        delivered = true;
+        break;
+      }
+      if (static_cast<server::ClientMsgType>(reply.type) !=
+          server::ClientMsgType::kRejected) {
+        std::fprintf(stderr, "fastjoin_client: unexpected reply %u\n",
+                     reply.type);
+        return 1;
+      }
+      server::RejectedMsg rej;
+      if (!decode(reply.payload, rej) || rej.req_id != msg.req_id) {
+        std::fprintf(stderr, "fastjoin_client: bad reject\n");
+        return 1;
+      }
+      ++rejected_requests;
+      rejected_records += n;
+      if (rej.reason < 8) ++reject_by_reason[rej.reason];
+      if (!o.abusive && rej.retry_after_ms > 0) {
+        retry_sleep_ms += rej.retry_after_ms;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rej.retry_after_ms));
+      }
+    }
+    if (!delivered) ++dropped_batches;
+    produced += n;
+  }
+
+  std::uint64_t query_matches = 0;
+  std::vector<double> query_us;
+  for (std::uint64_t i = 0; i < o.queries; ++i) {
+    server::QueryMsg q;
+    q.req_id = next_req++;
+    q.key = gen();
+    q.max_recent = 16;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!send(server::ClientMsgType::kQuery, encode(q)) ||
+        !conn.read_frame(reply)) {
+      std::fprintf(stderr, "fastjoin_client: query failed: %s\n",
+                   conn.error().c_str());
+      return 1;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    server::QueryResultMsg res;
+    if (static_cast<server::ClientMsgType>(reply.type) !=
+            server::ClientMsgType::kQueryResult ||
+        !decode(reply.payload, res) || res.req_id != q.req_id) {
+      std::fprintf(stderr, "fastjoin_client: bad query result\n");
+      return 1;
+    }
+    query_matches += res.recent.size();
+    query_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  send(server::ClientMsgType::kClientBye, {});
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::sort(ack_us.begin(), ack_us.end());
+  std::sort(query_us.begin(), query_us.end());
+  std::printf(
+      "{\n"
+      "  \"tenant\": \"%s\",\n"
+      "  \"offered_requests\": %llu,\n"
+      "  \"admitted_requests\": %llu,\n"
+      "  \"rejected_requests\": %llu,\n"
+      "  \"offered_records\": %llu,\n"
+      "  \"admitted_records\": %llu,\n"
+      "  \"rejected_records\": %llu,\n"
+      "  \"parked_records\": %llu,\n"
+      "  \"dropped_batches\": %llu,\n"
+      "  \"rejects_by_reason\": {\"tenant_rate\": %llu, "
+      "\"global_bytes\": %llu, \"batch_too_large\": %llu, "
+      "\"backpressure\": %llu},\n"
+      "  \"retry_sleep_ms\": %llu,\n"
+      "  \"queries\": %llu,\n"
+      "  \"query_recent_matches\": %llu,\n"
+      "  \"ack_p50_us\": %.1f,\n"
+      "  \"ack_p999_us\": %.1f,\n"
+      "  \"query_p50_us\": %.1f,\n"
+      "  \"query_p999_us\": %.1f,\n"
+      "  \"admitted_records_per_sec\": %.0f,\n"
+      "  \"wall_seconds\": %.3f\n"
+      "}\n",
+      o.tenant.c_str(), static_cast<unsigned long long>(offered_requests),
+      static_cast<unsigned long long>(admitted_requests),
+      static_cast<unsigned long long>(rejected_requests),
+      static_cast<unsigned long long>(offered_records),
+      static_cast<unsigned long long>(admitted_records),
+      static_cast<unsigned long long>(rejected_records),
+      static_cast<unsigned long long>(parked_records),
+      static_cast<unsigned long long>(dropped_batches),
+      static_cast<unsigned long long>(
+          reject_by_reason[static_cast<int>(
+              server::RejectReason::kTenantRate)]),
+      static_cast<unsigned long long>(
+          reject_by_reason[static_cast<int>(
+              server::RejectReason::kGlobalBytes)]),
+      static_cast<unsigned long long>(
+          reject_by_reason[static_cast<int>(
+              server::RejectReason::kBatchTooLarge)]),
+      static_cast<unsigned long long>(
+          reject_by_reason[static_cast<int>(
+              server::RejectReason::kBackpressure)]),
+      static_cast<unsigned long long>(retry_sleep_ms),
+      static_cast<unsigned long long>(o.queries),
+      static_cast<unsigned long long>(query_matches),
+      percentile(ack_us, 0.50), percentile(ack_us, 0.999),
+      percentile(query_us, 0.50), percentile(query_us, 0.999),
+      wall_s > 0 ? static_cast<double>(admitted_records) / wall_s : 0.0,
+      wall_s);
+
+  // Accounting invariant the smoke job leans on.
+  if (admitted_requests + rejected_requests != offered_requests) {
+    std::fprintf(stderr, "fastjoin_client: accounting violation\n");
+    return 3;
+  }
+  return 0;
+}

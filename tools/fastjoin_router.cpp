@@ -9,17 +9,34 @@
 //   fastjoin_router --workers 4 --migrate-hot 8        # live migration
 //   fastjoin_router --workers 2 --endpoint tcp:0       # TCP transport
 //
+// Serving mode replaces the built-in generator with the client front
+// door (src/server/): external fastjoin_client processes ingest
+// tenant-authenticated batches and read per-key snapshot state; the
+// router exits once every client has come and gone:
+//
+//   fastjoin_router --workers 2 --serve tcp:0 --serve-port-file ep.txt
+//   fastjoin_router --workers 2 --serve tcp:7641 --verify-inproc
+//
+// --verify-inproc replays the router's own StreamLog through the
+// in-process engine after the fact and exits nonzero unless the two
+// planes' match-pair sets are byte-identical.
+//
 // The worker binary defaults to the sibling `fastjoin_worker` next to
 // this executable; override with --worker-bin.
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "datagen/keygen.hpp"
+#include "runtime/live_engine.hpp"
 #include "runtime/multiproc.hpp"
 
 namespace {
@@ -42,6 +59,23 @@ struct Options {
   std::uint64_t kill_after = 0;
   /// Migrate the K hottest R-side keys away from their owners halfway.
   std::uint64_t migrate_hot = 0;
+  /// Serving mode: listen for fastjoin_client on this endpoint
+  /// ("tcp:0", "tcp:7641", "unix:/path"); empty = generator mode.
+  std::string serve;
+  /// Write the resolved serve endpoint here (tcp:0 → real port).
+  std::string serve_port_file;
+  /// Exit once this many clients have connected and all are gone.
+  std::uint64_t serve_min_clients = 1;
+  /// Hard wall-clock bound on serving (watchdog for CI).
+  std::uint64_t serve_max_seconds = 120;
+  /// Admission knobs forwarded to the front door.
+  std::uint64_t serve_rate = 4 << 20;
+  std::uint64_t serve_burst = 1 << 20;
+  std::uint64_t serve_budget = 16 << 20;
+  std::uint32_t serve_max_batch = 8192;
+  /// Replay the StreamLog through the in-process engine afterwards and
+  /// require byte-identical match sets (forces truncate_log=false).
+  bool verify_inproc = false;
 };
 
 std::string sibling_worker_bin() {
@@ -91,11 +125,30 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.kill_after = std::strtoull(at + 1, nullptr, 10);
     } else if (a == "--migrate-hot" && (v = need(i))) {
       o.migrate_hot = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve" && (v = need(i))) {
+      o.serve = v;
+    } else if (a == "--serve-port-file" && (v = need(i))) {
+      o.serve_port_file = v;
+    } else if (a == "--serve-min-clients" && (v = need(i))) {
+      o.serve_min_clients = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve-max-seconds" && (v = need(i))) {
+      o.serve_max_seconds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve-rate" && (v = need(i))) {
+      o.serve_rate = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve-burst" && (v = need(i))) {
+      o.serve_burst = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve-budget" && (v = need(i))) {
+      o.serve_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--serve-max-batch" && (v = need(i))) {
+      o.serve_max_batch =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--verify-inproc") {
+      o.verify_inproc = true;
     } else {
       return false;
     }
   }
-  return o.workers > 0 && o.records > 0;
+  return o.workers > 0 && (o.records > 0 || !o.serve.empty());
 }
 
 void usage() {
@@ -105,7 +158,11 @@ void usage() {
       "           [--zipf S] [--seed X] [--endpoint unix:|tcp:0]\n"
       "           [--worker-bin PATH] [--checkpoint-every N]\n"
       "           [--file-log] [--log-dir DIR]\n"
-      "           [--kill W@N] [--migrate-hot K]\n");
+      "           [--kill W@N] [--migrate-hot K]\n"
+      "           [--serve EP] [--serve-port-file PATH]\n"
+      "           [--serve-min-clients N] [--serve-max-seconds N]\n"
+      "           [--serve-rate B/s] [--serve-burst B] [--serve-budget B]\n"
+      "           [--serve-max-batch N] [--verify-inproc]\n");
 }
 
 }  // namespace
@@ -132,6 +189,25 @@ int main(int argc, char** argv) {
     cfg.ingest.backend = SegmentBackend::kFile;
     cfg.ingest.dir = o.log_dir;
   }
+  const bool serving = !o.serve.empty();
+  if (serving) {
+    cfg.serve = true;
+    if (!net::Endpoint::parse(o.serve, cfg.serve_cfg.endpoint)) {
+      std::fprintf(stderr, "fastjoin_router: bad --serve endpoint %s\n",
+                   o.serve.c_str());
+      return 64;
+    }
+    cfg.serve_cfg.admission.tenant_rate_bytes_per_sec = o.serve_rate;
+    cfg.serve_cfg.admission.tenant_burst_bytes = o.serve_burst;
+    cfg.serve_cfg.admission.global_budget_bytes = o.serve_budget;
+    cfg.serve_cfg.admission.max_batch_records = o.serve_max_batch;
+    if (o.verify_inproc) {
+      // Byte-identical verification needs the workers' match pairs and
+      // the complete log (front-door seq/ts stamps live only there).
+      cfg.collect_matches = true;
+      cfg.truncate_log = false;
+    }
+  }
 
   MultiprocRouter router(std::move(cfg));
   std::string err;
@@ -142,46 +218,117 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "fastjoin_router: %u workers on %s\n", o.workers,
                router.endpoint().c_str());
 
-  KeyStreamSpec spec;
-  spec.num_keys = o.keys;
-  spec.zipf_s = o.zipf;
-  spec.seed = o.seed;
-  KeyGenerator gen(spec);
-
-  std::uint64_t seq[2] = {0, 0};
-  bool killed = false;
-  bool migrated = false;
-  for (std::uint64_t i = 0; i < o.records; ++i) {
-    Record rec;
-    rec.side = (i & 1) ? Side::kS : Side::kR;
-    rec.key = gen();
-    rec.seq = seq[static_cast<int>(rec.side)]++;
-    rec.payload = i;
-    rec.ts = static_cast<SimTime>(i);
-    router.publish(rec);
-
-    if (!killed && o.kill_worker >= 0 && i == o.kill_after) {
-      killed = true;
-      std::fprintf(stderr, "fastjoin_router: SIGKILL worker %ld at %llu\n",
-                   static_cast<long>(o.kill_worker),
-                   static_cast<unsigned long long>(i));
-      router.kill_worker(static_cast<std::uint32_t>(o.kill_worker));
+  bool serve_timed_out = false;
+  if (serving) {
+    const std::string serve_ep =
+        router.frontdoor()->endpoint().to_string();
+    std::fprintf(stderr, "fastjoin_router: serving clients on %s\n",
+                 serve_ep.c_str());
+    if (!o.serve_port_file.empty()) {
+      std::FILE* f = std::fopen(o.serve_port_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "fastjoin_router: cannot write %s\n",
+                     o.serve_port_file.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", serve_ep.c_str());
+      std::fclose(f);
     }
-    if (!migrated && o.migrate_hot > 0 && i == o.records / 2) {
-      migrated = true;
-      // Shed the hottest R-side keys from whichever worker owns each;
-      // destination is the next worker around the ring.
-      for (std::uint64_t r = 1; r <= o.migrate_hot; ++r) {
-        const KeyId k = gen.key_for_rank(r);
-        const std::uint32_t from = router.owner(Side::kR, k);
-        const std::uint32_t to = (from + 1) % o.workers;
-        router.request_migration(Side::kR, from, to, {k});
+    // Serve until every client has come and gone (at least
+    // serve_min_clients connected), with a wall-clock watchdog.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(o.serve_max_seconds);
+    for (;;) {
+      router.pump(std::chrono::milliseconds(10));
+      const server::FrontDoorStats& fs = router.frontdoor()->stats();
+      if (fs.accepted >= o.serve_min_clients &&
+          router.frontdoor()->open_connections() == 0) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        serve_timed_out = true;
+        std::fprintf(stderr, "fastjoin_router: serve watchdog fired\n");
+        break;
+      }
+    }
+  } else {
+    KeyStreamSpec spec;
+    spec.num_keys = o.keys;
+    spec.zipf_s = o.zipf;
+    spec.seed = o.seed;
+    KeyGenerator gen(spec);
+
+    std::uint64_t seq[2] = {0, 0};
+    bool killed = false;
+    bool migrated = false;
+    for (std::uint64_t i = 0; i < o.records; ++i) {
+      Record rec;
+      rec.side = (i & 1) ? Side::kS : Side::kR;
+      rec.key = gen();
+      rec.seq = seq[static_cast<int>(rec.side)]++;
+      rec.payload = i;
+      rec.ts = static_cast<SimTime>(i);
+      router.publish(rec);
+
+      if (!killed && o.kill_worker >= 0 && i == o.kill_after) {
+        killed = true;
+        std::fprintf(stderr, "fastjoin_router: SIGKILL worker %ld at %llu\n",
+                     static_cast<long>(o.kill_worker),
+                     static_cast<unsigned long long>(i));
+        router.kill_worker(static_cast<std::uint32_t>(o.kill_worker));
+      }
+      if (!migrated && o.migrate_hot > 0 && i == o.records / 2) {
+        migrated = true;
+        // Shed the hottest R-side keys from whichever worker owns each;
+        // destination is the next worker around the ring.
+        for (std::uint64_t r = 1; r <= o.migrate_hot; ++r) {
+          const KeyId k = gen.key_for_rank(r);
+          const std::uint32_t from = router.owner(Side::kR, k);
+          const std::uint32_t to = (from + 1) % o.workers;
+          router.request_migration(Side::kR, from, to, {k});
+        }
       }
     }
   }
   if (!router.finish()) {
     std::fprintf(stderr, "fastjoin_router: finish timed out\n");
     return 1;
+  }
+
+  // Cross-plane verification: replay the router's own log (the only
+  // holder of front-door seq/ts stamps) through the in-process engine
+  // and require the byte-identical match-pair set.
+  std::string verify = "skipped";
+  if (o.verify_inproc) {
+    std::vector<Record> trace;
+    for (const LogRecord& lr : router.dump_log()) trace.push_back(lr.rec);
+    LiveConfig lc;
+    lc.instances = o.workers;
+    lc.balancer = false;
+    LiveEngine engine(lc);
+    std::mutex mu;
+    std::vector<MatchPair> inproc;
+    engine.set_on_match([&](const MatchPair& p) {
+      std::lock_guard<std::mutex> lk(mu);
+      inproc.push_back(p);
+    });
+    engine.start();
+    for (const Record& rec : trace) engine.push(rec);
+    engine.finish();
+    auto canon = [](std::vector<MatchPair> pairs) {
+      std::vector<std::tuple<KeyId, std::uint64_t, std::uint64_t>> out;
+      out.reserve(pairs.size());
+      for (const MatchPair& p : pairs) {
+        out.emplace_back(p.key, p.r_seq, p.s_seq);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    verify =
+        canon(router.take_matches()) == canon(std::move(inproc)) &&
+                !trace.empty()
+            ? "ok"
+            : "mismatch";
   }
 
   const MultiprocStats& st = router.stats();
@@ -206,8 +353,7 @@ int main(int argc, char** argv) {
       "  \"suppressed_probes\": %llu,\n"
       "  \"migrations_completed\": %llu,\n"
       "  \"tuples_migrated\": %llu,\n"
-      "  \"checkpoints_completed\": %llu\n"
-      "}\n",
+      "  \"checkpoints_completed\": %llu,\n",
       o.workers, static_cast<unsigned long long>(st.records_published),
       static_cast<unsigned long long>(st.matches_total),
       static_cast<unsigned long long>(wmatches),
@@ -221,5 +367,37 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.migrations_completed),
       static_cast<unsigned long long>(st.tuples_migrated),
       static_cast<unsigned long long>(st.checkpoints_completed));
+  if (serving) {
+    const server::FrontDoorStats& fs = router.frontdoor()->stats();
+    std::printf(
+        "  \"serve\": {\n"
+        "    \"clients\": %llu,\n"
+        "    \"idle_closed\": %llu,\n"
+        "    \"protocol_errors\": %llu,\n"
+        "    \"backpressure_rejects\": %llu,\n"
+        "    \"tenants\": {\n",
+        static_cast<unsigned long long>(fs.accepted),
+        static_cast<unsigned long long>(fs.idle_closed),
+        static_cast<unsigned long long>(fs.protocol_errors),
+        static_cast<unsigned long long>(fs.backpressure_rejects));
+    std::size_t i = 0;
+    for (const auto& [tenant, ts] : fs.tenants) {
+      std::printf(
+          "      \"%s\": {\"offered\": %llu, \"admitted\": %llu, "
+          "\"rejected\": %llu, \"admitted_records\": %llu, "
+          "\"queries\": %llu}%s\n",
+          tenant.c_str(),
+          static_cast<unsigned long long>(ts.offered_requests),
+          static_cast<unsigned long long>(ts.admitted_requests),
+          static_cast<unsigned long long>(ts.rejected_requests),
+          static_cast<unsigned long long>(ts.admitted_records),
+          static_cast<unsigned long long>(ts.queries),
+          ++i == fs.tenants.size() ? "" : ",");
+    }
+    std::printf("    }\n  },\n");
+  }
+  std::printf("  \"verify\": \"%s\"\n}\n", verify.c_str());
+  if (verify == "mismatch") return 3;
+  if (serve_timed_out) return 4;
   return st.records_dropped == 0 ? 0 : 2;
 }
