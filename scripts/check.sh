@@ -14,6 +14,11 @@
 #   scripts/check.sh --protocol # deterministic protocol checker: full
 #                               # exploration on a fixed seed plus extra
 #                               # random seeds, self-test included
+#   scripts/check.sh --fuzz     # trust-boundary fuzz harnesses under
+#                               # ASan+UBSan: corpus replay + a timed
+#                               # mutation budget per harness (libFuzzer
+#                               # when built with clang, standalone
+#                               # driver otherwise)
 #
 # The sanitizer passes rebuild into build-{tsan,asan,ubsan}/ (separate
 # caches) and run the test_common, test_net, test_server, test_runtime,
@@ -32,23 +37,26 @@ run_ubsan=1
 run_notel=1
 run_static=1
 run_protocol=1
+run_fuzz=1
 case "${1:-}" in
   --tier1)  run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --tsan)   run_tier1=0; run_asan=0; run_ubsan=0; run_notel=0; run_static=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --asan)   run_tier1=0; run_tsan=0; run_ubsan=0; run_notel=0; run_static=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --ubsan)  run_tier1=0; run_tsan=0; run_asan=0; run_notel=0; run_static=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --notel)  run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_static=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --static) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0
-            run_protocol=0 ;;
+            run_protocol=0; run_fuzz=0 ;;
   --protocol) run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0
-            run_static=0 ;;
+            run_static=0; run_fuzz=0 ;;
+  --fuzz)   run_tier1=0; run_tsan=0; run_asan=0; run_ubsan=0; run_notel=0
+            run_static=0; run_protocol=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tsan|--asan|--ubsan|--notel|--static|--protocol]" >&2
+  *) echo "usage: $0 [--tier1|--tsan|--asan|--ubsan|--notel|--static|--protocol|--fuzz]" >&2
      exit 2 ;;
 esac
 
@@ -146,6 +154,47 @@ if [[ $run_protocol -eq 1 ]]; then
     ./build/tools/protocol_check --seed "$seed" --artifact-dir "$artifacts"
   done
   echo "protocol: all seeds clean (artifacts, if any, in $artifacts)"
+fi
+
+if [[ $run_fuzz -eq 1 ]]; then
+  echo "== fuzz: trust-boundary harnesses under ASan+UBSan =="
+  # FASTJOIN_FUZZ picks the engine: libFuzzer under clang, the
+  # standalone mutation driver under gcc. Either way each harness
+  # replays its committed corpus and then spends a fixed wall-clock
+  # budget mutating from it. Crash artifacts land in
+  # build-fuzz/fuzz-artifacts/ — commit them as corpus regressions
+  # alongside the fix.
+  fuzz_budget="${FASTJOIN_FUZZ_SECONDS:-60}"
+  cmake -B build-fuzz -S . -DFASTJOIN_FUZZ=ON \
+    -DFASTJOIN_SANITIZE=address >/dev/null
+  cmake --build build-fuzz -j "$jobs" --target fuzz_frame \
+    --target fuzz_wire --target fuzz_client_protocol \
+    --target fuzz_frontdoor --target fuzz_streamlog
+  artifacts=build-fuzz/fuzz-artifacts
+  mkdir -p "$artifacts"
+  declare -A fuzz_corpus=(
+    [fuzz_frame]=frame [fuzz_wire]=wire
+    [fuzz_client_protocol]=client [fuzz_frontdoor]=frontdoor
+    [fuzz_streamlog]=streamlog )
+  # tests/fuzz/CMakeLists.txt stamps which engine the harnesses were
+  # built with; the two dialects take different flags.
+  engine=$(cat build-fuzz/fuzz_engine.txt 2>/dev/null || echo standalone)
+  for h in fuzz_frame fuzz_wire fuzz_client_protocol fuzz_frontdoor \
+           fuzz_streamlog; do
+    corpus="tests/fuzz/corpus/${fuzz_corpus[$h]}"
+    echo "-- $h ($corpus, ${fuzz_budget}s budget, $engine)"
+    if [[ "$engine" == libfuzzer ]]; then
+      # libFuzzer binary: corpus dir is positional, budget via flag.
+      ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+        ./build-fuzz/tests/fuzz/"$h" -max_total_time="$fuzz_budget" \
+        -artifact_prefix="$artifacts/" "$corpus"
+    else
+      ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+        ./build-fuzz/tests/fuzz/"$h" "$corpus" \
+        --max-seconds "$fuzz_budget" --seed 1 --artifact-dir "$artifacts"
+    fi
+  done
+  echo "fuzz: all harnesses clean (artifacts, if any, in $artifacts)"
 fi
 
 echo "check.sh: all requested passes green"

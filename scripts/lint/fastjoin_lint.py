@@ -38,6 +38,21 @@ lines (stdlib only, no libclang). Rules:
                      through the Socket/Connection/EventLoop layer, so
                      framing, CRC checking and backpressure cannot be
                      bypassed by an ad-hoc write().
+  parse-surface      files tagged `// FASTJOIN_PARSE_FILE` (the byte
+                     decoders that face attacker-controlled input) must
+                     fail by returning false, never by crashing: no
+                     assert/abort/exit/throw; no ByteReader read whose
+                     bool result is discarded (a statement-position
+                     `r.u32(x);` silently continues on truncation); no
+                     resize/reserve/new[] whose size expression
+                     multiplies (`count * size` overflows before the
+                     bound check — divide the bound instead, see
+                     net::read_count). Additionally every
+                     `bool decode(const std::vector<std::byte>&, T&)`
+                     overload declared in a tagged header must have its
+                     message type exercised by a fuzz harness under
+                     --fuzz-dir (default: tests/fuzz), so new decoders
+                     cannot land without harness coverage.
   atomic-padding     in FASTJOIN_HOT_PATH files/regions, a std::atomic
                      member declared without alignas() must not sit
                      directly next to a plain data member: an RMW on
@@ -794,6 +809,146 @@ def check_net_socket(sf: SourceFile, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Rule: parse-surface
+# ---------------------------------------------------------------------------
+
+PARSE_TAG = "FASTJOIN_PARSE_FILE"
+
+# Crash-on-input: a decoder that asserts or throws hands the attacker a
+# remote kill switch. static_assert is compile-time and stays legal.
+PARSE_CRASH_RE = re.compile(
+    r"(?<![\w_])(?<!static_)assert\s*\("
+    r"|(?<![\w:.])(?:abort|_exit|exit)\s*\("
+    r"|(?<![\w:.])throw\b")
+
+READER_DECL_RE = re.compile(r"\bByteReader\b\s*&?\s+([A-Za-z_]\w*)")
+
+ALLOC_SIZE_RE = re.compile(r"\.\s*(resize|reserve)\s*(\()")
+NEW_ARRAY_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:<>\s]*\[([^\]]*)\]")
+
+
+def is_parse_file(sf: SourceFile) -> bool:
+    return PARSE_TAG in "\n".join(sf.raw_lines[:5])
+
+
+def check_parse_surface(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = "parse-surface"
+    if not is_parse_file(sf):
+        return
+    reader_names = {m.group(1)
+                    for line in sf.code_lines
+                    for m in READER_DECL_RE.finditer(line)}
+    reader_names -= CPP_KEYWORDS
+    discard_re = None
+    if reader_names:
+        alts = "|".join(sorted(re.escape(n) for n in reader_names))
+        # Statement-position read: nothing consumes the bool, so a
+        # truncated buffer sails through with a zero-filled field.
+        discard_re = re.compile(
+            rf"^\s*(?:\(\s*void\s*\)\s*)?({alts})\s*\.\s*"
+            rf"[A-Za-z_]\w*\s*\(")
+    for idx, line in enumerate(sf.code_lines):
+        m = PARSE_CRASH_RE.search(line)
+        if m and not sf.allowed(idx, rule):
+            what = m.group(0).rstrip("(").strip()
+            findings.append(Finding(
+                sf.path, idx + 1, rule,
+                f"`{what}` in a {PARSE_TAG}: decoders face untrusted "
+                f"bytes and must fail by returning false, not by "
+                f"crashing the process",
+                sf.raw_lines[idx]))
+            continue
+        if discard_re:
+            # A line that merely continues an expression from above
+            # (`return r.u64(a) &&\n  r.u32(b);`) has its result
+            # consumed by the operator on the previous line.
+            prev = ""
+            for j in range(idx - 1, -1, -1):
+                if sf.code_lines[j].strip():
+                    prev = sf.code_lines[j].rstrip()
+                    break
+            continuation = prev.endswith(("&&", "||", "(", ",", "=",
+                                          "?", ":", "return", "+", "!"))
+            dm = discard_re.match(line)
+            if dm and not continuation and line.rstrip().endswith(";") \
+                    and not sf.allowed(idx, rule):
+                findings.append(Finding(
+                    sf.path, idx + 1, rule,
+                    f"discarded ByteReader read on `{dm.group(1)}`: the "
+                    f"bool result must be checked or truncated input "
+                    f"silently yields zero-filled fields",
+                    sf.raw_lines[idx]))
+                continue
+        sized = None
+        for am in ALLOC_SIZE_RE.finditer(line):
+            args = _call_args(line, am.start(2))
+            if args is not None and "*" in args:
+                sized = f".{am.group(1)}({args.strip()})"
+                break
+        if sized is None:
+            nm = NEW_ARRAY_RE.search(line)
+            if nm and "*" in nm.group(1):
+                sized = nm.group(0)
+        if sized is not None and not sf.allowed(idx, rule):
+            findings.append(Finding(
+                sf.path, idx + 1, rule,
+                f"multiplied size expression `{sized}` in a "
+                f"{PARSE_TAG}: `count * size` can overflow before any "
+                f"bound check — divide the bound instead "
+                f"(net::read_count)",
+                sf.raw_lines[idx]))
+
+
+# A decode overload declaration: bool decode(const std::vector<std::byte>&,
+# T&). Matched in tagged headers only (definitions in .cpp would
+# double-report the same surface).
+DECODE_DECL_RE = re.compile(
+    r"\bbool\s+decode\s*\(\s*const\s+std\s*::\s*vector\s*<\s*std\s*::\s*"
+    r"byte\s*>\s*&\s*\w+\s*,\s*([A-Za-z_]\w*)\s*&")
+
+
+def check_decode_parity(files: list[SourceFile], fuzz_dir: str | None,
+                        findings: list[Finding]) -> None:
+    """Every decode overload in a tagged header must have its message
+    type named somewhere under the fuzz harness tree — a new decoder
+    cannot land without a harness exercising it."""
+    rule = "parse-surface"
+    decls: list[tuple[SourceFile, int, str]] = []
+    for sf in files:
+        if not sf.path.endswith((".hpp", ".h", ".hh")):
+            continue
+        if not is_parse_file(sf):
+            continue
+        for idx, line in enumerate(sf.code_lines):
+            m = DECODE_DECL_RE.search(line)
+            if m:
+                decls.append((sf, idx, m.group(1)))
+    if not decls or fuzz_dir is None or not os.path.isdir(fuzz_dir):
+        return
+    corpus = []
+    for root, dirs, names in os.walk(fuzz_dir):
+        dirs[:] = [d for d in dirs if d != "corpus"]
+        for f in sorted(names):
+            if os.path.splitext(f)[1] in CPP_EXTS:
+                with open(os.path.join(root, f), encoding="utf-8",
+                          errors="replace") as fh:
+                    corpus.append(fh.read())
+    harness_text = "\n".join(corpus)
+    for sf, idx, type_name in decls:
+        if re.search(rf"\b{re.escape(type_name)}\b", harness_text):
+            continue
+        if sf.allowed(idx, rule):
+            continue
+        findings.append(Finding(
+            sf.path, idx + 1, rule,
+            f"decode overload for `{type_name}` has no fuzz harness: "
+            f"no file under {os.path.relpath(fuzz_dir)} names the type. "
+            f"Register it in the wire/client harness (tests/fuzz/) "
+            f"and add seed corpus entries",
+            sf.raw_lines[idx]))
+
+
+# ---------------------------------------------------------------------------
 # Rule: atomic-padding
 # ---------------------------------------------------------------------------
 
@@ -882,7 +1037,7 @@ def iter_sources(paths: list[str]) -> list[str]:
     return sorted(set(out))
 
 
-def run(paths: list[str]) -> list[Finding]:
+def run(paths: list[str], fuzz_dir: str | None = None) -> list[Finding]:
     files = [load_file(p) for p in iter_sources(paths)]
     atomic_scopes = collect_atomic_names(files)
     findings: list[Finding] = []
@@ -893,7 +1048,9 @@ def run(paths: list[str]) -> list[Finding]:
         check_banned_api(sf, findings)
         check_protocol_clock(sf, findings)
         check_net_socket(sf, findings)
+        check_parse_surface(sf, findings)
         check_atomic_padding(sf, findings)
+    check_decode_parity(files, fuzz_dir, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -909,13 +1066,17 @@ def main(argv: list[str]) -> int:
                     help="rewrite the baseline with current findings")
     ap.add_argument("--json", dest="json_out",
                     help="write findings as JSON to this path")
+    ap.add_argument("--fuzz-dir", dest="fuzz_dir",
+                    help="fuzz harness tree for the parse-surface "
+                    "decode-parity check (default: <repo>/tests/fuzz)")
     args = ap.parse_args(argv)
 
     repo = os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     paths = args.paths or [os.path.join(repo, "src")]
+    fuzz_dir = args.fuzz_dir or os.path.join(repo, "tests", "fuzz")
     try:
-        findings = run(paths)
+        findings = run(paths, fuzz_dir)
     except OSError as e:
         print(f"fastjoin-lint: {e}", file=sys.stderr)
         return 2

@@ -81,3 +81,14 @@
 // carry a one-line justification comment.
 #define NO_THREAD_SAFETY_ANALYSIS \
   FASTJOIN_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+// Documentation-only marker for state that is confined to a single
+// EventLoop thread (src/net/event_loop.hpp): no lock guards it, and
+// none is needed, because every access happens from callbacks the loop
+// itself dispatches. The macro expands to nothing on every compiler —
+// it exists so a reader (and a reviewer diffing a mutex-free class
+// like FrontDoor or Connection) can tell deliberate loop confinement
+// from a forgotten lock. Mutating LOOP_CONFINED state from another
+// thread is a data race; hand the work to the loop with
+// EventLoop::defer instead.
+#define LOOP_CONFINED

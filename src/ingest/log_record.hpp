@@ -1,3 +1,6 @@
+// FASTJOIN_PARSE_FILE — on-disk record codec replayed from possibly
+// torn segment files (see parse-surface lint rule).
+//
 // The StreamLog's on-disk/in-memory record format.
 //
 // Every record published through the live engine is made durable as one
@@ -75,7 +78,9 @@ inline LogRecord decode_log_record(const std::byte* in) {
   lr.rec.seq = get64();
   lr.rec.payload = get64();
   lr.rec.ts = static_cast<SimTime>(get64());
-  lr.rec.side = static_cast<Side>(get64());
+  // Replayed bytes may be corrupt (torn or bit-flipped segments); keep
+  // the side inside its two-value domain rather than trusting the file.
+  lr.rec.side = static_cast<Side>(get64() & 1);
   std::uint32_t d;
   std::memcpy(&d, in, 4);
   in += 4;

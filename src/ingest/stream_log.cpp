@@ -98,6 +98,18 @@ std::unique_ptr<StreamLog> StreamLog::open(const IngestConfig& cfg) {
       if (!seg) continue;
       // Drop a trailing torn write (crash mid-record).
       const std::uint64_t n = seg->size() / kLogRecordBytes;
+      // A hostile or corrupted directory can present segments whose
+      // base overlaps the chain rebuilt so far (which would march
+      // next_offset backwards and alias offsets) or sits so close to
+      // 2^64 that appends would wrap the offset counter. Drop those;
+      // gaps (base > next_offset) are tolerated — offsets stay
+      // strictly monotone either way. The headroom bound is stable
+      // under appends (it depends on base only), so a chain that
+      // recovers once recovers identically after more writes.
+      constexpr std::uint64_t kOffsetHeadroom = std::uint64_t{1} << 32;
+      if (!part.segments.empty() && f.base < part.next_offset) continue;
+      if (f.base > ~std::uint64_t{0} - kOffsetHeadroom) continue;
+      if (n > ~std::uint64_t{0} - kOffsetHeadroom - f.base) continue;
       part.segments.push_back(Seg{std::move(seg), f.base});
       part.next_offset = f.base + n;
       part.seg_seq = part.segments.size();

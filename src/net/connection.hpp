@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
@@ -108,17 +109,17 @@ class Connection {
   EventLoop& loop_;
   Socket sock_;
   Options opts_;
-  FrameHandler on_frame_;
-  CloseHandler on_close_;
-  FrameDecoder decoder_;
-  std::vector<std::byte> rdbuf_;
+  LOOP_CONFINED FrameHandler on_frame_;
+  LOOP_CONFINED CloseHandler on_close_;
+  LOOP_CONFINED FrameDecoder decoder_;
+  LOOP_CONFINED std::vector<std::byte> rdbuf_;
   /// Outbound bytes: encoded frames appended, drained from the front.
   /// head_ avoids O(n) erases on partial writes.
-  std::vector<std::byte> out_;
-  std::size_t head_ = 0;
-  bool want_write_ = false;
-  bool closed_ = false;
-  bool in_dispatch_ = false;
+  LOOP_CONFINED std::vector<std::byte> out_;
+  LOOP_CONFINED std::size_t head_ = 0;
+  LOOP_CONFINED bool want_write_ = false;
+  LOOP_CONFINED bool closed_ = false;
+  LOOP_CONFINED bool in_dispatch_ = false;
 };
 
 /// Listening socket plus accept dispatch on the loop.

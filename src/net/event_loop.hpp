@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
+
 namespace fastjoin::net {
 
 class EventLoop {
@@ -71,11 +73,12 @@ class EventLoop {
   };
 
   int epfd_ = -1;
-  std::unordered_map<int, std::unique_ptr<FdEntry>> fds_;
-  std::vector<std::unique_ptr<FdEntry>> graveyard_;
-  std::vector<Timer> timers_;  ///< unsorted; scanned per tick (small N)
-  TimerId next_timer_ = 1;
-  std::vector<std::function<void()>> deferred_;
+  LOOP_CONFINED std::unordered_map<int, std::unique_ptr<FdEntry>> fds_;
+  LOOP_CONFINED std::vector<std::unique_ptr<FdEntry>> graveyard_;
+  /// unsorted; scanned per tick (small N)
+  LOOP_CONFINED std::vector<Timer> timers_;
+  LOOP_CONFINED TimerId next_timer_ = 1;
+  LOOP_CONFINED std::vector<std::function<void()>> deferred_;
 };
 
 }  // namespace fastjoin::net

@@ -1,3 +1,5 @@
+// FASTJOIN_PARSE_FILE — frame reassembly over raw socket bytes; must
+// stay total over arbitrary input (see parse-surface lint rule).
 #include "net/frame.hpp"
 
 #include <cstring>

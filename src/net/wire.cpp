@@ -1,3 +1,5 @@
+// FASTJOIN_PARSE_FILE — worker wire codecs; decoders must stay total
+// over arbitrary bytes (see parse-surface lint rule).
 #include "net/wire.hpp"
 
 namespace fastjoin::net {
@@ -43,14 +45,6 @@ bool get_record(ByteReader& r, Record& rec) {
   if (side > 1) return false;
   rec.side = static_cast<Side>(side);
   return true;
-}
-
-/// Read a u32 element count and verify the remaining payload can hold
-/// that many elements of `elem_bytes` before reserving — a corrupt
-/// count must not drive a multi-gigabyte allocation.
-bool get_count(ByteReader& r, std::size_t elem_bytes, std::uint32_t& n) {
-  if (!r.u32(n)) return false;
-  return static_cast<std::size_t>(n) * elem_bytes <= r.remaining();
 }
 
 }  // namespace
@@ -114,7 +108,7 @@ std::vector<std::byte> encode(const DataBatchMsg& m) {
 bool decode(const std::vector<std::byte>& p, DataBatchMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
-  if (!get_count(r, kDataEntryBytes, n)) return false;
+  if (!read_count(r, kDataEntryBytes, n)) return false;
   m.entries.resize(n);
   for (DataEntry& e : m.entries) {
     if (!r.u64(e.offset) || !r.u8(e.flags) || !get_record(r, e.rec)) {
@@ -139,7 +133,7 @@ bool decode(const std::vector<std::byte>& p, ExtractMsg& m) {
   std::uint8_t side = 0;
   std::uint32_t n = 0;
   if (!r.u64(m.mig_id) || !r.u8(side) || side > 1 ||
-      !get_count(r, 8, n)) {
+      !read_count(r, 8, n)) {
     return false;
   }
   m.side = static_cast<Side>(side);
@@ -163,7 +157,7 @@ bool decode(const std::vector<std::byte>& p, ExtractBatchMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
   if (!r.u64(m.mig_id) || !r.u64(m.consumed_offset) ||
-      !get_count(r, kWireTupleBytes, n)) {
+      !read_count(r, kWireTupleBytes, n)) {
     return false;
   }
   m.tuples.resize(n);
@@ -184,7 +178,7 @@ std::vector<std::byte> encode(const AbsorbMsg& m) {
 bool decode(const std::vector<std::byte>& p, AbsorbMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
-  if (!r.u64(m.mig_id) || !get_count(r, kWireTupleBytes, n)) return false;
+  if (!r.u64(m.mig_id) || !read_count(r, kWireTupleBytes, n)) return false;
   m.tuples.resize(n);
   for (WireTuple& t : m.tuples) {
     if (!get_tuple(r, t)) return false;
@@ -228,7 +222,7 @@ bool decode(const std::vector<std::byte>& p, SnapshotMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
   if (!r.u64(m.ckpt_id) || !r.u64(m.consumed_offset) ||
-      !r.u64(m.emit_offset) || !get_count(r, kWireTupleBytes, n)) {
+      !r.u64(m.emit_offset) || !read_count(r, kWireTupleBytes, n)) {
     return false;
   }
   m.tuples.resize(n);
@@ -255,7 +249,7 @@ bool decode(const std::vector<std::byte>& p, MatchBatchMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
   if (!r.u64(m.emit_offset) || !r.u64(m.count) ||
-      !get_count(r, kMatchPairBytes, n)) {
+      !read_count(r, kMatchPairBytes, n)) {
     return false;
   }
   m.pairs.resize(n);

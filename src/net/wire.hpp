@@ -1,3 +1,8 @@
+// FASTJOIN_PARSE_FILE — byte decoders at the trust boundary: every
+// decode() here must be total over arbitrary bytes (fastjoin-lint
+// `parse-surface` bans asserts/throws, unchecked reads and unguarded
+// multiplied length arithmetic, and requires a fuzz harness per type).
+//
 // Wire message taxonomy for the multi-process runtime.
 //
 // The router and its workers exchange exactly these messages, each
@@ -103,6 +108,16 @@ class ByteReader {
   const std::byte* p_;
   const std::byte* end_;
 };
+
+/// Read a u32 element count and admit it only when the remaining bytes
+/// can hold `n` elements of `elem_bytes` each. The bound divides instead
+/// of multiplying so a hostile count can never overflow std::size_t or
+/// drive a huge reserve() before truncation is detected.
+inline bool read_count(ByteReader& r, std::size_t elem_bytes,
+                       std::uint32_t& n) {
+  if (!r.u32(n)) return false;
+  return static_cast<std::size_t>(n) <= r.remaining() / elem_bytes;
+}
 
 // --------------------------------------------------------------------------
 // Messages

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/thread_safety.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
@@ -172,23 +173,23 @@ class FrontDoor {
   net::EventLoop& loop_;
   FrontDoorConfig cfg_;
   Clock* clock_;
-  AdmissionController admission_;
+  LOOP_CONFINED AdmissionController admission_;
   IngestSink sink_;
   QueryHandler query_;
   LoadProbe load_;
-  std::unique_ptr<net::Acceptor> acceptor_;
-  std::vector<std::unique_ptr<ClientConn>> conns_;
+  LOOP_CONFINED std::unique_ptr<net::Acceptor> acceptor_;
+  LOOP_CONFINED std::vector<std::unique_ptr<ClientConn>> conns_;
   /// Closed connections awaiting deferred destruction (a Connection may
   /// be inside its own callback when it closes).
-  std::vector<std::unique_ptr<ClientConn>> limbo_;
+  LOOP_CONFINED std::vector<std::unique_ptr<ClientConn>> limbo_;
   /// Deferred limbo sweeps capture this flag by value so a sweep firing
   /// after the front door is destroyed becomes a no-op, not a UAF.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  FrontDoorStats stats_;
-  std::map<std::string, TenantMetrics> metrics_;
-  net::EventLoop::TimerId sweep_timer_ = 0;
-  bool shedding_ = false;
-  bool stopped_ = false;
+  LOOP_CONFINED FrontDoorStats stats_;
+  LOOP_CONFINED std::map<std::string, TenantMetrics> metrics_;
+  LOOP_CONFINED net::EventLoop::TimerId sweep_timer_ = 0;
+  LOOP_CONFINED bool shedding_ = false;
+  LOOP_CONFINED bool stopped_ = false;
 };
 
 }  // namespace fastjoin::server

@@ -1,3 +1,5 @@
+// FASTJOIN_PARSE_FILE — client protocol codecs; decoders must stay
+// total over arbitrary bytes (see parse-surface lint rule).
 #include "server/protocol.hpp"
 
 namespace fastjoin::server {
@@ -5,6 +7,7 @@ namespace {
 
 using net::ByteReader;
 using net::ByteWriter;
+using net::read_count;
 
 constexpr std::size_t kClientRecordBytes = 1 + 8 + 8;
 constexpr std::size_t kMatchPairBytes = 8 + 8 + 8;
@@ -27,14 +30,6 @@ bool get_string(ByteReader& r, std::string& s) {
     s.push_back(static_cast<char>(c));
   }
   return true;
-}
-
-/// Read a u32 element count and verify the remaining payload can hold
-/// that many elements before reserving (the net/wire.cpp rule: a
-/// corrupt count must not drive a multi-gigabyte allocation).
-bool get_count(ByteReader& r, std::size_t elem_bytes, std::uint32_t& n) {
-  if (!r.u32(n)) return false;
-  return static_cast<std::size_t>(n) * elem_bytes <= r.remaining();
 }
 
 }  // namespace
@@ -108,7 +103,7 @@ std::vector<std::byte> encode(const AppendMsg& m) {
 bool decode(const std::vector<std::byte>& p, AppendMsg& m) {
   ByteReader r(p);
   std::uint32_t n = 0;
-  if (!r.u64(m.req_id) || !get_count(r, kClientRecordBytes, n)) {
+  if (!r.u64(m.req_id) || !read_count(r, kClientRecordBytes, n)) {
     return false;
   }
   m.records.clear();
@@ -196,7 +191,7 @@ bool decode(const std::vector<std::byte>& p, QueryResultMsg& m) {
   if (!(r.u64(m.req_id) && r.u64(m.key) && r.u64(m.r_tuples) &&
         r.u64(m.s_tuples) && r.u32(m.owner_r) && r.u32(m.owner_s) &&
         r.u64(m.as_of_ckpt) && r.u64(m.matches_total) &&
-        get_count(r, kMatchPairBytes, n))) {
+        read_count(r, kMatchPairBytes, n))) {
     return false;
   }
   m.recent.clear();

@@ -1,3 +1,8 @@
+// FASTJOIN_PARSE_FILE — client-facing byte decoders at the trust
+// boundary; every decode() must be total over arbitrary bytes
+// (fastjoin-lint `parse-surface` enforces the construct bans and the
+// one-fuzz-harness-per-type parity check).
+//
 // Client-facing wire protocol of the serving front door.
 //
 // Clients (tools/fastjoin_client, external load generators) speak the

@@ -1,0 +1,245 @@
+// Fuzz harness: a real FrontDoor on a real event loop, driven with
+// fuzzer-scripted client traffic over a unix socket.
+//
+// Everything runs on one thread: clients are nonblocking sockets whose
+// writes interleave with loop pumps, so the whole exchange is
+// deterministic for a given input. The sink refuses batches when the
+// fuzzer says so (exercising refund-on-backpressure), the clock is a
+// VirtualClock the script can advance, and idle sweeps fire on demand.
+//
+// Invariants checked after every script:
+//   * per-tenant SLO ledger exactness: offered == admitted + rejected,
+//     for requests and for records;
+//   * no leaked connections: once every client socket is closed and the
+//     loop drained, open_connections() returns to zero;
+//   * stop() is clean and idempotent — no crash, no sanitizer report.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "server/frontdoor.hpp"
+#include "server/protocol.hpp"
+#include "support/fuzz_input.hpp"
+
+using namespace fastjoin;
+using fastjoin::fuzz::FuzzSource;
+
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr std::size_t kMaxClients = 4;
+constexpr std::size_t kMaxOps = 96;
+
+struct Client {
+  net::Socket sock;
+  bool open = false;
+};
+
+void pump(net::EventLoop& loop, int times) {
+  for (int i = 0; i < times; ++i) loop.run_once(milliseconds(0));
+}
+
+/// One nonblocking write attempt; a partial write leaves a torn frame
+/// on the wire, which is itself a case worth serving.
+void send_bytes(Client& c, const std::vector<std::byte>& bytes) {
+  if (!c.open) return;
+  net::write_some(c.sock, bytes.data(), bytes.size());
+}
+
+void send_msg(Client& c, server::ClientMsgType t,
+              const std::vector<std::byte>& payload) {
+  send_bytes(c, net::encode_frame(static_cast<std::uint16_t>(t), payload));
+}
+
+/// Drain and discard whatever the server sent us so its write buffers
+/// keep moving.
+void drain(Client& c) {
+  if (!c.open) return;
+  std::byte buf[4096];
+  for (;;) {
+    const net::IoResult r = net::read_some(c.sock, buf, sizeof buf);
+    if (r.n == 0 || !r.ok() || r.eof) break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzSource src(data, size);
+
+  VirtualClock clock;
+  net::EventLoop loop;
+  if (!loop.ok()) return 0;
+
+  server::FrontDoorConfig cfg;
+  cfg.endpoint.kind = net::Endpoint::Kind::kUnix;
+  cfg.endpoint.path =
+      "/tmp/fastjoin-fuzz-fd-" + std::to_string(::getpid()) + ".sock";
+  cfg.clock = &clock;
+  cfg.admission.clock = &clock;
+  cfg.admission.tenant_rate_bytes_per_sec = 1 + src.u16();
+  cfg.admission.tenant_burst_bytes = 1 + src.u16();
+  cfg.admission.global_budget_bytes = 1 + src.u16();
+  cfg.admission.max_batch_records = 1 + src.below(48);
+  cfg.max_connections = 1 + src.below(kMaxClients);
+  cfg.max_frame_payload = 1 << 14;
+  cfg.idle_timeout = milliseconds(1 + src.below(50));
+  cfg.max_query_recent = src.below(16);
+
+  server::FrontDoor door(loop, cfg);
+
+  std::uint64_t inflight = 0;
+  // The sink's accept/refuse pattern is fuzz-chosen per call.
+  auto sink = [&](const std::string&,
+                  const std::vector<server::ClientRecord>& records,
+                  server::AppendAckMsg* ack) {
+    if ((src.u8() & 3) == 0) return false;  // downstream backpressure
+    ack->first_offset = inflight;
+    ack->appended = records.size();
+    ack->parked = 0;
+    inflight += records.size() * 17;
+    return true;
+  };
+  auto query = [&](const server::QueryMsg& q, server::QueryResultMsg* out) {
+    out->key = q.key;
+    out->r_tuples = 1;
+    out->s_tuples = 2;
+    out->matches_total = 3;
+  };
+  auto load = [&]() { return inflight; };
+
+  std::string err;
+  if (!door.start(sink, query, load, &err)) {
+    std::fprintf(stderr, "fuzz_frontdoor: start failed: %s\n", err.c_str());
+    return 0;
+  }
+
+  const char* tenants[] = {"alpha", "beta", ""};
+  std::vector<Client> clients(kMaxClients);
+  auto connect_client = [&](std::size_t slot) {
+    Client& c = clients[slot];
+    if (c.open) return;
+    std::string cerr;
+    c.sock = net::connect_endpoint(cfg.endpoint, &cerr);
+    if (!c.sock.valid()) return;
+    net::set_nonblocking(c.sock, true);
+    c.open = true;
+  };
+
+  std::size_t ops = 0;
+  while (!src.empty() && ops++ < kMaxOps) {
+    const std::size_t slot = src.below(kMaxClients);
+    Client& c = clients[slot];
+    switch (src.u8() % 10) {
+      case 0:
+        connect_client(slot);
+        break;
+      case 1: {  // hello
+        server::ClientHelloMsg m;
+        m.tenant = tenants[src.below(3)];
+        m.proto_version = (src.u8() & 7) ? 1 : src.u32();
+        send_msg(c, server::ClientMsgType::kClientHello, encode(m));
+        break;
+      }
+      case 2: {  // append
+        server::AppendMsg m;
+        m.req_id = ops;
+        const std::uint32_t n = src.below(16);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          server::ClientRecord rec;
+          rec.side = static_cast<Side>(src.below(2));
+          rec.key = src.u8();
+          rec.payload = src.u64();
+          m.records.push_back(rec);
+        }
+        send_msg(c, server::ClientMsgType::kAppend, encode(m));
+        break;
+      }
+      case 3: {  // query
+        server::QueryMsg m;
+        m.req_id = ops;
+        m.key = src.u8();
+        m.max_recent = src.below(64);
+        send_msg(c, server::ClientMsgType::kQuery, encode(m));
+        break;
+      }
+      case 4:  // bye
+        send_msg(c, server::ClientMsgType::kClientBye, {});
+        break;
+      case 5:  // raw junk: unframed bytes straight onto the wire
+        send_bytes(c, src.bytes(1 + src.below(32)));
+        break;
+      case 6: {  // torn frame: a valid header whose payload never comes
+        const auto whole = net::encode_frame(
+            static_cast<std::uint16_t>(server::ClientMsgType::kAppend),
+            std::vector<std::byte>(8, std::byte{1}));
+        const std::size_t cut = 1 + src.below(static_cast<std::uint32_t>(
+                                     whole.size() - 1));
+        send_bytes(c, {whole.begin(),
+                       whole.begin() + static_cast<std::ptrdiff_t>(cut)});
+        break;
+      }
+      case 7:  // time passes; idle reaping runs
+        clock.advance(milliseconds(src.below(200)));
+        door.sweep_idle();
+        break;
+      case 8:  // abrupt client close
+        if (c.open) {
+          c.sock.close();
+          c.open = false;
+        }
+        break;
+      case 9:  // let the loop breathe, pull replies
+        pump(loop, 1 + src.below(4));
+        for (auto& cl : clients) drain(cl);
+        break;
+    }
+    pump(loop, 2);
+  }
+
+  // Drain everything in flight, then close all clients and verify the
+  // door notices every EOF: no leaked connections.
+  pump(loop, 8);
+  for (auto& c : clients) {
+    drain(c);
+    if (c.open) {
+      c.sock.close();
+      c.open = false;
+    }
+  }
+  for (int i = 0; i < 200 && door.open_connections() > 0; ++i) {
+    pump(loop, 2);
+  }
+  FUZZ_REQUIRE(door.open_connections() == 0,
+               "every closed client reaped — no leaked connections");
+
+  const server::FrontDoorStats& st = door.stats();
+  for (const auto& [tenant, ts] : st.tenants) {
+    (void)tenant;
+    FUZZ_REQUIRE(ts.offered_requests ==
+                     ts.admitted_requests + ts.rejected_requests,
+                 "SLO ledger exact: requests");
+    FUZZ_REQUIRE(ts.offered_records ==
+                     ts.admitted_records + ts.rejected_records,
+                 "SLO ledger exact: records");
+  }
+  FUZZ_REQUIRE(st.closed <= st.accepted,
+               "every close was an accepted connection");
+
+  door.stop();
+  pump(loop, 4);
+  FUZZ_REQUIRE(door.open_connections() == 0, "stop() closes everything");
+  door.stop();  // idempotent
+  ::unlink(cfg.endpoint.path.c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// FuzzSource: a consuming cursor over the fuzzer's input bytes, plus
+// the FUZZ_REQUIRE assertion macro shared by every harness.
+//
+// Draws past the end return zeros instead of failing — a short input is
+// a valid (if boring) test case, never an error in the harness itself.
+// FUZZ_REQUIRE aborts unconditionally (independent of NDEBUG) so a
+// violated property is a crash both under libFuzzer and under the
+// standalone driver, which is what turns it into a saved artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#define FUZZ_REQUIRE(cond, what)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_REQUIRE failed: %s (%s:%d)\n", what, \
+                   __FILE__, __LINE__);                               \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+namespace fastjoin::fuzz {
+
+class FuzzSource {
+ public:
+  FuzzSource(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  bool empty() const { return p_ == end_; }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+
+  /// Draw in [0, n); n == 0 returns 0.
+  std::uint32_t below(std::uint32_t n) { return n ? u32() % n : 0; }
+
+  /// Up to `n` bytes; shorter when the source runs dry.
+  std::vector<std::byte> bytes(std::size_t n) {
+    n = n < remaining() ? n : remaining();
+    std::vector<std::byte> out(n);
+    if (n) std::memcpy(out.data(), p_, n);
+    p_ += n;
+    return out;
+  }
+
+  /// The rest of the input, unconsumed, as a byte vector.
+  std::vector<std::byte> rest() { return bytes(remaining()); }
+
+ private:
+  void raw(void* out, std::size_t n) {
+    const std::size_t have = remaining() < n ? remaining() : n;
+    if (have) std::memcpy(out, p_, have);
+    p_ += have;
+  }
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace fastjoin::fuzz

@@ -1,0 +1,222 @@
+// Standalone driver for the fuzz harnesses when no fuzzing engine is
+// linked (the default: GCC has no libFuzzer). Two modes, composable:
+//
+//   fuzz_x corpus_dir [more dirs/files...]        replay every input
+//   fuzz_x corpus_dir --runs N --seed S           + N deterministic
+//                                                 mutation iterations
+//   fuzz_x corpus_dir --max-seconds T             + wall-clock-bounded
+//                                                 mutation loop
+//
+// Mutations are a seeded xorshift64 walk over the corpus (bit flips,
+// byte stores, truncation, insertion, splices), so a given
+// (corpus, seed, runs) triple is exactly reproducible. Before the
+// process dies on a violated property or a sanitizer report, the
+// input being executed is written to --artifact-dir (default '.') as
+// crash-<n>; replaying is just `fuzz_x <artifact-file>`.
+//
+// Under Clang, CMake links -fsanitize=fuzzer instead of this file and
+// the same LLVMFuzzerTestOneInput becomes a real coverage-guided
+// libFuzzer target.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// The input currently executing, exposed to the crash handler.
+const std::uint8_t* g_cur_data = nullptr;
+std::size_t g_cur_len = 0;
+char g_artifact_path[4096] = "./crash-input";
+
+/// Async-signal-safe: dump the current input, then re-raise.
+void crash_handler(int sig) {
+  const int fd = ::open(g_artifact_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    std::size_t off = 0;
+    while (off < g_cur_len) {
+      const ssize_t n = ::write(fd, g_cur_data + off, g_cur_len - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+struct XorShift64 {
+  std::uint64_t s;
+  explicit XorShift64(std::uint64_t seed) : s(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::size_t below(std::size_t n) { return n ? next() % n : 0; }
+};
+
+constexpr std::size_t kMaxInput = 1u << 16;
+
+void run_one(const std::vector<std::uint8_t>& input) {
+  g_cur_data = input.data();
+  g_cur_len = input.size();
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+/// One mutation step: corpus pick (or the previous output) plus 1-8
+/// edits drawn from the rng.
+std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& corpus,
+                                 XorShift64& rng) {
+  std::vector<std::uint8_t> m;
+  if (!corpus.empty()) m = corpus[rng.below(corpus.size())];
+  const std::size_t edits = 1 + rng.below(8);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.below(6)) {
+      case 0:  // bit flip
+        if (!m.empty()) m[rng.below(m.size())] ^= 1u << rng.below(8);
+        break;
+      case 1:  // byte store
+        if (!m.empty()) m[rng.below(m.size())] = static_cast<std::uint8_t>(rng.next());
+        break;
+      case 2:  // truncate
+        if (!m.empty()) m.resize(rng.below(m.size() + 1));
+        break;
+      case 3: {  // insert a short random run
+        const std::size_t n = 1 + rng.below(16);
+        const std::size_t at = rng.below(m.size() + 1);
+        std::vector<std::uint8_t> ins(n);
+        for (auto& b : ins) b = static_cast<std::uint8_t>(rng.next());
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), ins.begin(),
+                 ins.end());
+        break;
+      }
+      case 4: {  // splice a window from another corpus entry
+        if (corpus.empty()) break;
+        const auto& other = corpus[rng.below(corpus.size())];
+        if (other.empty()) break;
+        const std::size_t from = rng.below(other.size());
+        const std::size_t n = 1 + rng.below(other.size() - from);
+        const std::size_t at = rng.below(m.size() + 1);
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(at),
+                 other.begin() + static_cast<std::ptrdiff_t>(from),
+                 other.begin() + static_cast<std::ptrdiff_t>(from + n));
+        break;
+      }
+      case 5: {  // overwrite with a u64 boundary value
+        if (m.size() < 8) break;
+        const std::uint64_t vals[] = {0ull, ~0ull, 0x7FFFFFFFull,
+                                      0x80000000ull, 0xFFFFFFFFull,
+                                      0x100000000ull};
+        const std::uint64_t v = vals[rng.below(6)];
+        std::memcpy(m.data() + rng.below(m.size() - 7), &v, 8);
+        break;
+      }
+    }
+    if (m.size() > kMaxInput) m.resize(kMaxInput);
+  }
+  return m;
+}
+
+bool load_file(const std::filesystem::path& p,
+               std::vector<std::uint8_t>& out) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) return false;
+  out.assign(std::istreambuf_iterator<char>(f),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  long long runs = 0;
+  long long max_seconds = 0;
+  std::uint64_t seed = 1;
+  std::string artifact_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : "";
+    };
+    if (a == "--runs") {
+      runs = std::atoll(next());
+    } else if (a == "--max-seconds") {
+      max_seconds = std::atoll(next());
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--artifact-dir") {
+      artifact_dir = next();
+    } else if (a == "--help") {
+      std::fprintf(stderr,
+                   "usage: %s [corpus-file-or-dir...] [--runs N] "
+                   "[--max-seconds T] [--seed S] [--artifact-dir D]\n",
+                   argv[0]);
+      return 0;
+    } else {
+      inputs.emplace_back(a);
+    }
+  }
+
+  std::snprintf(g_artifact_path, sizeof(g_artifact_path), "%s/crash-%d",
+                artifact_dir.c_str(), static_cast<int>(::getpid()));
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE}) {
+    std::signal(sig, crash_handler);
+  }
+
+  // Replay pass: every corpus file, in sorted order, exactly once.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  std::vector<std::filesystem::path> files;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec)) {
+      for (const auto& ent : std::filesystem::directory_iterator(in, ec)) {
+        if (ent.is_regular_file()) files.push_back(ent.path());
+      }
+    } else {
+      files.push_back(in);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    std::vector<std::uint8_t> bytes;
+    if (!load_file(f, bytes)) {
+      std::fprintf(stderr, "fuzz: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    run_one(bytes);
+    corpus.push_back(std::move(bytes));
+  }
+  std::fprintf(stderr, "fuzz: replayed %zu corpus inputs\n", corpus.size());
+
+  // Mutation pass: bounded by --runs and/or --max-seconds.
+  XorShift64 rng(seed);
+  long long done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto time_left = [&]() {
+    if (max_seconds <= 0) return false;
+    return std::chrono::steady_clock::now() - t0 <
+           std::chrono::seconds(max_seconds);
+  };
+  while (done < runs || time_left()) {
+    run_one(mutate(corpus, rng));
+    ++done;
+    if (runs > 0 && done >= runs && max_seconds <= 0) break;
+  }
+  if (done) std::fprintf(stderr, "fuzz: %lld mutated runs clean\n", done);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// FASTJOIN_PARSE_FILE: fixture — the same violations, each justified
+// with an inline allow() (e.g. a debug-only assert behind NDEBUG that
+// a reviewer has signed off on).
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+struct ByteReader {
+  bool u32(std::uint32_t& v);
+  std::size_t remaining() const;
+};
+
+bool decode_fixture(ByteReader& r, std::vector<std::uint32_t>& out) {
+  std::uint32_t n = 0;
+  assert(r.remaining() >= 4);  // fastjoin-lint: allow(parse-surface) internal invariant, not input-dependent
+  if (!r.u32(n)) return false;
+  // fastjoin-lint: allow(parse-surface) result intentionally unused: probing for trailing bytes
+  r.u32(n);
+  if (n > r.remaining()) return false;
+  out.resize(n * 1);  // fastjoin-lint: allow(parse-surface) constant factor, cannot overflow
+  return true;
+}

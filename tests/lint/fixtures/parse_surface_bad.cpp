@@ -1,0 +1,24 @@
+// FASTJOIN_PARSE_FILE: fixture — a tagged decoder that crashes on
+// hostile input, discards a reader result, and multiplies a hostile
+// count before bounding it.
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+struct ByteReader {
+  bool u32(std::uint32_t& v);
+  std::size_t remaining() const;
+};
+
+bool decode_fixture(ByteReader& r, std::vector<std::uint32_t>& out) {
+  std::uint32_t n = 0;
+  assert(r.remaining() >= 4);
+  if (!r.u32(n)) abort();
+  if (n == 0) throw 1;
+  r.u32(n);
+  out.resize(n * sizeof(std::uint32_t));
+  auto* scratch = new std::uint32_t[n * 2];
+  delete[] scratch;
+  return true;
+}

@@ -1,0 +1,23 @@
+// FASTJOIN_PARSE_FILE: fixture — the patterns the rule must never
+// flag: checked reads, division-bounded counts, compile-time asserts,
+// and resize/reserve with a plain (already-bounded) identifier.
+#include <cstdint>
+#include <vector>
+
+struct ByteReader {
+  bool u32(std::uint32_t& v);
+  std::size_t remaining() const;
+};
+
+static_assert(sizeof(std::uint32_t) == 4, "wire width");
+
+bool decode_fixture(ByteReader& r, std::vector<std::uint32_t>& out) {
+  std::uint32_t n = 0;
+  if (!r.u32(n)) return false;
+  if (n > r.remaining() / sizeof(std::uint32_t)) return false;
+  out.resize(n);
+  out.reserve(n);
+  std::uint32_t v = 0;
+  while (r.u32(v)) out.push_back(v);
+  return true;
+}

@@ -1,0 +1,16 @@
+// FASTJOIN_PARSE_FILE: fixture — a tagged header declaring a decode
+// overload for a message type no fuzz harness names. The decode-parity
+// half of parse-surface must refuse to let it land uncovered.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace fastjoin::fixture {
+
+struct OrphanedFixtureMsg {
+  std::uint64_t id = 0;
+};
+
+bool decode(const std::vector<std::byte>& p, OrphanedFixtureMsg& m);
+
+}  // namespace fastjoin::fixture

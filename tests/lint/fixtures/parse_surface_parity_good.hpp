@@ -1,0 +1,16 @@
+// FASTJOIN_PARSE_FILE: fixture — a tagged header whose decode overload
+// IS exercised by the committed harnesses (HelloMsg appears throughout
+// tests/fuzz/fuzz_wire.cpp), so decode-parity stays quiet.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace fastjoin::fixture {
+
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+};
+
+bool decode(const std::vector<std::byte>& p, HelloMsg& m);
+
+}  // namespace fastjoin::fixture

@@ -1,0 +1,19 @@
+// fixture — identical violations to parse_surface_bad.cpp but without
+// the parse-file tag: trusted-input code may assert freely, so
+// nothing here fires.
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+struct ByteReader {
+  bool u32(std::uint32_t& v);
+  std::size_t remaining() const;
+};
+
+bool decode_fixture(ByteReader& r, std::vector<std::uint32_t>& out) {
+  std::uint32_t n = 0;
+  assert(r.remaining() >= 4);
+  r.u32(n);
+  out.resize(n * sizeof(std::uint32_t));
+  return true;
+}

@@ -125,6 +125,34 @@ def main():
           json.dumps(tf, indent=2))
     expect("src/server/net_socket_server_clean.cpp", "net-socket", 0)
 
+    # --- parse-surface ----------------------------------------------
+    expect("parse_surface_bad.cpp", "parse-surface", 6,
+           exact_lines=[16, 17, 18, 19, 20, 21])
+    expect("parse_surface_clean.cpp", "parse-surface", 0)
+    expect("parse_surface_allowed.cpp", "parse-surface", 0)
+    expect("parse_surface_untagged.cpp", "parse-surface", 0)
+
+    # --- parse-surface: decode/fuzz-harness parity ------------------
+    # A tagged header declaring a decoder no harness names fails; one
+    # whose type appears in tests/fuzz/ passes. Pointing --fuzz-dir at
+    # an empty tree flips the good fixture to failing, proving the
+    # check actually reads the harness sources.
+    expect("parse_surface_parity_bad.hpp", "parse-surface", 1,
+           exact_lines=[14])
+    _, pf, _ = run_lint(fixture("parse_surface_parity_bad.hpp"))
+    check("parity fixture: message names the uncovered type",
+          all("OrphanedFixtureMsg" in f["message"] for f in pf),
+          json.dumps(pf, indent=2))
+    expect("parse_surface_parity_good.hpp", "parse-surface", 0)
+    with tempfile.TemporaryDirectory() as td:
+        stub = os.path.join(td, "stub_harness.cpp")
+        with open(stub, "w", encoding="utf-8") as f:
+            f.write("// no message types named here\n")
+        code, findings, log = run_lint(
+            fixture("parse_surface_parity_good.hpp"), "--fuzz-dir", td)
+        check("parity: harness tree without the type fails (exit 1)",
+              code == 1 and len(findings) == 1, log)
+
     # --- atomic-padding ---------------------------------------------
     expect("atomic_padding_bad.cpp", "atomic-padding", 2,
            exact_lines=[11, 16])

@@ -223,6 +223,46 @@ TEST(Wire, LyingCountCannotDriveAllocation) {
   EXPECT_FALSE(decode(buf, d));
 }
 
+// Overwrite the little-endian u32 count field at `off` in an encoded
+// payload, then decode. The guard divides (n <= remaining / elem), so
+// the exact boundary must pass and count+1 / saturated counts must
+// fail without any large allocation.
+template <typename M>
+bool decode_with_count(std::vector<std::byte> buf, std::size_t off,
+                       std::uint32_t count) {
+  for (int i = 0; i < 4; ++i) {
+    buf[off + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((count >> (8 * i)) & 0xFF);
+  }
+  M out;
+  return decode(buf, out);
+}
+
+TEST(Wire, DataBatchCountBoundary) {
+  DataBatchMsg m;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    m.entries.push_back(DataEntry{i, kDeliverStore, sample_record(i)});
+  }
+  const auto buf = encode(m);
+  ASSERT_EQ(buf.size(), 4u + 3 * 42u);  // count + 3 fixed-width entries
+  EXPECT_TRUE(decode_with_count<DataBatchMsg>(buf, 0, 3));
+  EXPECT_FALSE(decode_with_count<DataBatchMsg>(buf, 0, 4));
+  EXPECT_FALSE(decode_with_count<DataBatchMsg>(buf, 0, 2));  // done() fails
+  EXPECT_FALSE(decode_with_count<DataBatchMsg>(buf, 0, 0xFFFF'FFFFu));
+}
+
+TEST(Wire, ExtractBatchCountBoundary) {
+  ExtractBatchMsg m;
+  m.mig_id = 1;
+  m.consumed_offset = 2;
+  for (std::uint64_t i = 0; i < 3; ++i) m.tuples.push_back(sample_tuple(i));
+  const auto buf = encode(m);
+  ASSERT_EQ(buf.size(), 20u + 3 * 37u);  // mig+offset+count, 37B tuples
+  EXPECT_TRUE(decode_with_count<ExtractBatchMsg>(buf, 16, 3));
+  EXPECT_FALSE(decode_with_count<ExtractBatchMsg>(buf, 16, 4));
+  EXPECT_FALSE(decode_with_count<ExtractBatchMsg>(buf, 16, 0xFFFF'FFFFu));
+}
+
 TEST(Wire, MsgTypeNames) {
   EXPECT_STREQ(msg_type_name(MsgType::kHello), "Hello");
   EXPECT_STREQ(msg_type_name(MsgType::kFinal), "Final");
